@@ -1,0 +1,70 @@
+// E10 — Rounds-vs-bytes ablation: one-shot vs. adaptive negotiation.
+//
+// For several (k, Δ) the table shows total bytes, rounds and the per-phase
+// byte breakdown from the channel transcript. Expected shape: the adaptive
+// variant replaces the (log Δ)-fold IBLT shipment with cheap strata probes
+// plus one IBLT, winning once k (and thus per-level IBLT size) is large;
+// it always pays 2 extra rounds.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+
+namespace rsr {
+namespace {
+
+void RunOne(size_t k, int log_delta) {
+  const size_t n = 1024;
+  const int64_t delta = int64_t{1} << log_delta;
+  const workload::Scenario scenario = workload::StandardScenario(
+      n, 2, delta, k, /*noise=*/2.0, /*seed=*/9);
+  const workload::ReplicaPair pair = scenario.Materialize();
+  recon::ProtocolContext ctx;
+  ctx.universe = scenario.universe;
+  ctx.seed = 37;
+  recon::QuadtreeParams qp;
+  qp.k = k;
+
+  transport::Channel oneshot_channel, adaptive_channel;
+  (void)recon::QuadtreeReconciler(ctx, qp)
+      .Run(pair.alice, pair.bob, &oneshot_channel);
+  (void)recon::AdaptiveQuadtreeReconciler(ctx, qp)
+      .Run(pair.alice, pair.bob, &adaptive_channel);
+
+  std::map<std::string, size_t> phase_bits;
+  for (const auto& entry : adaptive_channel.transcript()) {
+    phase_bits[entry.label] += entry.bits;
+  }
+  bench::Row({std::to_string(k), std::to_string(log_delta),
+              bench::Bits(oneshot_channel.stats().total_bits),
+              std::to_string(oneshot_channel.stats().rounds),
+              bench::Bits(adaptive_channel.stats().total_bits),
+              std::to_string(adaptive_channel.stats().rounds),
+              bench::Bits(phase_bits["qt-strata"]),
+              bench::Bits(phase_bits["qt-level-iblt"])});
+}
+
+void RunE10() {
+  bench::Banner("E10", "one-shot vs adaptive rounds ablation (n=1024, d=2, "
+                "eps=2)",
+                "adaptive trades 2 extra rounds for ~log Delta fewer IBLT "
+                "bytes; wins for large k and Delta");
+  bench::Row({"k", "log2Delta", "oneshot_B", "os_rounds", "adaptive_B",
+              "ad_rounds", "probe_B", "iblt_B"});
+  for (size_t k : {4, 16, 64}) {
+    for (int log_delta : {12, 20, 28}) {
+      RunOne(k, log_delta);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE10();
+  return 0;
+}

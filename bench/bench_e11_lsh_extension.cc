@@ -1,0 +1,84 @@
+// E11 — Extension comparison: quadtree vs. LSH/RIBLT protocol across
+// dimensions.
+//
+// Fixed n = 192, k = 6, per-coordinate universe 2^8; sweep d. Expected
+// shape: the quadtree's bytes grow with d (d-wide cell ids at every one of
+// log Δ levels) while the LSH variant's level count is independent of
+// d·log Δ — it becomes competitive as d grows; both keep EMD well below the
+// un-reconciled baseline.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "lshrecon/mlsh_recon.h"
+#include "recon/quadtree_recon.h"
+#include "util/stats.h"
+
+namespace rsr {
+namespace {
+
+void RunE11() {
+  bench::Banner("E11", "quadtree vs LSH extension across d (n=192, "
+                "delta=2^8, k=6, eps=1)",
+                "LSH variant closes the gap / wins as d grows; both cut EMD "
+                "vs no reconciliation");
+  bench::Row({"d", "qt_B", "lsh_B", "qt_emd/before", "lsh_emd/before",
+              "qt_succ", "lsh_succ"});
+
+  const size_t n = 192, k = 6;
+  const int trials = 6;
+
+  for (int d : {2, 4, 8, 16, 32}) {
+    SampleSet qt_ratio, lsh_ratio;
+    size_t qt_bits = 0, lsh_bits = 0;
+    int qt_succ = 0, lsh_succ = 0;
+    for (int t = 0; t < trials; ++t) {
+      const workload::Scenario scenario = workload::StandardScenario(
+          n, d, int64_t{1} << 8, k, /*noise=*/1.0,
+          /*seed=*/400 + static_cast<uint64_t>(t));
+      const workload::ReplicaPair pair = scenario.Materialize();
+      recon::ProtocolContext ctx;
+      ctx.universe = scenario.universe;
+      ctx.seed = 41 + static_cast<uint64_t>(t);
+
+      recon::QuadtreeParams qp;
+      qp.k = k;
+      lshrecon::MlshParams mp;
+      mp.k = k;
+
+      recon::EvaluateOptions options;
+      options.metric = Metric::kL2;
+      const recon::Evaluation qt =
+          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
+                           pair.bob, options);
+      const recon::Evaluation lsh =
+          EvaluateProtocol(lshrecon::MlshReconciler(ctx, mp), pair.alice,
+                           pair.bob, options);
+      qt_bits = qt.comm_bits;
+      lsh_bits = lsh.comm_bits;
+      if (qt.success) {
+        ++qt_succ;
+        qt_ratio.Add(qt.emd_after / (qt.emd_before + 1e-9));
+      }
+      if (lsh.success) {
+        ++lsh_succ;
+        lsh_ratio.Add(lsh.emd_after / (lsh.emd_before + 1e-9));
+      }
+    }
+    bench::Row({std::to_string(d), bench::Bits(qt_bits),
+                bench::Bits(lsh_bits),
+                qt_ratio.count() ? bench::Num(qt_ratio.Mean()) : "n/a",
+                lsh_ratio.count() ? bench::Num(lsh_ratio.Mean()) : "n/a",
+                bench::Num(static_cast<double>(qt_succ) / trials),
+                bench::Num(static_cast<double>(lsh_succ) / trials)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE11();
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E12 — Microbenchmark suite (google-benchmark): throughput of the
+// building blocks and the end-to-end protocols.
+//
+// Expected shape: IBLT insert O(q) per key, decode O(m); grid hashing O(d)
+// per (point, level); exact EMD O(n^3) vs greedy O(n^2 log n); quadtree
+// encode O(n log Δ).
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/emd.h"
+#include "geometry/grid.h"
+#include "iblt/iblt.h"
+#include "iblt/sizing.h"
+#include "recon/quadtree_recon.h"
+#include "riblt/riblt.h"
+#include "util/random.h"
+#include "workload/scenario.h"
+
+namespace rsr {
+namespace {
+
+void BM_IbltInsert(benchmark::State& state) {
+  IbltConfig config;
+  config.cells = 1024;
+  config.q = static_cast<int>(state.range(0));
+  config.seed = 1;
+  Iblt table(config);
+  Rng rng(2);
+  for (auto _ : state) {
+    table.Insert(rng.Next64(), {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IbltInsert)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_IbltDecode(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  IbltConfig config;
+  config.cells = RecommendedCells(entries, 4);
+  config.q = 4;
+  config.seed = 3;
+  Iblt table(config);
+  Rng rng(4);
+  for (size_t i = 0; i < entries; ++i) table.Insert(rng.Next64(), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Decode());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * entries));
+}
+BENCHMARK(BM_IbltDecode)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RibltDecode(benchmark::State& state) {
+  const size_t entries = static_cast<size_t>(state.range(0));
+  RibltConfig config;
+  config.cells = entries * 8;
+  config.q = 3;
+  config.universe = MakeUniverse(1 << 16, 2);
+  config.max_entries = entries * 2;
+  config.seed = 5;
+  Riblt table(config);
+  Rng rng(6);
+  for (size_t i = 0; i < entries; ++i) {
+    table.Insert(rng.Next64(), {rng.Uniform(0, (1 << 16) - 1),
+                                rng.Uniform(0, (1 << 16) - 1)});
+  }
+  Rng round_rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Decode(&round_rng));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * entries));
+}
+BENCHMARK(BM_RibltDecode)->Arg(64)->Arg(512);
+
+void BM_GridHistogram(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Universe u = MakeUniverse(1 << 20, 2);
+  const ShiftedGrid grid(u, 8);
+  Rng rng(9);
+  PointSet points;
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(0, (1 << 20) - 1),
+                      rng.Uniform(0, (1 << 20) - 1)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildCellHistogram(grid, points, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_GridHistogram)->Arg(1024)->Arg(16384);
+
+void BM_ExactEmd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  PointSet x, y;
+  for (size_t i = 0; i < n; ++i) {
+    x.push_back({rng.Uniform(0, 1 << 16), rng.Uniform(0, 1 << 16)});
+    y.push_back({rng.Uniform(0, 1 << 16), rng.Uniform(0, 1 << 16)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactEmd(x, y, Metric::kL2));
+  }
+}
+BENCHMARK(BM_ExactEmd)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_GreedyEmd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  PointSet x, y;
+  for (size_t i = 0; i < n; ++i) {
+    x.push_back({rng.Uniform(0, 1 << 16), rng.Uniform(0, 1 << 16)});
+    y.push_back({rng.Uniform(0, 1 << 16), rng.Uniform(0, 1 << 16)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyEmdUpperBound(x, y, Metric::kL2));
+  }
+}
+BENCHMARK(BM_GreedyEmd)->Arg(128)->Arg(512);
+
+void BM_QuadtreeProtocol(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const workload::Scenario scenario =
+      workload::StandardScenario(n, 2, int64_t{1} << 20, 16, 2.0, 12);
+  const workload::ReplicaPair pair = scenario.Materialize();
+  recon::ProtocolContext ctx;
+  ctx.universe = scenario.universe;
+  ctx.seed = 13;
+  recon::QuadtreeParams qp;
+  qp.k = 16;
+  recon::QuadtreeReconciler protocol(ctx, qp);
+  for (auto _ : state) {
+    transport::Channel channel;
+    benchmark::DoNotOptimize(protocol.Run(pair.alice, pair.bob, &channel));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_QuadtreeProtocol)->Arg(1024)->Arg(8192);
+
+}  // namespace
+}  // namespace rsr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E14 — Design-choice ablations: level stride and checksum width.
+//
+// (a) Level stride: ship every s-th quadtree level. Expected shape: bytes
+//     fall ~1/s while the decoded level (and thus the repair error) only
+//     coarsens by at most s-1 levels — a favourable trade for bandwidth-
+//     bound deployments.
+// (b) Checksum width: narrower per-cell checksums shrink every table but
+//     raise the probability that a corrupt "pure" cell slips through.
+//     Expected shape: bytes fall linearly with the width; end-to-end
+//     success stays perfect down to surprisingly few bits because the
+//     value/key consistency check catches stragglers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+#include "util/stats.h"
+
+namespace rsr {
+namespace {
+
+void StrideSweep() {
+  std::printf("-- (a) level stride (n=512, d=2, delta=2^20, k=8, eps=2, "
+              "8 trials)\n");
+  bench::Row({"stride", "bytes", "succ", "level_med", "emd_mean"});
+  const int trials = 8;
+  for (int stride : {1, 2, 3, 4, 6}) {
+    SampleSet emds, levels;
+    size_t bits = 0;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      const workload::Scenario scenario = workload::StandardScenario(
+          512, 2, int64_t{1} << 20, 8, 2.0,
+          /*seed=*/600 + static_cast<uint64_t>(t));
+      const workload::ReplicaPair pair = scenario.Materialize();
+      recon::ProtocolContext ctx;
+      ctx.universe = scenario.universe;
+      ctx.seed = 51 + static_cast<uint64_t>(t);
+      recon::QuadtreeParams qp;
+      qp.k = 8;
+      qp.level_stride = stride;
+      recon::EvaluateOptions options;
+      options.metric = scenario.metric;
+      const recon::Evaluation eval =
+          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
+                           pair.bob, options);
+      bits = eval.comm_bits;
+      if (eval.success) {
+        ++successes;
+        emds.Add(eval.emd_after);
+        levels.Add(eval.chosen_level);
+      }
+    }
+    bench::Row({std::to_string(stride), bench::Bits(bits),
+                bench::Num(static_cast<double>(successes) / trials),
+                levels.count() ? bench::Num(levels.Median()) : "n/a",
+                emds.count() ? bench::Num(emds.Mean()) : "n/a"});
+  }
+}
+
+void ChecksumSweep() {
+  std::printf("\n-- (b) checksum width (same workload, 8 trials)\n");
+  bench::Row({"check_bits", "bytes", "succ", "emd_mean"});
+  const int trials = 8;
+  for (int bits_width : {8, 16, 24, 32, 48, 64}) {
+    SampleSet emds;
+    size_t bits = 0;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      const workload::Scenario scenario = workload::StandardScenario(
+          512, 2, int64_t{1} << 20, 8, 2.0,
+          /*seed=*/700 + static_cast<uint64_t>(t));
+      const workload::ReplicaPair pair = scenario.Materialize();
+      recon::ProtocolContext ctx;
+      ctx.universe = scenario.universe;
+      ctx.seed = 61 + static_cast<uint64_t>(t);
+      recon::QuadtreeParams qp;
+      qp.k = 8;
+      qp.checksum_bits = bits_width;
+      recon::EvaluateOptions options;
+      options.metric = scenario.metric;
+      const recon::Evaluation eval =
+          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
+                           pair.bob, options);
+      bits = eval.comm_bits;
+      if (eval.success) {
+        ++successes;
+        emds.Add(eval.emd_after);
+      }
+    }
+    bench::Row({std::to_string(bits_width), bench::Bits(bits),
+                bench::Num(static_cast<double>(successes) / trials),
+                emds.count() ? bench::Num(emds.Mean()) : "n/a"});
+  }
+}
+
+void RunE14() {
+  bench::Banner("E14", "design ablations: level stride & checksum width",
+                "bytes ~ 1/stride with bounded quality loss; checksum "
+                "width buys bytes with no quality loss down to ~16 bits");
+  StrideSweep();
+  ChecksumSweep();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE14();
+  return 0;
+}

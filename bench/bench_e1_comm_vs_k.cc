@@ -1,0 +1,65 @@
+// E1 — Communication vs. outlier budget k.
+//
+// Fixed workload (n = 4096 clustered points in [2^20]^2, Gaussian noise
+// ε = 2, k planted outliers); sweep k and report the measured bytes of each
+// protocol. Expected shape: robust protocols grow linearly in k and stay far
+// below full transfer; exact reconciliation is dominated by the ~2n noisy
+// difference and is flat at a huge value.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/exact_recon.h"
+#include "recon/full_transfer.h"
+#include "recon/quadtree_recon.h"
+
+namespace rsr {
+namespace {
+
+void RunE1() {
+  bench::Banner("E1", "communication vs k (n=4096, d=2, delta=2^20, eps=2)",
+                "robust ~ O(k log Delta) << exact ~ O(n log Delta) "
+                "<= full transfer");
+  bench::Row({"k", "quadtree_B", "adaptive_B", "exact_B", "full_B",
+              "qt_level"});
+
+  const size_t n = 4096;
+  recon::EvaluateOptions options;
+  options.measure_quality = false;
+
+  for (size_t k : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const workload::Scenario scenario = workload::StandardScenario(
+        n, 2, int64_t{1} << 20, k, /*noise=*/2.0, /*seed=*/1);
+    const workload::ReplicaPair pair = scenario.Materialize();
+    recon::ProtocolContext ctx;
+    ctx.universe = scenario.universe;
+    ctx.seed = 42;
+
+    recon::QuadtreeParams qp;
+    qp.k = k;
+    const recon::Evaluation quadtree = EvaluateProtocol(
+        recon::QuadtreeReconciler(ctx, qp), pair.alice, pair.bob, options);
+    const recon::Evaluation adaptive = EvaluateProtocol(
+        recon::AdaptiveQuadtreeReconciler(ctx, qp), pair.alice, pair.bob,
+        options);
+    const recon::Evaluation exact = EvaluateProtocol(
+        recon::ExactReconciler(ctx, recon::ExactReconParams{}), pair.alice,
+        pair.bob, options);
+    const recon::Evaluation full = EvaluateProtocol(
+        recon::FullTransferReconciler(ctx), pair.alice, pair.bob, options);
+
+    bench::Row({std::to_string(k), bench::Bits(quadtree.comm_bits),
+                bench::Bits(adaptive.comm_bits), bench::Bits(exact.comm_bits),
+                bench::Bits(full.comm_bits),
+                std::to_string(quadtree.chosen_level)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE1();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E2 — Quality vs. communication budget.
+//
+// Fixed instance (n = 256, k = 8); sweep the IBLT sizing headroom and the
+// decode budget, which trade communication for decode success / finer level
+// selection. Report the achieved EMD(S_A, S'_B) normalised by the trimmed
+// optimum EMD_k. Expected shape: the ratio falls quickly as budget grows and
+// saturates (diminishing returns) near a small constant multiple of EMD_k.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+#include "util/stats.h"
+
+namespace rsr {
+namespace {
+
+void RunE2() {
+  bench::Banner("E2", "EMD quality vs communication (n=256, d=2, k=8)",
+                "EMD/EMD_k drops toward O(1) as budget grows, then "
+                "saturates");
+  bench::Row({"headroom", "budgetx", "bytes", "emd_ratio", "succ_rate",
+              "level_med"});
+
+  const size_t n = 256, k = 8;
+  const int trials = 10;
+
+  for (double headroom : {0.7, 0.9, 1.1, 1.35, 1.8, 2.5}) {
+    for (size_t budget_factor : {2, 4, 8}) {
+      SampleSet ratios, levels;
+      size_t bytes_bits = 0;
+      int successes = 0;
+      for (int t = 0; t < trials; ++t) {
+        const workload::Scenario scenario = workload::StandardScenario(
+            n, 2, int64_t{1} << 16, k, /*noise=*/2.0,
+            /*seed=*/100 + static_cast<uint64_t>(t));
+        const workload::ReplicaPair pair = scenario.Materialize();
+        recon::ProtocolContext ctx;
+        ctx.universe = scenario.universe;
+        ctx.seed = 7 + static_cast<uint64_t>(t);
+
+        recon::QuadtreeParams qp;
+        qp.k = k;
+        qp.headroom = headroom;
+        qp.decode_budget = budget_factor * k;
+        recon::EvaluateOptions options;
+        options.metric = scenario.metric;
+        options.k = k;
+        const recon::Evaluation eval =
+            EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
+                             pair.bob, options);
+        bytes_bits = eval.comm_bits;
+        if (eval.success) {
+          ++successes;
+          ratios.Add(eval.ratio_vs_emdk);
+          levels.Add(eval.chosen_level);
+        }
+      }
+      bench::Row({bench::Num(headroom), std::to_string(budget_factor),
+                  bench::Bits(bytes_bits),
+                  ratios.count() ? bench::Num(ratios.Mean()) : "n/a",
+                  bench::Num(static_cast<double>(successes) / trials),
+                  levels.count() ? bench::Num(levels.Median()) : "n/a"});
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE2();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E4 — Scaling with set size n.
+//
+// Fixed k = 16 and noise ε = 2; sweep n. Expected shape: robust protocol
+// bytes are essentially flat in n (only the count field width grows),
+// full transfer is linear, exact reconciliation is linear (noisy difference
+// ~ 2n). Wall-clock encode time for the quadtree is O(n log Δ).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/exact_recon.h"
+#include "recon/full_transfer.h"
+#include "recon/quadtree_recon.h"
+
+namespace rsr {
+namespace {
+
+void RunE4() {
+  bench::Banner("E4", "scaling in n (d=2, delta=2^20, k=16, eps=2)",
+                "robust bytes ~flat in n; exact and full transfer linear; "
+                "robust time linear");
+  bench::Row({"n", "quadtree_B", "adaptive_B", "exact_B", "full_B",
+              "qt_secs"});
+
+  const size_t k = 16;
+  recon::EvaluateOptions options;
+  options.measure_quality = false;
+
+  for (size_t n : {256, 512, 1024, 2048, 4096, 8192, 16384, 32768}) {
+    const workload::Scenario scenario = workload::StandardScenario(
+        n, 2, int64_t{1} << 20, k, /*noise=*/2.0, /*seed=*/5);
+    const workload::ReplicaPair pair = scenario.Materialize();
+    recon::ProtocolContext ctx;
+    ctx.universe = scenario.universe;
+    ctx.seed = 17;
+
+    recon::QuadtreeParams qp;
+    qp.k = k;
+    const recon::Evaluation quadtree = EvaluateProtocol(
+        recon::QuadtreeReconciler(ctx, qp), pair.alice, pair.bob, options);
+    const recon::Evaluation adaptive = EvaluateProtocol(
+        recon::AdaptiveQuadtreeReconciler(ctx, qp), pair.alice, pair.bob,
+        options);
+    const recon::Evaluation exact = EvaluateProtocol(
+        recon::ExactReconciler(ctx, recon::ExactReconParams{}), pair.alice,
+        pair.bob, options);
+    const recon::Evaluation full = EvaluateProtocol(
+        recon::FullTransferReconciler(ctx), pair.alice, pair.bob, options);
+
+    bench::Row({std::to_string(n), bench::Bits(quadtree.comm_bits),
+                bench::Bits(adaptive.comm_bits), bench::Bits(exact.comm_bits),
+                bench::Bits(full.comm_bits),
+                bench::Num(quadtree.wall_seconds, 3)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE4();
+  return 0;
+}

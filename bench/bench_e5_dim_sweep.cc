@@ -1,0 +1,69 @@
+// E5 — Scaling with dimension d (the O(d) approximation factor).
+//
+// Fixed n = 256, k = 8, per-coordinate universe 2^10; sweep d. Expected
+// shape: communication grows ~linearly in d (the packed cell payload), and
+// the quality ratio EMD / EMD_k grows at most ~linearly in d — the O(d)
+// approximation the SIGMOD 2014 protocol guarantees.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+#include "util/stats.h"
+
+namespace rsr {
+namespace {
+
+void RunE5() {
+  bench::Banner("E5", "dimension sweep (n=256, delta=2^10, k=8, eps=1)",
+                "bytes ~ linear in d; EMD/EMD_k grows at most ~ d");
+  bench::Row({"d", "bytes", "emd_ratio_mean", "emd_ratio_p90", "succ_rate",
+              "level_med"});
+
+  const size_t n = 256, k = 8;
+  const int trials = 10;
+
+  for (int d : {1, 2, 4, 8, 16}) {
+    SampleSet ratios, levels;
+    size_t bits = 0;
+    int successes = 0;
+    for (int t = 0; t < trials; ++t) {
+      const workload::Scenario scenario = workload::StandardScenario(
+          n, d, int64_t{1} << 10, k, /*noise=*/1.0,
+          /*seed=*/200 + static_cast<uint64_t>(t));
+      const workload::ReplicaPair pair = scenario.Materialize();
+      recon::ProtocolContext ctx;
+      ctx.universe = scenario.universe;
+      ctx.seed = 23 + static_cast<uint64_t>(t);
+
+      recon::QuadtreeParams qp;
+      qp.k = k;
+      recon::EvaluateOptions options;
+      options.metric = Metric::kL2;
+      options.k = k;
+      const recon::Evaluation eval =
+          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
+                           pair.bob, options);
+      bits = eval.comm_bits;
+      if (eval.success) {
+        ++successes;
+        ratios.Add(eval.ratio_vs_emdk);
+        levels.Add(eval.chosen_level);
+      }
+    }
+    bench::Row({std::to_string(d), bench::Bits(bits),
+                ratios.count() ? bench::Num(ratios.Mean()) : "n/a",
+                ratios.count() ? bench::Num(ratios.Percentile(90)) : "n/a",
+                bench::Num(static_cast<double>(successes) / trials),
+                levels.count() ? bench::Num(levels.Median()) : "n/a"});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE5();
+  return 0;
+}

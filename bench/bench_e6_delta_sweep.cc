@@ -1,0 +1,62 @@
+// E6 — Scaling with the universe resolution Δ.
+//
+// Fixed n = 1024, d = 2, k = 8, noise fixed *relative* to Δ (ε = Δ / 2^14)
+// so the geometry is self-similar across resolutions; sweep Δ. Expected
+// shape: one-shot quadtree bytes grow ~quadratically in log Δ (log Δ levels
+// x per-cell payload that itself carries ~ d·log Δ bits), the adaptive
+// variant trims the level factor and grows ~linearly in log Δ.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+
+namespace rsr {
+namespace {
+
+void RunE6() {
+  bench::Banner("E6", "universe sweep (n=1024, d=2, k=8, eps=delta/2^14)",
+                "one-shot ~ (log Delta)^2; adaptive ~ log Delta; both << "
+                "full transfer growth");
+  bench::Row({"log2_delta", "quadtree_B", "adaptive_B", "full_B(n*d*L/8)",
+              "qt_level"});
+
+  const size_t n = 1024, k = 8;
+  recon::EvaluateOptions options;
+  options.measure_quality = false;
+
+  for (int log_delta : {8, 12, 16, 20, 24, 28}) {
+    const int64_t delta = int64_t{1} << log_delta;
+    const double eps =
+        static_cast<double>(delta) / static_cast<double>(1 << 14);
+    const workload::Scenario scenario = workload::StandardScenario(
+        n, 2, delta, k, eps, /*seed=*/7);
+    const workload::ReplicaPair pair = scenario.Materialize();
+    recon::ProtocolContext ctx;
+    ctx.universe = scenario.universe;
+    ctx.seed = 29;
+
+    recon::QuadtreeParams qp;
+    qp.k = k;
+    const recon::Evaluation quadtree = EvaluateProtocol(
+        recon::QuadtreeReconciler(ctx, qp), pair.alice, pair.bob, options);
+    const recon::Evaluation adaptive = EvaluateProtocol(
+        recon::AdaptiveQuadtreeReconciler(ctx, qp), pair.alice, pair.bob,
+        options);
+    const size_t full_bits =
+        n * 2 * static_cast<size_t>(log_delta);  // packed points
+
+    bench::Row({std::to_string(log_delta), bench::Bits(quadtree.comm_bits),
+                bench::Bits(adaptive.comm_bits), bench::Bits(full_bits),
+                std::to_string(quadtree.chosen_level)});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE6();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// E7 — Level-selection ablation: forced single level vs. automatic ℓ*.
+//
+// Fixed instance (n = 256, k = 8, noise ε = 4); force the protocol to a
+// single grid level and compare with the multi-scale automatic choice.
+// Expected shape: levels finer than the noise scale fail to decode at all;
+// levels coarser than necessary decode but inflate EMD by the growing cell
+// diameter; the automatic choice sits at the knee.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "recon/quadtree_recon.h"
+#include "recon/single_grid.h"
+#include "util/stats.h"
+
+namespace rsr {
+namespace {
+
+void RunE7() {
+  bench::Banner("E7", "forced level vs auto (n=256, d=2, delta=2^16, k=8, "
+                "eps=4)",
+                "fine levels fail to decode; coarse levels inflate EMD; "
+                "auto picks the knee");
+  bench::Row({"level", "succ_rate", "bytes", "emd_after_mean"});
+
+  const size_t n = 256, k = 8;
+  const int trials = 8;
+
+  auto run_trials = [&](int forced_level) {
+    SampleSet emds;
+    size_t bits = 0;
+    int successes = 0;
+    double auto_level_sum = 0;
+    for (int t = 0; t < trials; ++t) {
+      const workload::Scenario scenario = workload::StandardScenario(
+          n, 2, int64_t{1} << 16, k, /*noise=*/4.0,
+          /*seed=*/300 + static_cast<uint64_t>(t));
+      const workload::ReplicaPair pair = scenario.Materialize();
+      recon::ProtocolContext ctx;
+      ctx.universe = scenario.universe;
+      ctx.seed = 31 + static_cast<uint64_t>(t);
+      recon::QuadtreeParams qp;
+      qp.k = k;
+      recon::EvaluateOptions options;
+      options.metric = scenario.metric;
+      recon::Evaluation eval;
+      if (forced_level < 0) {
+        eval = EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp),
+                                pair.alice, pair.bob, options);
+        auto_level_sum += eval.chosen_level;
+      } else {
+        eval = EvaluateProtocol(
+            recon::SingleGridReconciler(ctx, qp, forced_level), pair.alice,
+            pair.bob, options);
+      }
+      bits = eval.comm_bits;
+      if (eval.success) {
+        ++successes;
+        emds.Add(eval.emd_after);
+      }
+    }
+    bench::Row({forced_level < 0
+                    ? "auto(" + bench::Num(auto_level_sum / trials, 3) + ")"
+                    : std::to_string(forced_level),
+                bench::Num(static_cast<double>(successes) / trials),
+                bench::Bits(bits),
+                emds.count() ? bench::Num(emds.Mean()) : "n/a"});
+  };
+
+  for (int level : {0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16}) {
+    run_trials(level);
+  }
+  run_trials(-1);  // automatic multi-scale choice
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE7();
+  return 0;
+}

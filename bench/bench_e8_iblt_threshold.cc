@@ -1,0 +1,58 @@
+// E8 — IBLT peeling threshold (substrate validation).
+//
+// Insert D random keys into tables of m = α·D cells for a sweep of α and
+// q ∈ {3, 4, 5}; report the fraction of 200 trials that decode completely.
+// Expected shape: a sharp success threshold near the classic peeling
+// constants (α* ≈ 1.222 for q=3, 1.295 for q=4, 1.425 for q=5), with the
+// transition sharpening as D grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "iblt/iblt.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+double SuccessRate(size_t entries, double alpha, int q, int trials) {
+  int successes = 0;
+  for (int t = 0; t < trials; ++t) {
+    IbltConfig config;
+    config.cells =
+        static_cast<size_t>(alpha * static_cast<double>(entries));
+    config.q = q;
+    config.seed = static_cast<uint64_t>(t) * 7919 + 1;
+    Iblt table(config);
+    Rng rng(config.seed ^ 0xabcdef);
+    for (size_t i = 0; i < entries; ++i) table.Insert(rng.Next64(), {});
+    if (table.Decode().success) ++successes;
+  }
+  return static_cast<double>(successes) / trials;
+}
+
+void RunE8() {
+  bench::Banner("E8", "IBLT decode threshold (D=400 keys, 200 trials)",
+                "sharp threshold near alpha*=1.222 (q=3), 1.295 (q=4), "
+                "1.425 (q=5)");
+  bench::Row({"alpha", "q=3", "q=4", "q=5"});
+
+  const size_t entries = 400;
+  const int trials = 200;
+  for (double alpha : {1.0, 1.1, 1.15, 1.2, 1.25, 1.3, 1.35, 1.4, 1.45, 1.5,
+                       1.6, 1.8, 2.0}) {
+    bench::Row({bench::Num(alpha),
+                bench::Num(SuccessRate(entries, alpha, 3, trials)),
+                bench::Num(SuccessRate(entries, alpha, 4, trials)),
+                bench::Num(SuccessRate(entries, alpha, 5, trials))});
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  rsr::RunE8();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the experiment harnesses (bench_e1 .. bench_e11).
+//
+// Each harness prints a self-describing table: experiment id, the claim
+// being reproduced ("paper shape"), the sweep axis, and one row per
+// configuration. EXPERIMENTS.md records these outputs next to the claims.
+
+#ifndef RSR_BENCH_BENCH_UTIL_H_
+#define RSR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "recon/evaluate.h"
+#include "util/stats.h"
+#include "workload/scenario.h"
+
+namespace rsr {
+namespace bench {
+
+/// Prints the experiment banner.
+inline void Banner(const char* id, const char* title, const char* shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("paper shape: %s\n", shape);
+  std::printf("==============================================================\n");
+}
+
+/// Prints a row of cells separated by two spaces, padded to width 14.
+inline void Row(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-14s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string Num(double v, int digits = 5) {
+  return FormatCompact(v, digits);
+}
+
+inline std::string Bits(size_t bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(bits) / 8.0);
+  return std::string(buf);  // bytes
+}
+
+}  // namespace bench
+}  // namespace rsr
+
+#endif  // RSR_BENCH_BENCH_UTIL_H_

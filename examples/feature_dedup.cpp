@@ -1,0 +1,82 @@
+// High-dimensional feature-vector reconciliation via the LSH extension.
+//
+// Two machine-learning pipelines extract 16-dimensional quantised feature
+// vectors from overlapping image collections. Re-encoding (different JPEG
+// quality) perturbs every coordinate slightly; each side also has a handful
+// of images the other lacks. The quadtree protocol struggles here — its
+// per-level cell ids cost d·log Δ bits and its coarsest level still splits
+// the space 2^d ways — so this example uses the MLSH/RIBLT extension
+// protocol, which keys points by locality-sensitive hashes and ships the
+// points themselves as Robust-IBLT values.
+//
+// Build & run:   ./examples/feature_dedup
+
+#include <cstdio>
+
+#include "geometry/emd.h"
+#include "lshrecon/mlsh_recon.h"
+#include "recon/quadtree_recon.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace rsr;
+
+  const int d = 16;
+  const Universe universe = MakeUniverse(int64_t{1} << 8, d);
+  const size_t n = 512;
+  const size_t k = 10;
+
+  workload::CloudSpec cloud;
+  cloud.universe = universe;
+  cloud.n = n;
+  cloud.shape = workload::CloudShape::kUniform;
+  workload::PerturbationSpec perturbation;
+  perturbation.noise = workload::NoiseKind::kUniformBox;
+  perturbation.noise_scale = 1.0;  // re-encoding jitter
+  perturbation.outliers = k;
+  const workload::ReplicaPair pair =
+      workload::MakeReplicaPair(cloud, perturbation, /*seed=*/77);
+
+  recon::ProtocolContext context;
+  context.universe = universe;
+  context.seed = 5;
+
+  // Extension protocol: lattice (ℓ1) MLSH keys over a Robust IBLT.
+  lshrecon::MlshParams params;
+  params.k = k;
+  params.family = lshrecon::MlshKind::kGridL1;  // tight d-dim boxes
+  params.width = 128.0;  // box side: >> jitter, << inter-image distance
+  lshrecon::MlshReconciler lsh_protocol(context, params);
+  transport::Channel lsh_channel;
+  const recon::ReconResult lsh =
+      lsh_protocol.Run(pair.alice, pair.bob, &lsh_channel);
+
+  // The quadtree for comparison.
+  recon::QuadtreeParams qp;
+  qp.k = k;
+  recon::QuadtreeReconciler qt_protocol(context, qp);
+  transport::Channel qt_channel;
+  const recon::ReconResult qt =
+      qt_protocol.Run(pair.alice, pair.bob, &qt_channel);
+
+  const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
+  const double after_lsh =
+      lsh.success ? ExactEmd(pair.alice, lsh.bob_final, Metric::kL2) : -1;
+  const double after_qt =
+      qt.success ? ExactEmd(pair.alice, qt.bob_final, Metric::kL2) : -1;
+
+  std::printf("feature vectors: n=%zu, d=%d, %zu new images per side\n", n,
+              d, k);
+  std::printf("EMD before sync:        %.0f\n", before);
+  std::printf("mlsh-riblt:  success=%d  level=%d  %8.0f bytes  EMD %.0f\n",
+              lsh.success, lsh.chosen_level,
+              lsh_channel.stats().total_bytes(), after_lsh);
+  std::printf("quadtree:    success=%d  level=%d  %8.0f bytes  EMD %.0f\n",
+              qt.success, qt.chosen_level, qt_channel.stats().total_bytes(),
+              after_qt);
+  if (lsh.success && (!qt.success || after_lsh < after_qt)) {
+    std::printf("\nthe LSH extension wins on this high-dimensional "
+                "workload, as designed\n");
+  }
+  return lsh.success ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Gap-guarantee synchronisation: asset-inventory completeness.
+//
+// A field team (Alice) and headquarters (Bob) each maintain a register of
+// surveyed asset locations. GPS fixes of the same asset differ by a couple
+// of metres between the two registers (r1), while distinct assets are at
+// least tens of metres apart (r2). Headquarters does not need Alice's exact
+// coordinates for assets it already knows — it needs certainty that *no
+// asset is missing entirely*: after the sync, every asset in Alice's
+// register must have a headquarters entry within r2 of it.
+//
+// This is exactly the Gap Guarantee model (extension module). The protocol
+// reconciles lattice-cell sketches and then transmits, at full precision,
+// only the assets headquarters provably lacks.
+//
+// Build & run:   ./examples/gap_inventory
+
+#include <cstdio>
+
+#include "gaprecon/gap_recon.h"
+#include "workload/generator.h"
+
+int main() {
+  using namespace rsr;
+
+  // Coordinates in a 2^20 x 2^20 grid (~1m resolution over ~1000 km).
+  const Universe universe = MakeUniverse(int64_t{1} << 20, 2);
+  const size_t n = 5000;
+  const size_t newly_surveyed = 14;  // assets only Alice knows
+
+  workload::CloudSpec cloud;
+  cloud.universe = universe;
+  cloud.n = n;
+  cloud.shape = workload::CloudShape::kClusters;
+  cloud.num_clusters = 64;
+  cloud.cluster_stddev_fraction = 0.005;
+  workload::PerturbationSpec spec;
+  spec.noise = workload::NoiseKind::kUniformBox;
+  spec.noise_scale = 2.0;  // GPS disagreement (r1 scale)
+  spec.outliers = newly_surveyed;
+  const workload::ReplicaPair pair =
+      workload::MakeReplicaPair(cloud, spec, /*seed=*/314);
+
+  recon::ProtocolContext context;
+  context.universe = universe;
+  context.seed = 2718;
+
+  gaprecon::GapParams params;
+  params.r1 = 2.0;    // same-asset GPS disagreement
+  params.r2 = 512.0;  // distinct assets are farther than this
+  gaprecon::GapReconciler protocol(context, params);
+
+  transport::Channel channel;
+  const gaprecon::GapResult result =
+      protocol.Run(pair.alice, pair.bob, &channel);
+
+  std::printf("assets: %zu on each side, %zu known only to the field "
+              "team\n",
+              n, newly_surveyed);
+  std::printf("protocol success:      %s (attempt %zu)\n",
+              result.success ? "yes" : "no", result.attempts);
+  std::printf("assets transmitted:    %zu\n", result.transmitted);
+  std::printf("communication:         %.0f bytes (%zu rounds)\n",
+              channel.stats().total_bytes(), channel.stats().rounds);
+  std::printf("full register upload:  %.0f bytes\n",
+              static_cast<double>(n) * universe.BitsPerPoint() / 8.0);
+  const bool guaranteed = gaprecon::SatisfiesGapGuarantee(
+      pair.alice, result.bob_final, params, universe.d);
+  std::printf("coverage guarantee:    every field asset within r2 of an HQ "
+              "entry: %s\n",
+              guaranteed ? "HOLDS" : "VIOLATED");
+  std::printf("\n%s\n", channel.TranscriptToString().c_str());
+  return (result.success && guaranteed) ? 0 : 1;
+}

@@ -1,0 +1,293 @@
+#include "gaprecon/gap_recon.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "hash/mix.h"
+#include "iblt/iblt.h"
+#include "iblt/sizing.h"
+#include "iblt/strata.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace gaprecon {
+
+double GapParams::CellSide(int d) const {
+  const double effective_r2 = EffectiveR2(d);
+  switch (metric) {
+    case Metric::kL1:
+      return effective_r2 / static_cast<double>(d);
+    case Metric::kL2:
+      return effective_r2 / std::sqrt(static_cast<double>(d));
+    case Metric::kLinf:
+      return effective_r2;
+    case Metric::kHamming:
+      // No meaningful lattice for Hamming; fall back to the ℓ1 bound.
+      return effective_r2 / static_cast<double>(d);
+  }
+  return effective_r2 / static_cast<double>(d);
+}
+
+double GapParams::RhoHat(int d) const {
+  // Union bound over axes: a pair at distance r1 straddles a lattice
+  // boundary with probability at most (sum of per-axis offsets) / side,
+  // which for every supported metric is bounded by r1 * d / r2.
+  const double rho = r1 * static_cast<double>(d) / EffectiveR2(d);
+  return rho < 0.95 ? rho : 0.95;
+}
+
+namespace {
+
+// One randomly shifted lattice per function; shifts are doubles in
+// [0, side) derived from the public seed.
+class LatticeKeys {
+ public:
+  LatticeKeys(const Universe& universe, double side, int h, uint64_t seed)
+      : universe_(universe), side_(side), h_(h) {
+    RSR_CHECK(side > 0.0);
+    Rng rng(seed ^ 0x676170ULL);  // "gap" tag
+    shifts_.resize(static_cast<size_t>(h) *
+                   static_cast<size_t>(universe.d));
+    for (auto& s : shifts_) s = rng.NextDouble() * side;
+  }
+
+  /// Raw entry key of point `p` under lattice `j`.
+  uint64_t Key(const Point& p, int j) const {
+    const double* shift =
+        shifts_.data() +
+        static_cast<size_t>(j) * static_cast<size_t>(universe_.d);
+    uint64_t hash = Hash64(static_cast<uint64_t>(j), 0x6c617474ULL);
+    for (int i = 0; i < universe_.d; ++i) {
+      const int64_t cell = static_cast<int64_t>(std::floor(
+          (static_cast<double>(p[static_cast<size_t>(i)]) + shift[i]) /
+          side_));
+      hash = HashCombine(hash, static_cast<uint64_t>(cell));
+    }
+    return hash;
+  }
+
+  int h() const { return h_; }
+
+ private:
+  Universe universe_;
+  double side_;
+  int h_;
+  std::vector<double> shifts_;
+};
+
+// Raw-key histogram plus the canonical occurrence-indexed key multiset.
+struct EntrySet {
+  std::unordered_map<uint64_t, int64_t> raw_counts;
+  std::vector<uint64_t> occ_keys;
+};
+
+EntrySet BuildEntrySet(const PointSet& points, const LatticeKeys& lattice) {
+  EntrySet set;
+  set.raw_counts.reserve(points.size() * static_cast<size_t>(lattice.h()));
+  for (const Point& p : points) {
+    for (int j = 0; j < lattice.h(); ++j) {
+      ++set.raw_counts[lattice.Key(p, j)];
+    }
+  }
+  set.occ_keys.reserve(points.size() * static_cast<size_t>(lattice.h()));
+  for (const auto& [raw, count] : set.raw_counts) {
+    for (int64_t occ = 0; occ < count; ++occ) {
+      set.occ_keys.push_back(HashCombine(raw, static_cast<uint64_t>(occ)));
+    }
+  }
+  return set;
+}
+
+StrataConfig GapStrataConfig(uint64_t seed) {
+  StrataConfig config;
+  config.num_strata = 16;
+  config.cells_per_stratum = 24;
+  config.q = 4;
+  config.checksum_bits = 32;
+  config.count_bits = 10;
+  config.seed = seed ^ 0x676170737472ULL;  // "gapstr" tag
+  return config;
+}
+
+}  // namespace
+
+GapResult GapReconciler::Run(const PointSet& alice, const PointSet& bob,
+                             transport::Channel* channel) const {
+  const Universe& universe = context_.universe;
+  const int d = universe.d;
+  const double rho = params_.RhoHat(d);
+  RSR_CHECK_MSG(rho < 1.0, "gap model requires r2 > r1 * d");
+  const size_t n = alice.size() > bob.size() ? alice.size() : bob.size();
+
+  int h = params_.num_functions;
+  if (h <= 0) {
+    const double target =
+        std::log(20.0 * static_cast<double>(n > 1 ? n : 2));
+    h = static_cast<int>(std::ceil(target / std::log(1.0 / rho)));
+    if (h < 2) h = 2;
+  }
+
+  const LatticeKeys lattice(universe, params_.CellSide(d), h, context_.seed);
+  const EntrySet alice_entries = BuildEntrySet(alice, lattice);
+  const EntrySet bob_entries = BuildEntrySet(bob, lattice);
+
+  // --- Round 1 (A->B): strata estimator over Alice's entry keys. ---
+  const StrataConfig strata_config = GapStrataConfig(context_.seed);
+  {
+    StrataEstimator est(strata_config);
+    for (uint64_t key : alice_entries.occ_keys) est.Insert(key);
+    BitWriter w;
+    est.Serialize(&w);
+    channel->Send(transport::Direction::kAliceToBob,
+                  transport::MakeMessage("gap-strata", std::move(w)));
+  }
+
+  // --- Bob: estimate and ship an IBLT of his entry keys. ---
+  uint64_t estimate = 0;
+  {
+    const transport::Message msg =
+        channel->Receive(transport::Direction::kAliceToBob);
+    BitReader r(msg.payload);
+    std::optional<StrataEstimator> alice_est =
+        StrataEstimator::Deserialize(strata_config, &r);
+    RSR_CHECK(alice_est.has_value());
+    StrataEstimator bob_est(strata_config);
+    for (uint64_t key : bob_entries.occ_keys) bob_est.Insert(key);
+    estimate = bob_est.EstimateDifference(*alice_est);
+  }
+  uint64_t target = static_cast<uint64_t>(
+      static_cast<double>(estimate) * params_.estimate_safety);
+  if (target < 16) target = 16;
+
+  GapResult result;
+  result.bob_final = bob;
+  for (size_t attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    result.attempts = attempt + 1;
+    IbltConfig config;
+    config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
+                                    params_.q, params_.headroom);
+    config.q = params_.q;
+    config.value_bits = 0;
+    config.seed =
+        Hash64(attempt, context_.seed ^ 0x676170696274ULL);  // "gapibt"
+
+    // B -> A: his entry keys (cells prefixed for config agreement).
+    {
+      Iblt table(config);
+      for (uint64_t key : bob_entries.occ_keys) table.Insert(key, {});
+      BitWriter w;
+      w.WriteVarint(config.cells);
+      table.Serialize(&w);
+      channel->Send(transport::Direction::kBobToAlice,
+                    transport::MakeMessage("gap-iblt", std::move(w)));
+    }
+
+    // Alice: subtract her entries, decode, identify uncovered points.
+    {
+      const transport::Message msg =
+          channel->Receive(transport::Direction::kBobToAlice);
+      BitReader r(msg.payload);
+      uint64_t cells = 0;
+      RSR_CHECK(r.ReadVarint(&cells));
+      IbltConfig alice_config = config;
+      alice_config.cells = static_cast<size_t>(cells);
+      std::optional<Iblt> table = Iblt::Deserialize(alice_config, &r);
+      RSR_CHECK(table.has_value());
+      for (uint64_t key : alice_entries.occ_keys) table->Erase(key, {});
+      const IbltDecodeResult decoded = table->Decode();
+      if (!decoded.success) {
+        if (attempt + 1 < params_.max_attempts) {
+          BitWriter w;
+          w.WriteVarint(attempt + 1);
+          channel->Send(transport::Direction::kAliceToBob,
+                        transport::MakeMessage("gap-retry", std::move(w)));
+          (void)channel->Receive(transport::Direction::kAliceToBob);
+        }
+        continue;
+      }
+
+      // Keys with sign -1 are Alice-only entries: cells Bob lacks.
+      std::unordered_set<uint64_t> alice_only;
+      alice_only.reserve(decoded.entries.size());
+      for (const IbltEntry& entry : decoded.entries) {
+        if (entry.sign < 0) alice_only.insert(entry.key);
+      }
+
+      // A raw cell key of Alice's is covered by Bob iff not every one of
+      // her occurrence keys for it is in the Alice-only diff.
+      auto covered_raw = [&](uint64_t raw) {
+        const auto it = alice_entries.raw_counts.find(raw);
+        RSR_DCHECK(it != alice_entries.raw_counts.end());
+        const int64_t count = it->second;
+        int64_t missing = 0;
+        for (int64_t occ = 0; occ < count; ++occ) {
+          if (alice_only.count(
+                  HashCombine(raw, static_cast<uint64_t>(occ)))) {
+            ++missing;
+          }
+        }
+        return missing < count;
+      };
+
+      // T_A: every point none of whose h cells is shared with Bob.
+      std::unordered_set<uint64_t> sent_exact;  // dedupe identical points
+      PointSet to_send;
+      for (const Point& p : alice) {
+        bool covered = false;
+        for (int j = 0; j < h && !covered; ++j) {
+          covered = covered_raw(lattice.Key(p, j));
+        }
+        if (!covered) {
+          const uint64_t exact = PointKey(p, context_.seed);
+          if (sent_exact.insert(exact).second) to_send.push_back(p);
+        }
+      }
+
+      // A -> B: the uncovered points at full precision.
+      BitWriter w;
+      w.WriteVarint(to_send.size());
+      for (const Point& p : to_send) PackPoint(universe, p, &w);
+      channel->Send(transport::Direction::kAliceToBob,
+                    transport::MakeMessage("gap-points", std::move(w)));
+
+      // Bob: append them.
+      const transport::Message points_msg =
+          channel->Receive(transport::Direction::kAliceToBob);
+      BitReader pr(points_msg.payload);
+      uint64_t count = 0;
+      RSR_CHECK(pr.ReadVarint(&count));
+      for (uint64_t i = 0; i < count; ++i) {
+        Point p;
+        RSR_CHECK(UnpackPoint(universe, &pr, &p));
+        result.bob_final.push_back(std::move(p));
+      }
+      result.transmitted = static_cast<size_t>(count);
+      result.success = true;
+      return result;
+    }
+  }
+  return result;  // every attempt failed to decode
+}
+
+bool SatisfiesGapGuarantee(const PointSet& alice, const PointSet& bob_final,
+                           const GapParams& params, int d) {
+  const double r2 = params.EffectiveR2(d);
+  for (const Point& a : alice) {
+    bool covered = false;
+    for (const Point& b : bob_final) {
+      if (Distance(a, b, params.metric) <= r2) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace gaprecon
+}  // namespace rsr

@@ -1,0 +1,90 @@
+#include "geometry/emd.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "geometry/hungarian.h"
+#include "util/check.h"
+
+namespace rsr {
+
+double ExactEmd(const PointSet& x, const PointSet& y, Metric metric) {
+  RSR_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+  std::vector<double> cost(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cost[i * n + j] = Distance(x[i], y[j], metric);
+    }
+  }
+  return SolveAssignment(cost, n).cost;
+}
+
+double ExactEmdK(const PointSet& x, const PointSet& y, size_t k,
+                 Metric metric) {
+  RSR_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  RSR_CHECK(k <= n);
+  if (n == 0) return 0.0;
+  if (k == 0) return ExactEmd(x, y, metric);
+  if (k >= n) return 0.0;
+
+  // Pad to (n+k) x (n+k): k dummy rows and k dummy columns with zero cost
+  // against everything. An optimal perfect matching then pairs exactly k
+  // real rows with dummy columns (deleting them from x), k real columns
+  // with dummy rows (deleting them from y), and the k x k dummy corner
+  // absorbs the remainder at zero cost. The real-real pairs realise the
+  // optimal trimmed matching.
+  const size_t m = n + k;
+  std::vector<double> cost(m * m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      cost[i * m + j] = Distance(x[i], y[j], metric);
+    }
+  }
+  return SolveAssignment(cost, m).cost;
+}
+
+double GreedyEmdUpperBound(const PointSet& x, const PointSet& y,
+                           Metric metric) {
+  RSR_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n == 0) return 0.0;
+
+  struct Pair {
+    double dist;
+    uint32_t i;
+    uint32_t j;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n * n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      pairs.push_back({Distance(x[i], y[j], metric),
+                       static_cast<uint32_t>(i), static_cast<uint32_t>(j)});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.dist < b.dist; });
+
+  std::vector<char> used_x(n, 0), used_y(n, 0);
+  size_t matched = 0;
+  double total = 0.0;
+  for (const Pair& p : pairs) {
+    if (used_x[p.i] || used_y[p.j]) continue;
+    used_x[p.i] = used_y[p.j] = 1;
+    total += p.dist;
+    if (++matched == n) break;
+  }
+  RSR_CHECK(matched == n);
+  return total;
+}
+
+double EmdAuto(const PointSet& x, const PointSet& y, Metric metric,
+               size_t exact_limit) {
+  if (x.size() <= exact_limit) return ExactEmd(x, y, metric);
+  return GreedyEmdUpperBound(x, y, metric);
+}
+
+}  // namespace rsr

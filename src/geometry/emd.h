@@ -1,0 +1,41 @@
+// Earth mover's distance (minimum-cost perfect matching) and its outlier-
+// trimmed variant EMD_k — the quality measures of robust set reconciliation.
+//
+// Exact computation runs the Hungarian algorithm and is O(n^3); it is used
+// in tests and for the quality numbers on bench-scale instances. The greedy
+// estimator gives an upper bound in O(n^2 log n) for sanity checks on larger
+// sets.
+
+#ifndef RSR_GEOMETRY_EMD_H_
+#define RSR_GEOMETRY_EMD_H_
+
+#include <cstddef>
+
+#include "geometry/metric.h"
+#include "geometry/point.h"
+
+namespace rsr {
+
+/// Exact EMD between equal-size point sets: the minimum over bijections π
+/// of Σ dist(x_i, y_π(i)). O(n^3). Requires |x| == |y|.
+double ExactEmd(const PointSet& x, const PointSet& y, Metric metric);
+
+/// Exact EMD_k: minimum EMD achievable after deleting the k points from each
+/// side that help most, i.e. min over (n-k)-subsets X'⊆x, Y'⊆y of
+/// EMD(X', Y'). Computed exactly by padding the assignment problem with k
+/// zero-cost dummy rows and columns. Requires |x| == |y| and 0 <= k <= n.
+double ExactEmdK(const PointSet& x, const PointSet& y, size_t k,
+                 Metric metric);
+
+/// Greedy upper bound on EMD: repeatedly matches the globally closest
+/// unmatched pair. O(n^2 log n) time, O(n^2) memory. Requires |x| == |y|.
+double GreedyEmdUpperBound(const PointSet& x, const PointSet& y,
+                           Metric metric);
+
+/// Automatically chooses exact EMD for n <= exact_limit, greedy otherwise.
+double EmdAuto(const PointSet& x, const PointSet& y, Metric metric,
+               size_t exact_limit = 512);
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_EMD_H_

@@ -1,0 +1,106 @@
+#include "geometry/grid.h"
+
+#include "hash/mix.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace rsr {
+
+ShiftedGrid::ShiftedGrid(const Universe& universe, uint64_t seed)
+    : universe_(universe), levels_(universe.BitsPerCoord()) {
+  // delta == 1 gives a degenerate 0-level grid; still usable (single cell).
+  Rng rng(seed ^ 0x67726964ULL);  // "grid" tag
+  const uint64_t span = uint64_t{1} << levels_;
+  shift_.resize(static_cast<size_t>(universe_.d));
+  for (auto& s : shift_) {
+    s = static_cast<int64_t>(levels_ == 0 ? 0 : rng.Below(span));
+  }
+  key_seed_ = Hash64(seed, 0x63656c6cULL);  // "cell" tag
+}
+
+int64_t ShiftedGrid::CellSide(int level) const {
+  RSR_DCHECK(level >= 0 && level <= levels_);
+  return int64_t{1} << level;
+}
+
+Cell ShiftedGrid::CellOf(const Point& p, int level) const {
+  RSR_DCHECK(universe_.Contains(p));
+  RSR_DCHECK(level >= 0 && level <= levels_);
+  Cell cell(p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    cell[i] = (p[i] + shift_[i]) >> level;
+  }
+  return cell;
+}
+
+Cell ShiftedGrid::ParentCell(const Cell& cell) const {
+  Cell parent(cell.size());
+  for (size_t i = 0; i < cell.size(); ++i) parent[i] = cell[i] >> 1;
+  return parent;
+}
+
+uint64_t ShiftedGrid::CellKey(const Cell& cell, int level) const {
+  uint64_t h = Hash64(static_cast<uint64_t>(level), key_seed_);
+  for (int64_t c : cell) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+uint64_t ShiftedGrid::CellKeyOf(const Point& p, int level) const {
+  return CellKey(CellOf(p, level), level);
+}
+
+Point ShiftedGrid::CellRepresentative(const Cell& cell, int level) const {
+  RSR_DCHECK(static_cast<int>(cell.size()) == universe_.d);
+  const int64_t side = CellSide(level);
+  Point rep(cell.size());
+  for (size_t i = 0; i < cell.size(); ++i) {
+    // Centre of the cell in shifted space, mapped back and clamped.
+    int64_t v = cell[i] * side + side / 2 - shift_[i];
+    if (v < 0) v = 0;
+    if (v >= universe_.delta) v = universe_.delta - 1;
+    rep[i] = v;
+  }
+  return rep;
+}
+
+int ShiftedGrid::CellCoordBits(int level) const {
+  RSR_DCHECK(level >= 0 && level <= levels_);
+  // Shifted coordinates range over [0, 2^L + 2^L - 2]; after >> level the
+  // maximum id is < 2^(L - level + 1), so L - level + 1 bits always suffice.
+  return levels_ - level + 1;
+}
+
+void ShiftedGrid::PackCell(const Cell& cell, int level, BitWriter* out) const {
+  const int bits = CellCoordBits(level);
+  for (int64_t c : cell) {
+    RSR_DCHECK(c >= 0);
+    out->WriteBits(static_cast<uint64_t>(c), bits);
+  }
+}
+
+bool ShiftedGrid::UnpackCell(int level, BitReader* in, Cell* out) const {
+  const int bits = CellCoordBits(level);
+  out->assign(static_cast<size_t>(universe_.d), 0);
+  for (int i = 0; i < universe_.d; ++i) {
+    uint64_t v = 0;
+    if (!in->ReadBits(bits, &v)) return false;
+    (*out)[static_cast<size_t>(i)] = static_cast<int64_t>(v);
+  }
+  return true;
+}
+
+std::unordered_map<uint64_t, CellCount> BuildCellHistogram(
+    const ShiftedGrid& grid, const PointSet& points, int level) {
+  std::unordered_map<uint64_t, CellCount> histogram;
+  histogram.reserve(points.size() * 2);
+  for (const Point& p : points) {
+    Cell cell = grid.CellOf(p, level);
+    const uint64_t key = grid.CellKey(cell, level);
+    auto [it, inserted] = histogram.try_emplace(key);
+    if (inserted) it->second.cell = std::move(cell);
+    ++it->second.count;
+  }
+  return histogram;
+}
+
+}  // namespace rsr

@@ -1,0 +1,79 @@
+#include "geometry/hungarian.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace rsr {
+
+AssignmentResult SolveAssignment(const std::vector<double>& cost, size_t n) {
+  RSR_CHECK(cost.size() == n * n);
+  AssignmentResult result;
+  if (n == 0) return result;
+
+  // Classic O(n^3) Hungarian with row/column potentials. Internally uses
+  // 1-based arrays where index 0 is a virtual unmatched slot.
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(n + 1, 0.0);   // column potentials
+  std::vector<int> match(n + 1, 0);    // match[col] = row matched to col
+  std::vector<int> way(n + 1, 0);      // back-pointers along alternating path
+
+  for (size_t i = 1; i <= n; ++i) {
+    match[0] = static_cast<int>(i);
+    size_t j0 = 0;  // current column (0 = virtual)
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = static_cast<size_t>(match[j0]);
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur =
+            cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[static_cast<size_t>(match[j])] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = static_cast<size_t>(way[j0]);
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.row_to_col.assign(n, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    if (match[j] != 0) {
+      result.row_to_col[static_cast<size_t>(match[j] - 1)] =
+          static_cast<int>(j - 1);
+    }
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    RSR_CHECK(result.row_to_col[i] >= 0);
+    total += cost[i * n + static_cast<size_t>(result.row_to_col[i])];
+  }
+  result.cost = total;
+  return result;
+}
+
+}  // namespace rsr

@@ -1,0 +1,29 @@
+// Exact minimum-cost assignment (Hungarian algorithm, O(n^3)).
+//
+// This is the engine behind exact EMD and EMD_k. The implementation is the
+// potentials-based Jonker–Volgenant-style shortest augmenting path variant,
+// numerically robust for non-negative double costs.
+
+#ifndef RSR_GEOMETRY_HUNGARIAN_H_
+#define RSR_GEOMETRY_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rsr {
+
+/// Result of an assignment solve.
+struct AssignmentResult {
+  /// row_to_col[i] = column matched to row i.
+  std::vector<int> row_to_col;
+  /// Total cost of the optimal assignment.
+  double cost = 0.0;
+};
+
+/// Solves the square assignment problem on an n x n cost matrix given in
+/// row-major order. Costs must be finite. Returns the optimal matching.
+AssignmentResult SolveAssignment(const std::vector<double>& cost, size_t n);
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_HUNGARIAN_H_

@@ -1,0 +1,88 @@
+#include "geometry/metric.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace rsr {
+
+double Distance(const Point& a, const Point& b, Metric metric) {
+  RSR_DCHECK(a.size() == b.size());
+  switch (metric) {
+    case Metric::kL1:
+      return static_cast<double>(DistanceL1(a, b));
+    case Metric::kL2:
+      return std::sqrt(static_cast<double>(DistanceL2Squared(a, b)));
+    case Metric::kLinf: {
+      int64_t best = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        const int64_t diff = std::llabs(a[i] - b[i]);
+        if (diff > best) best = diff;
+      }
+      return static_cast<double>(best);
+    }
+    case Metric::kHamming: {
+      int64_t count = 0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) ++count;
+      }
+      return static_cast<double>(count);
+    }
+  }
+  RSR_CHECK_MSG(false, "unknown metric");
+  return 0.0;
+}
+
+int64_t DistanceL1(const Point& a, const Point& b) {
+  RSR_DCHECK(a.size() == b.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) total += std::llabs(a[i] - b[i]);
+  return total;
+}
+
+int64_t DistanceL2Squared(const Point& a, const Point& b) {
+  RSR_DCHECK(a.size() == b.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int64_t diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+double UniverseDiameter(const Universe& universe, Metric metric) {
+  return CellDiameter(universe.d, static_cast<double>(universe.delta - 1),
+                      metric);
+}
+
+double CellDiameter(int d, double side, Metric metric) {
+  switch (metric) {
+    case Metric::kL1:
+      return side * d;
+    case Metric::kL2:
+      return side * std::sqrt(static_cast<double>(d));
+    case Metric::kLinf:
+      return side;
+    case Metric::kHamming:
+      return side > 0 ? static_cast<double>(d) : 0.0;
+  }
+  RSR_CHECK_MSG(false, "unknown metric");
+  return 0.0;
+}
+
+std::string MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL1:
+      return "l1";
+    case Metric::kL2:
+      return "l2";
+    case Metric::kLinf:
+      return "linf";
+    case Metric::kHamming:
+      return "hamming";
+  }
+  return "unknown";
+}
+
+}  // namespace rsr

@@ -1,0 +1,47 @@
+// Metrics over [Δ]^d.
+//
+// The robust-reconciliation objective (earth mover's distance) is
+// parameterised by a ground metric. The library supports ℓ1, ℓ2, ℓ∞ and
+// Hamming; every distance function is exact on integer inputs (ℓ2 returns
+// the true Euclidean distance as a double).
+
+#ifndef RSR_GEOMETRY_METRIC_H_
+#define RSR_GEOMETRY_METRIC_H_
+
+#include <string>
+
+#include "geometry/point.h"
+
+namespace rsr {
+
+/// Ground metrics supported throughout the library.
+enum class Metric {
+  kL1,
+  kL2,
+  kLinf,
+  kHamming,
+};
+
+/// Distance between two points of equal dimension.
+double Distance(const Point& a, const Point& b, Metric metric);
+
+/// Exact integer ℓ1 distance (avoids floating point when the caller knows
+/// the metric is ℓ1).
+int64_t DistanceL1(const Point& a, const Point& b);
+
+/// Squared ℓ2 distance as an exact integer.
+int64_t DistanceL2Squared(const Point& a, const Point& b);
+
+/// Maximum possible distance between two points of the universe.
+double UniverseDiameter(const Universe& universe, Metric metric);
+
+/// Diameter of an axis-aligned cube with side length `side` (the worst-case
+/// error introduced by snapping a point to a cell representative).
+double CellDiameter(int d, double side, Metric metric);
+
+/// "l1" / "l2" / "linf" / "hamming".
+std::string MetricName(Metric metric);
+
+}  // namespace rsr
+
+#endif  // RSR_GEOMETRY_METRIC_H_

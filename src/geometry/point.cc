@@ -1,0 +1,62 @@
+#include "geometry/point.h"
+
+#include "hash/mix.h"
+#include "util/check.h"
+
+namespace rsr {
+
+bool Universe::Contains(const Point& p) const {
+  if (static_cast<int>(p.size()) != d) return false;
+  for (int64_t c : p) {
+    if (c < 0 || c >= delta) return false;
+  }
+  return true;
+}
+
+Universe MakeUniverse(int64_t delta, int d) {
+  RSR_CHECK(delta >= 1);
+  RSR_CHECK(d >= 1);
+  Universe u;
+  u.delta = delta;
+  u.d = d;
+  return u;
+}
+
+void PackPoint(const Universe& universe, const Point& p, BitWriter* out) {
+  RSR_DCHECK(universe.Contains(p));
+  const int bits = universe.BitsPerCoord();
+  for (int64_t c : p) out->WriteBits(static_cast<uint64_t>(c), bits);
+}
+
+bool UnpackPoint(const Universe& universe, BitReader* in, Point* out) {
+  const int bits = universe.BitsPerCoord();
+  out->assign(static_cast<size_t>(universe.d), 0);
+  for (int i = 0; i < universe.d; ++i) {
+    uint64_t v = 0;
+    if (!in->ReadBits(bits, &v)) return false;
+    (*out)[static_cast<size_t>(i)] = static_cast<int64_t>(v);
+  }
+  return true;
+}
+
+uint64_t PointKey(const Point& p, uint64_t seed) {
+  uint64_t h = Hash64(p.size(), seed);
+  for (int64_t c : p) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+bool PointLess(const Point& a, const Point& b) {
+  return a < b;  // std::vector lexicographic compare
+}
+
+std::string PointToString(const Point& p) {
+  std::string s = "(";
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(p[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace rsr

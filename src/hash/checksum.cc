@@ -1,0 +1,21 @@
+#include "hash/checksum.h"
+
+#include "hash/mix.h"
+#include "util/check.h"
+
+namespace rsr {
+
+uint64_t Checksum::operator()(uint64_t key) const {
+  // Double-mix with seed folding on both sides so that no single XOR of
+  // mixed keys can reproduce the checksum structure.
+  return Mix64(Mix64(key ^ seed_) + (seed_ | 1));
+}
+
+uint64_t Checksum::Truncated(uint64_t key, int bits) const {
+  RSR_DCHECK(bits >= 1 && bits <= 64);
+  const uint64_t full = (*this)(key);
+  if (bits == 64) return full;
+  return full & ((uint64_t{1} << bits) - 1);
+}
+
+}  // namespace rsr

@@ -1,0 +1,32 @@
+// Core 64-bit mixing primitives.
+//
+// These are the building blocks for every hash family in the library:
+// finalizer-style bijective mixers (derived from SplitMix64 / MurmurHash3)
+// plus seeded hashing of words and byte strings. They are *not*
+// cryptographic; they are fast, well-distributed and deterministic across
+// platforms, which is what the protocols need (public-coin hashing shared
+// between Alice and Bob via a seed).
+
+#ifndef RSR_HASH_MIX_H_
+#define RSR_HASH_MIX_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsr {
+
+/// Bijective 64-bit finalizer (SplitMix64's output function).
+uint64_t Mix64(uint64_t x);
+
+/// Seeded hash of a single 64-bit word.
+uint64_t Hash64(uint64_t x, uint64_t seed);
+
+/// Combines an accumulated hash with the next value (order sensitive).
+uint64_t HashCombine(uint64_t h, uint64_t next);
+
+/// Seeded hash of a byte string (64-bit, xxhash-like construction).
+uint64_t HashBytes(const void* data, size_t size, uint64_t seed);
+
+}  // namespace rsr
+
+#endif  // RSR_HASH_MIX_H_

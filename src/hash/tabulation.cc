@@ -1,0 +1,22 @@
+#include "hash/tabulation.h"
+
+#include "util/random.h"
+
+namespace rsr {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  uint64_t state = seed ^ 0x7462756c61746f72ULL;  // "tabulator"-ish tag
+  for (auto& row : table_) {
+    for (auto& entry : row) entry = SplitMix64(&state);
+  }
+}
+
+uint64_t TabulationHash::operator()(uint64_t key) const {
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    h ^= table_[i][(key >> (8 * i)) & 0xff];
+  }
+  return h;
+}
+
+}  // namespace rsr

@@ -1,0 +1,30 @@
+// Simple tabulation hashing.
+//
+// Tabulation hashing is 3-independent and has the strong concentration
+// properties (Pătraşcu–Thorup) that make it a drop-in replacement for truly
+// random hash functions in peeling analyses such as the IBLT's. It hashes a
+// 64-bit key by splitting it into 8 bytes and XOR-ing 8 random table rows.
+
+#ifndef RSR_HASH_TABULATION_H_
+#define RSR_HASH_TABULATION_H_
+
+#include <cstdint>
+
+namespace rsr {
+
+/// Seeded tabulation hash over 64-bit keys with 64-bit output.
+class TabulationHash {
+ public:
+  /// The table contents are a deterministic function of `seed`.
+  explicit TabulationHash(uint64_t seed);
+
+  /// Hashes a 64-bit key.
+  uint64_t operator()(uint64_t key) const;
+
+ private:
+  uint64_t table_[8][256];
+};
+
+}  // namespace rsr
+
+#endif  // RSR_HASH_TABULATION_H_

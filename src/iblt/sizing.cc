@@ -1,0 +1,38 @@
+#include "iblt/sizing.h"
+
+#include <cmath>
+
+namespace rsr {
+
+double CellsPerEntryThreshold(int q) {
+  // 1/c_q for the q-uniform peeling threshold c_q (Molloy; also tabulated in
+  // the IBLT literature).
+  switch (q) {
+    case 3:
+      return 1.0 / 0.8184;
+    case 4:
+      return 1.0 / 0.7723;
+    case 5:
+      return 1.0 / 0.7018;
+    case 6:
+      return 1.0 / 0.6372;
+    case 7:
+      return 1.0 / 0.5818;
+    default:
+      return 1.0 / 0.7723;
+  }
+}
+
+size_t RecommendedCells(size_t expected_entries, int q, double headroom) {
+  const double base =
+      static_cast<double>(expected_entries) * CellsPerEntryThreshold(q) *
+      headroom;
+  // Small-table padding: the asymptotic threshold is optimistic for small D;
+  // add a q-dependent constant and enforce a floor of a few partitions.
+  const double padded = base + 2.0 * q + 8.0;
+  const size_t floor_cells = static_cast<size_t>(4 * q);
+  const size_t cells = static_cast<size_t>(std::ceil(padded));
+  return cells < floor_cells ? floor_cells : cells;
+}
+
+}  // namespace rsr

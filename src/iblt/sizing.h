@@ -1,0 +1,30 @@
+// IBLT sizing: how many cells are needed to decode D surviving entries.
+//
+// Peeling a q-partitioned IBLT succeeds w.h.p. iff the random q-uniform
+// hypergraph with D edges on m vertices has an empty 2-core, which happens
+// for m > c_q^{-1} · D where c_q is the classic peeling threshold
+// (c_3 ≈ 0.818, c_4 ≈ 0.772, c_5 ≈ 0.702). Small tables need extra slack
+// because the thresholds are asymptotic; RecommendedCells applies the
+// standard small-D padding used in practice.
+
+#ifndef RSR_IBLT_SIZING_H_
+#define RSR_IBLT_SIZING_H_
+
+#include <cstddef>
+
+namespace rsr {
+
+/// Asymptotic cells-per-entry overhead factor 1/c_q for q in [3, 7].
+/// Values outside the supported range fall back to q = 4's factor.
+double CellsPerEntryThreshold(int q);
+
+/// Recommended number of cells for decoding up to `expected_entries`
+/// surviving entries with hash-count q. `headroom` multiplies the
+/// asymptotic threshold (1.0 = right at threshold; default 1.35 gives
+/// comfortable success probability); small-table padding is added on top.
+size_t RecommendedCells(size_t expected_entries, int q,
+                        double headroom = 1.35);
+
+}  // namespace rsr
+
+#endif  // RSR_IBLT_SIZING_H_

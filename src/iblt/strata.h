@@ -1,0 +1,71 @@
+// Strata estimator (Eppstein–Goodrich–Uyeda–Varghese, "What's the
+// Difference?"): a tiny sketch from which two parties estimate the size of
+// their symmetric set difference, used to size the reconciliation IBLT and,
+// in the adaptive robust protocol, to pick the quadtree level remotely.
+//
+// Keys are assigned to stratum i with probability 2^-(i+1) (by counting
+// trailing zeros of a hash); each stratum holds a small keys-only IBLT.
+// Subtracting two estimators stratum-wise and peeling from the deepest
+// stratum downward yields an unbiased estimate of |A Δ B|: when stratum i
+// is the first that fails to decode, the elements recovered from strata
+// deeper than i represent a 2^-(i+1) sample of the difference.
+
+#ifndef RSR_IBLT_STRATA_H_
+#define RSR_IBLT_STRATA_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "iblt/iblt.h"
+#include "util/bitio.h"
+
+namespace rsr {
+
+/// Configuration shared by both parties.
+struct StrataConfig {
+  int num_strata = 16;       ///< Strata 0..num_strata-1 (last one absorbs).
+  size_t cells_per_stratum = 40;
+  int q = 4;
+  int checksum_bits = 32;
+  int count_bits = 16;
+  uint64_t seed = 0;
+
+  size_t SerializedBits() const;
+};
+
+/// The estimator sketch held by one party.
+class StrataEstimator {
+ public:
+  explicit StrataEstimator(const StrataConfig& config);
+
+  const StrataConfig& config() const { return config_; }
+
+  /// Adds a key to its stratum.
+  void Insert(uint64_t key);
+
+  /// Estimates |difference| between the key sets underlying `*this` and
+  /// `other`. Returns 0 when the sketches are identical. The estimate is
+  /// within a small constant factor of the truth w.h.p.; callers should
+  /// apply their own safety multiplier when sizing IBLTs from it.
+  uint64_t EstimateDifference(const StrataEstimator& other) const;
+
+  void Serialize(BitWriter* out) const;
+  static std::optional<StrataEstimator> Deserialize(
+      const StrataConfig& config, BitReader* in);
+
+ private:
+  int StratumOf(uint64_t key) const;
+  /// Rough decode capacity of one stratum (used for the saturation bound).
+  uint64_t cells_per_stratum_capacity() const {
+    return static_cast<uint64_t>(config_.cells_per_stratum);
+  }
+
+  StrataConfig config_;
+  uint64_t assign_seed_;
+  std::vector<Iblt> strata_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_IBLT_STRATA_H_

@@ -1,0 +1,116 @@
+#include "lshrecon/lsh.h"
+
+#include <cmath>
+
+#include "hash/mix.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace lshrecon {
+
+namespace {
+// Folds a vector of per-coordinate lattice ids into one bucket id.
+uint64_t FoldBuckets(const int64_t* ids, int d, uint64_t salt) {
+  uint64_t h = Hash64(static_cast<uint64_t>(d), salt);
+  for (int i = 0; i < d; ++i) {
+    h = HashCombine(h, static_cast<uint64_t>(ids[i]));
+  }
+  return h;
+}
+}  // namespace
+
+GridMlsh::GridMlsh(const Universe& universe, double width,
+                   size_t num_functions, uint64_t seed)
+    : universe_(universe), width_(width), num_functions_(num_functions) {
+  RSR_CHECK(width > 0.0);
+  Rng rng(seed ^ 0x6772696c736800ULL);  // "grilsh" tag
+  shifts_.resize(num_functions * static_cast<size_t>(universe.d));
+  for (auto& s : shifts_) s = rng.NextDouble() * width;
+}
+
+uint64_t GridMlsh::Eval(size_t index, const Point& p) const {
+  RSR_DCHECK(index < num_functions_);
+  const int d = universe_.d;
+  const double* shift = shifts_.data() + index * static_cast<size_t>(d);
+  int64_t ids[64];
+  RSR_CHECK(d <= 64);
+  for (int i = 0; i < d; ++i) {
+    ids[i] = static_cast<int64_t>(
+        std::floor((static_cast<double>(p[static_cast<size_t>(i)]) +
+                    shift[i]) /
+                   width_));
+  }
+  return FoldBuckets(ids, d, 0x67726964ULL + index);
+}
+
+PStableMlsh::PStableMlsh(const Universe& universe, double width,
+                         size_t num_functions, uint64_t seed)
+    : universe_(universe), width_(width), num_functions_(num_functions) {
+  RSR_CHECK(width > 0.0);
+  Rng rng(seed ^ 0x7073746162ULL);  // "pstab" tag
+  directions_.resize(num_functions * static_cast<size_t>(universe.d));
+  for (auto& r : directions_) r = rng.Gaussian();
+  offsets_.resize(num_functions);
+  for (auto& a : offsets_) a = rng.NextDouble() * width;
+}
+
+uint64_t PStableMlsh::Eval(size_t index, const Point& p) const {
+  RSR_DCHECK(index < num_functions_);
+  const int d = universe_.d;
+  const double* dir = directions_.data() + index * static_cast<size_t>(d);
+  double dot = 0.0;
+  for (int i = 0; i < d; ++i) {
+    dot += dir[i] * static_cast<double>(p[static_cast<size_t>(i)]);
+  }
+  const int64_t id =
+      static_cast<int64_t>(std::floor((dot + offsets_[index]) / width_));
+  return Hash64(static_cast<uint64_t>(id), 0x70737461ULL + index);
+}
+
+BitSamplingMlsh::BitSamplingMlsh(const Universe& universe, double padded_dim,
+                                 size_t num_functions, uint64_t seed)
+    : universe_(universe), num_functions_(num_functions) {
+  RSR_CHECK(padded_dim >= static_cast<double>(universe.d));
+  Rng rng(seed ^ 0x62697473ULL);  // "bits" tag
+  sampled_coord_.resize(num_functions);
+  const double keep_probability =
+      static_cast<double>(universe.d) / padded_dim;
+  for (auto& c : sampled_coord_) {
+    if (rng.Bernoulli(keep_probability)) {
+      c = static_cast<int32_t>(rng.Below(static_cast<uint64_t>(universe.d)));
+    } else {
+      c = -1;  // constant function
+    }
+  }
+}
+
+uint64_t BitSamplingMlsh::Eval(size_t index, const Point& p) const {
+  RSR_DCHECK(index < num_functions_);
+  const int32_t coord = sampled_coord_[index];
+  const uint64_t raw =
+      coord < 0 ? 0 : static_cast<uint64_t>(p[static_cast<size_t>(coord)]);
+  return Hash64(raw, 0x62697473616dULL + index);
+}
+
+std::unique_ptr<MlshFamily> MakeMlshFamily(MlshKind kind,
+                                           const Universe& universe,
+                                           double width,
+                                           size_t num_functions,
+                                           uint64_t seed) {
+  switch (kind) {
+    case MlshKind::kGridL1:
+      return std::make_unique<GridMlsh>(universe, width, num_functions, seed);
+    case MlshKind::kPStableL2:
+      return std::make_unique<PStableMlsh>(universe, width, num_functions,
+                                           seed);
+    case MlshKind::kBitSampling:
+      return std::make_unique<BitSamplingMlsh>(universe, width, num_functions,
+                                               seed);
+  }
+  RSR_CHECK_MSG(false, "unknown MLSH kind");
+  return nullptr;
+}
+
+}  // namespace lshrecon
+}  // namespace rsr

@@ -1,0 +1,118 @@
+// Multi-scale locality sensitive hash (MLSH) families (extension module).
+//
+// An MLSH family's collision probability decays smoothly (geometrically)
+// with distance: Pr[h(x) = h(y)] ≈ p^{dist(x,y)} up to constants. The LSH
+// reconciliation protocol concatenates growing prefixes of functions drawn
+// from such a family to obtain progressively finer partitions of the space —
+// the LSH analogue of the quadtree's levels.
+//
+// Families provided:
+//  * GridMlsh        — randomly shifted orthogonal lattice (ℓ1 MLSH),
+//  * PStableMlsh     — Gaussian projection + random lattice (ℓ2 MLSH),
+//  * BitSamplingMlsh — padded coordinate sampling (Hamming MLSH).
+//
+// All functions of a family are materialised at construction so that
+// Eval(i, p) is a cheap deterministic lookup — protocols evaluate s
+// functions on n points and need this to be fast and replayable.
+
+#ifndef RSR_LSHRECON_LSH_H_
+#define RSR_LSHRECON_LSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace rsr {
+namespace lshrecon {
+
+/// A finite, seeded draw of functions from an MLSH family.
+class MlshFamily {
+ public:
+  virtual ~MlshFamily() = default;
+
+  virtual std::string Name() const = 0;
+
+  /// Number of materialised functions.
+  virtual size_t size() const = 0;
+
+  /// Evaluates function `index` (< size()) on `p`. The returned value is an
+  /// opaque bucket id; only equality is meaningful.
+  virtual uint64_t Eval(size_t index, const Point& p) const = 0;
+};
+
+/// ℓ1 MLSH: round (p + shift) to a lattice of width `width`. Collision
+/// probability for points at ℓ1 distance r is ~ (1 - r/width) per
+/// coordinate pair, i.e. ≈ e^{-Θ(r/width)} overall.
+class GridMlsh : public MlshFamily {
+ public:
+  GridMlsh(const Universe& universe, double width, size_t num_functions,
+           uint64_t seed);
+
+  std::string Name() const override { return "grid-l1"; }
+  size_t size() const override { return num_functions_; }
+  uint64_t Eval(size_t index, const Point& p) const override;
+
+ private:
+  Universe universe_;
+  double width_;
+  size_t num_functions_;
+  std::vector<double> shifts_;  // num_functions_ * d
+};
+
+/// ℓ2 MLSH (Datar et al. p-stable scheme): project on a Gaussian direction,
+/// then round to a randomly shifted 1-D lattice of width `width`.
+class PStableMlsh : public MlshFamily {
+ public:
+  PStableMlsh(const Universe& universe, double width, size_t num_functions,
+              uint64_t seed);
+
+  std::string Name() const override { return "pstable-l2"; }
+  size_t size() const override { return num_functions_; }
+  uint64_t Eval(size_t index, const Point& p) const override;
+
+ private:
+  Universe universe_;
+  double width_;
+  size_t num_functions_;
+  std::vector<double> directions_;  // num_functions_ * d Gaussian entries
+  std::vector<double> offsets_;     // num_functions_ entries in [0, width)
+};
+
+/// Hamming MLSH with padding factor w >= d: with probability d/w sample a
+/// random coordinate, otherwise return the constant 0 — equivalent to bit
+/// sampling after zero-padding the points to dimension w (Lemma 2.3 of the
+/// follow-up paper).
+class BitSamplingMlsh : public MlshFamily {
+ public:
+  BitSamplingMlsh(const Universe& universe, double padded_dim,
+                  size_t num_functions, uint64_t seed);
+
+  std::string Name() const override { return "bitsample-hamming"; }
+  size_t size() const override { return num_functions_; }
+  uint64_t Eval(size_t index, const Point& p) const override;
+
+ private:
+  Universe universe_;
+  size_t num_functions_;
+  std::vector<int32_t> sampled_coord_;  // -1 = constant function
+};
+
+/// Which family a protocol should draw from.
+enum class MlshKind { kGridL1, kPStableL2, kBitSampling };
+
+/// Factory: builds `num_functions` functions of the requested kind.
+/// `width` is the distance scale (for kBitSampling it is the padded
+/// dimension w >= d).
+std::unique_ptr<MlshFamily> MakeMlshFamily(MlshKind kind,
+                                           const Universe& universe,
+                                           double width,
+                                           size_t num_functions,
+                                           uint64_t seed);
+
+}  // namespace lshrecon
+}  // namespace rsr
+
+#endif  // RSR_LSHRECON_LSH_H_

@@ -1,0 +1,171 @@
+#include "lshrecon/mlsh_recon.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "hash/mix.h"
+#include "riblt/riblt.h"
+#include "util/check.h"
+
+namespace rsr {
+namespace lshrecon {
+
+namespace {
+
+// Prefix lengths double from 1 up to s (the level ladder).
+std::vector<size_t> PrefixLadder(size_t s) {
+  std::vector<size_t> prefixes;
+  for (size_t p = 1; p < s; p <<= 1) prefixes.push_back(p);
+  prefixes.push_back(s);
+  return prefixes;
+}
+
+// Per-point running hash chain over its LSH values; entry j is the key for
+// prefix length j+1.
+std::vector<uint64_t> KeyChain(const MlshFamily& family, const Point& p,
+                               uint64_t seed) {
+  std::vector<uint64_t> chain(family.size());
+  uint64_t h = Hash64(0x6d6c7368ULL, seed);  // "mlsh" tag
+  for (size_t j = 0; j < family.size(); ++j) {
+    h = HashCombine(h, family.Eval(j, p));
+    chain[j] = h;
+  }
+  return chain;
+}
+
+RibltConfig LevelConfig(const Universe& universe, const MlshParams& params,
+                        size_t n, size_t level_index, uint64_t seed) {
+  RibltConfig config;
+  config.cells = static_cast<size_t>(
+      params.cells_factor * params.q * params.q *
+      static_cast<double>(params.k > 0 ? params.k : 1));
+  config.q = params.q;
+  config.universe = universe;
+  config.max_entries = 2 * n + 2;
+  config.count_bits = params.count_bits;
+  config.seed = Hash64(level_index, seed ^ 0x6d6c73686c76ULL);  // "mlshlv"
+  return config;
+}
+
+}  // namespace
+
+recon::ReconResult MlshReconciler::Run(const PointSet& alice,
+                                       const PointSet& bob,
+                                       transport::Channel* channel) const {
+  RSR_CHECK_MSG(alice.size() == bob.size(),
+                "EMD model requires equal-size sets");
+  const size_t n = alice.size();
+  const Universe& universe = context_.universe;
+  const size_t s = params_.NumFunctions();
+  const double width =
+      params_.width > 0.0
+          ? params_.width
+          : static_cast<double>(universe.delta) / 8.0;
+  const std::vector<size_t> prefixes = PrefixLadder(s);
+
+  const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
+      params_.family, universe, width, s, context_.seed);
+
+  // Precompute key chains (each party for its own points).
+  auto chains_for = [&](const PointSet& points) {
+    std::vector<std::vector<uint64_t>> chains;
+    chains.reserve(points.size());
+    for (const Point& p : points) {
+      chains.push_back(KeyChain(*family, p, context_.seed));
+    }
+    return chains;
+  };
+  const auto alice_chains = chains_for(alice);
+
+  // --- Alice: one RIBLT per level, all in one message. ---
+  {
+    BitWriter w;
+    for (size_t li = 0; li < prefixes.size(); ++li) {
+      Riblt table(LevelConfig(universe, params_, n, li, context_.seed));
+      const size_t prefix = prefixes[li];
+      for (size_t i = 0; i < alice.size(); ++i) {
+        table.Insert(alice_chains[i][prefix - 1], alice[i]);
+      }
+      table.Serialize(&w);
+    }
+    channel->Send(transport::Direction::kAliceToBob,
+                  transport::MakeMessage("mlsh-levels", std::move(w)));
+  }
+
+  // --- Bob: decode the finest decodable level. ---
+  recon::ReconResult result;
+  result.bob_final = bob;
+  const auto bob_chains = chains_for(bob);
+  const transport::Message msg =
+      channel->Receive(transport::Direction::kAliceToBob);
+  BitReader r(msg.payload);
+
+  // Deserialize every level first (stream order), then scan finest-first.
+  std::vector<Riblt> alice_tables;
+  alice_tables.reserve(prefixes.size());
+  for (size_t li = 0; li < prefixes.size(); ++li) {
+    std::optional<Riblt> table = Riblt::Deserialize(
+        LevelConfig(universe, params_, n, li, context_.seed), &r);
+    RSR_CHECK_MSG(table.has_value(), "truncated mlsh-levels message");
+    alice_tables.push_back(std::move(*table));
+  }
+
+  const size_t budget = params_.DecodeBudget();
+  Rng rounding_rng(context_.seed ^ 0x726f756e64ULL);  // "round" tag
+  for (size_t li = prefixes.size(); li-- > 0;) {
+    Riblt diff = alice_tables[li];
+    const size_t prefix = prefixes[li];
+    for (size_t i = 0; i < bob.size(); ++i) {
+      diff.Erase(bob_chains[i][prefix - 1], bob[i]);
+    }
+    const RibltDecodeResult decoded = diff.Decode(&rounding_rng, budget);
+    if (!decoded.success) continue;
+
+    // Split decoded pairs into Alice's side (points to adopt) and Bob's
+    // side (his unmatched points, possibly with propagated value error).
+    PointSet xa, xb;
+    for (const RibltEntry& entry : decoded.entries) {
+      for (const Point& value : entry.values) {
+        (entry.sign > 0 ? xa : xb).push_back(value);
+      }
+    }
+
+    // Bob resolves XB against his own set: greedily match each decoded
+    // Bob-side point to its nearest not-yet-taken own point; those are the
+    // points he replaces. |XA| == |XB| when |alice| == |bob|, so the final
+    // size is preserved.
+    std::vector<char> taken(bob.size(), 0);
+    for (const Point& x : xb) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_index = bob.size();
+      for (size_t i = 0; i < bob.size(); ++i) {
+        if (taken[i]) continue;
+        const double dist = Distance(x, bob[i], params_.metric);
+        if (dist < best) {
+          best = dist;
+          best_index = i;
+        }
+      }
+      if (best_index < bob.size()) taken[best_index] = 1;
+    }
+
+    PointSet final_set;
+    final_set.reserve(bob.size());
+    for (size_t i = 0; i < bob.size(); ++i) {
+      if (!taken[i]) final_set.push_back(bob[i]);
+    }
+    for (Point& p : xa) final_set.push_back(std::move(p));
+
+    result.success = true;
+    result.chosen_level = static_cast<int>(li);
+    result.decoded_entries = xa.size() + xb.size();
+    result.bob_final = std::move(final_set);
+    return result;
+  }
+  return result;  // no level decoded
+}
+
+}  // namespace lshrecon
+}  // namespace rsr

@@ -1,0 +1,76 @@
+// LSH-based robust reconciliation (extension module).
+//
+// The LSH analogue of the quadtree protocol — the future-work direction of
+// the SIGMOD 2014 paper (Algorithm 1 of the 2018 follow-up). Alice draws s
+// MLSH functions from public coins; level i keys every point by a hash of
+// the first prefix_i function values (prefixes double: 1, 2, 4, …, s).
+// For each level she ships a Robust IBLT of (key, point) pairs. Bob
+// subtracts his pairs and decodes the *finest* (longest-prefix) level that
+// peels within budget. Decoded +1 entries approximate Alice's unmatched
+// points (values may carry bounded propagated error — the RIBLT absorbs
+// same-key collisions by averaging); decoded -1 entries identify Bob's own
+// unmatched points, which he resolves against his set by nearest-neighbour
+// matching and replaces with Alice's decoded points.
+//
+// Compared to the quadtree, the value payload here is a full point (not a
+// cell id), but there is no per-coordinate log Δ blow-up in the *number* of
+// levels: levels scale with log s, making this variant attractive for
+// high-dimensional data (experiment E11).
+
+#ifndef RSR_LSHRECON_MLSH_RECON_H_
+#define RSR_LSHRECON_MLSH_RECON_H_
+
+#include <cstddef>
+
+#include "geometry/metric.h"
+#include "lshrecon/lsh.h"
+#include "recon/protocol.h"
+
+namespace rsr {
+namespace lshrecon {
+
+/// Tunables of the MLSH protocol.
+struct MlshParams {
+  size_t k = 16;            ///< Outlier budget.
+  int q = 3;                ///< RIBLT hash functions (robust analysis wants
+                            ///< cells > q(q-1)·entries, hence small q).
+  double cells_factor = 4.0;  ///< cells = factor · q² · k (paper: 4q²k).
+  size_t num_functions = 0;   ///< s; 0 derives max(16, 4k).
+  double width = 0.0;         ///< MLSH distance scale; 0 derives Δ/8.
+  size_t decode_budget = 0;   ///< Max pairs accepted; 0 derives 4k + 8.
+  int count_bits = 16;
+  MlshKind family = MlshKind::kPStableL2;
+  Metric metric = Metric::kL2;  ///< Used for Bob's local matching step.
+
+  size_t DecodeBudget() const {
+    // More generous than the quadtree's 4k+8: the RIBLT ships 4q²k cells
+    // anyway, and accepting more pairs lets Bob decode at a finer prefix
+    // level, which avoids averaging unrelated points in big buckets.
+    return decode_budget > 0 ? decode_budget : 8 * k + 16;
+  }
+  size_t NumFunctions() const {
+    if (num_functions > 0) return num_functions;
+    const size_t derived = 4 * k;
+    return derived < 16 ? 16 : derived;
+  }
+};
+
+class MlshReconciler : public recon::Reconciler {
+ public:
+  MlshReconciler(const recon::ProtocolContext& context,
+                 const MlshParams& params)
+      : context_(context), params_(params) {}
+
+  std::string Name() const override { return "mlsh-riblt"; }
+  recon::ReconResult Run(const PointSet& alice, const PointSet& bob,
+                         transport::Channel* channel) const override;
+
+ private:
+  recon::ProtocolContext context_;
+  MlshParams params_;
+};
+
+}  // namespace lshrecon
+}  // namespace rsr
+
+#endif  // RSR_LSHRECON_MLSH_RECON_H_

@@ -1,0 +1,195 @@
+#include "recon/exact_recon.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hash/mix.h"
+#include "iblt/iblt.h"
+#include "iblt/sizing.h"
+#include "iblt/strata.h"
+#include "util/check.h"
+
+namespace rsr {
+namespace recon {
+
+namespace {
+
+// Occurrence-indexed keys make duplicate points in one party's multiset
+// distinct sketch elements (plain IBLTs cannot hold duplicate keys), while
+// the i-th copy of a shared point still cancels across parties.
+std::vector<std::pair<uint64_t, Point>> CanonicalKeyedPoints(
+    const PointSet& points, uint64_t seed) {
+  PointSet sorted = points;
+  std::sort(sorted.begin(), sorted.end(), PointLess);
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(sorted.size());
+  size_t occurrence = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    // Compare against the copy already stored in `keyed` — sorted[i - 1]
+    // must not be used after it was moved out of.
+    occurrence =
+        (i > 0 && sorted[i] == keyed[i - 1].second) ? occurrence + 1 : 0;
+    const uint64_t key =
+        HashCombine(PointKey(sorted[i], seed), occurrence);
+    keyed.emplace_back(key, std::move(sorted[i]));
+  }
+  return keyed;
+}
+
+StrataConfig ExactStrataConfig(uint64_t seed) {
+  StrataConfig config;
+  config.num_strata = 20;
+  config.cells_per_stratum = 32;
+  config.q = 4;
+  config.checksum_bits = 32;
+  config.count_bits = 12;
+  config.seed = seed ^ 0x657874737472ULL;  // "extstr" tag
+  return config;
+}
+
+}  // namespace
+
+ReconResult ExactReconciler::Run(const PointSet& alice, const PointSet& bob,
+                                 transport::Channel* channel) const {
+  const uint64_t seed = context_.seed;
+  const auto alice_keyed = CanonicalKeyedPoints(alice, seed);
+  const auto bob_keyed = CanonicalKeyedPoints(bob, seed);
+
+  // --- Message 1 (B->A): strata estimator of Bob's keys. ---
+  const StrataConfig strata_config = ExactStrataConfig(seed);
+  {
+    StrataEstimator est(strata_config);
+    for (const auto& [key, point] : bob_keyed) {
+      (void)point;
+      est.Insert(key);
+    }
+    BitWriter w;
+    est.Serialize(&w);
+    channel->Send(transport::Direction::kBobToAlice,
+                  transport::MakeMessage("exact-strata", std::move(w)));
+  }
+
+  // --- Alice: estimate the difference. ---
+  uint64_t estimate = 0;
+  {
+    const transport::Message msg =
+        channel->Receive(transport::Direction::kBobToAlice);
+    BitReader r(msg.payload);
+    std::optional<StrataEstimator> bob_est =
+        StrataEstimator::Deserialize(strata_config, &r);
+    RSR_CHECK(bob_est.has_value());
+    StrataEstimator alice_est(strata_config);
+    for (const auto& [key, point] : alice_keyed) {
+      (void)point;
+      alice_est.Insert(key);
+    }
+    estimate = alice_est.EstimateDifference(*bob_est);
+  }
+
+  const int value_bits = context_.universe.BitsPerPoint();
+  uint64_t target =
+      static_cast<uint64_t>(static_cast<double>(estimate) *
+                            params_.estimate_safety);
+  if (target < 16) target = 16;
+
+  ReconResult result;
+  result.bob_final = bob;
+  for (size_t attempt = 0; attempt < params_.max_attempts; ++attempt) {
+    result.attempts = attempt + 1;
+    IbltConfig config;
+    config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
+                                    params_.q, params_.headroom);
+    config.q = params_.q;
+    config.value_bits = value_bits;
+    config.checksum_bits = params_.checksum_bits;
+    config.count_bits = params_.count_bits;
+    config.seed = Hash64(attempt, seed ^ 0x6578616374ULL);  // "exact" tag
+
+    // --- Alice -> Bob: her set sketched into the IBLT (cells prefixed so
+    // Bob can reconstruct the config without further negotiation). ---
+    {
+      Iblt table(config);
+      BitWriter payload;
+      for (const auto& [key, point] : alice_keyed) {
+        BitWriter vw;
+        PackPoint(context_.universe, point, &vw);
+        table.Insert(key, std::move(vw).TakeBytes());
+        (void)payload;
+      }
+      BitWriter w;
+      w.WriteVarint(config.cells);
+      table.Serialize(&w);
+      channel->Send(transport::Direction::kAliceToBob,
+                    transport::MakeMessage("exact-iblt", std::move(w)));
+    }
+
+    // --- Bob: erase his keys, decode, apply. ---
+    {
+      const transport::Message msg =
+          channel->Receive(transport::Direction::kAliceToBob);
+      BitReader r(msg.payload);
+      uint64_t cells = 0;
+      RSR_CHECK(r.ReadVarint(&cells));
+      IbltConfig bob_config = config;
+      bob_config.cells = static_cast<size_t>(cells);
+      std::optional<Iblt> table = Iblt::Deserialize(bob_config, &r);
+      RSR_CHECK(table.has_value());
+      for (const auto& [key, point] : bob_keyed) {
+        BitWriter vw;
+        PackPoint(context_.universe, point, &vw);
+        table->Erase(key, std::move(vw).TakeBytes());
+      }
+      const IbltDecodeResult decoded = table->Decode();
+      if (decoded.success) {
+        // Apply: +1 entries are Alice-only points, -1 entries Bob-only.
+        std::unordered_map<uint64_t, int64_t> to_remove;  // key -> copies
+        PointSet additions;
+        bool parse_ok = true;
+        for (const IbltEntry& entry : decoded.entries) {
+          BitReader vr(entry.value);
+          Point p;
+          if (!UnpackPoint(context_.universe, &vr, &p)) {
+            parse_ok = false;
+            break;
+          }
+          if (entry.sign > 0) {
+            additions.push_back(std::move(p));
+          } else {
+            ++to_remove[PointKey(p, seed)];
+          }
+        }
+        if (parse_ok) {
+          PointSet final_set;
+          final_set.reserve(bob.size());
+          for (const Point& p : bob) {
+            auto it = to_remove.find(PointKey(p, seed));
+            if (it != to_remove.end() && it->second > 0) {
+              --it->second;
+              continue;
+            }
+            final_set.push_back(p);
+          }
+          for (Point& p : additions) final_set.push_back(std::move(p));
+          result.success = true;
+          result.decoded_entries = decoded.entries.size();
+          result.bob_final = std::move(final_set);
+          return result;
+        }
+      }
+      // Decode failed: request a doubled table unless out of attempts.
+      if (attempt + 1 < params_.max_attempts) {
+        BitWriter w;
+        w.WriteVarint(attempt + 1);
+        channel->Send(transport::Direction::kBobToAlice,
+                      transport::MakeMessage("exact-retry", std::move(w)));
+        (void)channel->Receive(transport::Direction::kBobToAlice);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace recon
+}  // namespace rsr

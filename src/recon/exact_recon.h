@@ -1,0 +1,52 @@
+// Baseline: exact set reconciliation over full-precision points
+// (strata-estimator + IBLT, the standard Eppstein et al. construction).
+//
+// Bob ends with exactly Alice's multiset, and the cost is proportional to
+// the *exact* symmetric difference D. That is optimal when replicas differ
+// in a few whole elements — and catastrophic in the robust setting, where
+// per-point noise makes D ≈ 2n. Reproducing that collapse is experiment E3.
+//
+// Protocol (3 messages): B->A strata estimator of Bob's keys; A->B an IBLT
+// sized from the estimate (Alice inserted her set, she also erases nothing —
+// Bob erases his own elements locally); on decode failure Bob requests a
+// doubled table (2 more messages per retry).
+
+#ifndef RSR_RECON_EXACT_RECON_H_
+#define RSR_RECON_EXACT_RECON_H_
+
+#include <cstddef>
+
+#include "recon/protocol.h"
+
+namespace rsr {
+namespace recon {
+
+/// Tunables of the exact baseline.
+struct ExactReconParams {
+  int q = 4;
+  double headroom = 1.35;
+  double estimate_safety = 2.0;  ///< Multiplier on the strata estimate.
+  int checksum_bits = 32;
+  int count_bits = 16;
+  size_t max_attempts = 4;       ///< Doubling retries on decode failure.
+};
+
+class ExactReconciler : public Reconciler {
+ public:
+  ExactReconciler(const ProtocolContext& context,
+                  const ExactReconParams& params)
+      : context_(context), params_(params) {}
+
+  std::string Name() const override { return "exact-iblt"; }
+  ReconResult Run(const PointSet& alice, const PointSet& bob,
+                  transport::Channel* channel) const override;
+
+ private:
+  ProtocolContext context_;
+  ExactReconParams params_;
+};
+
+}  // namespace recon
+}  // namespace rsr
+
+#endif  // RSR_RECON_EXACT_RECON_H_

@@ -1,0 +1,37 @@
+#include "recon/full_transfer.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace recon {
+
+ReconResult FullTransferReconciler::Run(const PointSet& alice,
+                                        const PointSet& bob,
+                                        transport::Channel* channel) const {
+  (void)bob;
+  BitWriter w;
+  w.WriteVarint(alice.size());
+  for (const Point& p : alice) PackPoint(context_.universe, p, &w);
+  channel->Send(transport::Direction::kAliceToBob,
+                transport::MakeMessage("full-transfer", std::move(w)));
+
+  const transport::Message msg =
+      channel->Receive(transport::Direction::kAliceToBob);
+  BitReader r(msg.payload);
+  uint64_t count = 0;
+  RSR_CHECK(r.ReadVarint(&count));
+  ReconResult result;
+  result.bob_final.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Point p;
+    RSR_CHECK(UnpackPoint(context_.universe, &r, &p));
+    result.bob_final.push_back(std::move(p));
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace recon
+}  // namespace rsr

@@ -1,0 +1,29 @@
+// Baseline: whole-set transfer. Alice ships every point at full precision;
+// Bob adopts her set verbatim. Communication is exactly n · d · ⌈log2 Δ⌉
+// bits — the yardstick every sub-linear protocol is compared against.
+
+#ifndef RSR_RECON_FULL_TRANSFER_H_
+#define RSR_RECON_FULL_TRANSFER_H_
+
+#include "recon/protocol.h"
+
+namespace rsr {
+namespace recon {
+
+class FullTransferReconciler : public Reconciler {
+ public:
+  explicit FullTransferReconciler(const ProtocolContext& context)
+      : context_(context) {}
+
+  std::string Name() const override { return "full-transfer"; }
+  ReconResult Run(const PointSet& alice, const PointSet& bob,
+                  transport::Channel* channel) const override;
+
+ private:
+  ProtocolContext context_;
+};
+
+}  // namespace recon
+}  // namespace rsr
+
+#endif  // RSR_RECON_FULL_TRANSFER_H_

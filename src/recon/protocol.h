@@ -1,0 +1,54 @@
+// Common interface implemented by every reconciliation protocol.
+//
+// A protocol runs both parties in-process but communicates exclusively via
+// transport::Channel, so the reported bits are real encoded payloads. The
+// deliverable is Bob's final point set S'_B; quality (EMD against Alice's
+// set) is computed separately by recon/evaluate.h so that the protocol code
+// never sees the objective it is judged on.
+
+#ifndef RSR_RECON_PROTOCOL_H_
+#define RSR_RECON_PROTOCOL_H_
+
+#include <string>
+
+#include "geometry/metric.h"
+#include "geometry/point.h"
+#include "transport/channel.h"
+
+namespace rsr {
+namespace recon {
+
+/// Outcome of one protocol run.
+struct ReconResult {
+  bool success = false;   ///< Protocol-level success (decode etc.).
+  PointSet bob_final;     ///< S'_B (equals the input S_B on failure).
+  int chosen_level = -1;  ///< Quadtree level used, if applicable.
+  size_t decoded_entries = 0;  ///< Differing pairs recovered, if applicable.
+  size_t attempts = 1;    ///< Retries (for protocols that resize and retry).
+};
+
+/// Context shared by both parties (public coins: the seed is common
+/// knowledge and derives every hash function and shift).
+struct ProtocolContext {
+  Universe universe;
+  uint64_t seed = 0;
+};
+
+/// Abstract reconciliation protocol.
+class Reconciler {
+ public:
+  virtual ~Reconciler() = default;
+
+  /// Short identifier used in benchmark tables.
+  virtual std::string Name() const = 0;
+
+  /// Runs the protocol. Alice holds `alice`, Bob holds `bob`; all traffic
+  /// goes through `channel`. Returns Bob's result.
+  virtual ReconResult Run(const PointSet& alice, const PointSet& bob,
+                          transport::Channel* channel) const = 0;
+};
+
+}  // namespace recon
+}  // namespace rsr
+
+#endif  // RSR_RECON_PROTOCOL_H_

@@ -1,0 +1,336 @@
+#include "recon/quadtree_recon.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "hash/mix.h"
+#include "iblt/sizing.h"
+#include "iblt/strata.h"
+#include "util/check.h"
+
+namespace rsr {
+namespace recon {
+
+uint64_t HistogramEntryKey(const ShiftedGrid& grid, const Cell& cell,
+                           int level, int64_t count) {
+  // CellKey already folds in the level and the grid seed; combining the
+  // count makes (cell, c1) and (cell, c2) distinct sketch elements so they
+  // never XOR-collide inside a cell.
+  return HashCombine(grid.CellKey(cell, level),
+                     static_cast<uint64_t>(count));
+}
+
+std::vector<uint8_t> HistogramEntryValue(const ShiftedGrid& grid,
+                                         const Cell& cell, int level,
+                                         int64_t count, size_t n) {
+  BitWriter w;
+  grid.PackCell(cell, level, &w);
+  w.WriteBits(static_cast<uint64_t>(count), HistogramCountBits(n));
+  return std::move(w).TakeBytes();
+}
+
+bool ParseHistogramEntry(const ShiftedGrid& grid, int level, size_t n,
+                         const IbltEntry& entry, LevelDiffEntry* out) {
+  BitReader r(entry.value);
+  Cell cell;
+  if (!grid.UnpackCell(level, &r, &cell)) return false;
+  uint64_t count = 0;
+  if (!r.ReadBits(HistogramCountBits(n), &count)) return false;
+  if (count == 0 || count > n) return false;
+  // Cross-check the payload against the key: detects the (negligible but
+  // nonzero probability) event of a corrupt entry surviving the checksum.
+  if (HistogramEntryKey(grid, cell, level, static_cast<int64_t>(count)) !=
+      entry.key) {
+    return false;
+  }
+  out->cell = std::move(cell);
+  out->count = static_cast<int64_t>(count);
+  out->sign = entry.sign;
+  return true;
+}
+
+Iblt BuildLevelIblt(const ShiftedGrid& grid, const PointSet& points,
+                    int level, size_t n, const QuadtreeParams& params,
+                    uint64_t seed) {
+  Iblt table(LevelIbltConfig(grid, level, n, params, seed));
+  const auto histogram = BuildCellHistogram(grid, points, level);
+  for (const auto& [cell_key, cc] : histogram) {
+    (void)cell_key;
+    table.Insert(HistogramEntryKey(grid, cc.cell, level, cc.count),
+                 HistogramEntryValue(grid, cc.cell, level, cc.count, n));
+  }
+  return table;
+}
+
+std::optional<std::vector<LevelDiffEntry>> TryDecodeLevelDiff(
+    const ShiftedGrid& grid, int level, size_t n, const Iblt& alice_iblt,
+    const Iblt& bob_iblt, size_t budget) {
+  Iblt diff = alice_iblt;
+  diff.Subtract(bob_iblt);
+  const IbltDecodeResult decoded = diff.Decode(budget);
+  if (!decoded.success) return std::nullopt;
+  std::vector<LevelDiffEntry> entries;
+  entries.reserve(decoded.entries.size());
+  for (const IbltEntry& raw : decoded.entries) {
+    LevelDiffEntry parsed;
+    if (!ParseHistogramEntry(grid, level, n, raw, &parsed)) {
+      return std::nullopt;
+    }
+    entries.push_back(std::move(parsed));
+  }
+  return entries;
+}
+
+PointSet RepairBob(const ShiftedGrid& grid, const PointSet& bob, int level,
+                   const std::vector<LevelDiffEntry>& diff) {
+  // Index Bob's points by their level-ℓ cell so surplus can be deleted.
+  std::unordered_map<uint64_t, std::vector<size_t>> bob_cells;
+  for (size_t i = 0; i < bob.size(); ++i) {
+    bob_cells[grid.CellKeyOf(bob[i], level)].push_back(i);
+  }
+
+  // Collect, per differing cell, Alice's decoded count. Bob's own count
+  // comes from his local index (the decoded Bob-side entries are redundant
+  // with local state; they are used as a consistency check only).
+  struct CellDelta {
+    Cell cell;
+    int64_t alice_count = 0;
+  };
+  std::unordered_map<uint64_t, CellDelta> deltas;
+  for (const LevelDiffEntry& entry : diff) {
+    const uint64_t cell_key = grid.CellKey(entry.cell, level);
+    auto [it, inserted] = deltas.try_emplace(cell_key);
+    if (inserted) it->second.cell = entry.cell;
+    if (entry.sign > 0) {
+      it->second.alice_count = entry.count;
+    } else {
+      // Bob-side pair: his histogram really must contain this count.
+      const auto own = bob_cells.find(cell_key);
+      const int64_t own_count =
+          own == bob_cells.end()
+              ? 0
+              : static_cast<int64_t>(own->second.size());
+      RSR_DCHECK(own_count == entry.count);
+      (void)own_count;
+    }
+  }
+
+  std::vector<char> removed(bob.size(), 0);
+  PointSet additions;
+  for (const auto& [cell_key, delta] : deltas) {
+    const auto own = bob_cells.find(cell_key);
+    const int64_t bob_count =
+        own == bob_cells.end() ? 0 : static_cast<int64_t>(own->second.size());
+    const int64_t change = delta.alice_count - bob_count;
+    if (change > 0) {
+      const Point rep = grid.CellRepresentative(delta.cell, level);
+      for (int64_t c = 0; c < change; ++c) additions.push_back(rep);
+    } else if (change < 0) {
+      RSR_DCHECK(own != bob_cells.end());
+      for (int64_t c = 0; c < -change; ++c) {
+        removed[own->second[static_cast<size_t>(c)]] = 1;
+      }
+    }
+  }
+
+  PointSet result;
+  result.reserve(bob.size());
+  for (size_t i = 0; i < bob.size(); ++i) {
+    if (!removed[i]) result.push_back(bob[i]);
+  }
+  for (Point& p : additions) result.push_back(std::move(p));
+  return result;
+}
+
+ReconResult QuadtreeReconciler::Run(const PointSet& alice,
+                                    const PointSet& bob,
+                                    transport::Channel* channel) const {
+  RSR_CHECK_MSG(alice.size() == bob.size(),
+                "EMD model requires equal-size sets");
+  const size_t n = alice.size();
+  const ShiftedGrid grid(context_.universe, context_.seed);
+  const std::vector<int> levels = ProtocolLevels(grid, params_);
+
+  // --- Alice: encode every ladder level and ship them in one message. ---
+  {
+    BitWriter w;
+    for (int level : levels) {
+      BuildLevelIblt(grid, alice, level, n, params_, context_.seed)
+          .Serialize(&w);
+    }
+    channel->Send(transport::Direction::kAliceToBob,
+                  transport::MakeMessage("qt-levels", std::move(w)));
+  }
+
+  // --- Bob: find the finest decodable level and repair. ---
+  ReconResult result;
+  result.bob_final = bob;
+  const transport::Message msg =
+      channel->Receive(transport::Direction::kAliceToBob);
+  BitReader r(msg.payload);
+  const size_t budget = params_.DecodeBudget();
+  for (int level : levels) {
+    const IbltConfig config =
+        LevelIbltConfig(grid, level, n, params_, context_.seed);
+    std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
+    RSR_CHECK_MSG(alice_iblt.has_value(), "truncated qt-levels message");
+    if (result.success) continue;  // already repaired; just drain the stream
+    const Iblt bob_iblt =
+        BuildLevelIblt(grid, bob, level, n, params_, context_.seed);
+    std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+        grid, level, n, *alice_iblt, bob_iblt, budget);
+    if (diff.has_value()) {
+      result.success = true;
+      result.chosen_level = level;
+      result.decoded_entries = diff->size();
+      result.bob_final = RepairBob(grid, bob, level, *diff);
+    }
+  }
+  return result;
+}
+
+ReconResult AdaptiveQuadtreeReconciler::Run(
+    const PointSet& alice, const PointSet& bob,
+    transport::Channel* channel) const {
+  RSR_CHECK_MSG(alice.size() == bob.size(),
+                "EMD model requires equal-size sets");
+  const size_t n = alice.size();
+  const ShiftedGrid grid(context_.universe, context_.seed);
+  const std::vector<int> levels = ProtocolLevels(grid, params_);
+
+  auto strata_config_for = [&](int level) {
+    StrataConfig config = LevelStrataConfig(context_.seed);
+    config.seed = Hash64(static_cast<uint64_t>(level), config.seed);
+    return config;
+  };
+  auto fill_estimator = [&](const PointSet& points, int level,
+                            StrataEstimator* est) {
+    const auto histogram = BuildCellHistogram(grid, points, level);
+    for (const auto& [cell_key, cc] : histogram) {
+      (void)cell_key;
+      est->Insert(HistogramEntryKey(grid, cc.cell, level, cc.count));
+    }
+  };
+
+  // --- Round 1 (A->B): per-level strata probes. ---
+  {
+    BitWriter w;
+    for (int level : levels) {
+      StrataEstimator est(strata_config_for(level));
+      fill_estimator(alice, level, &est);
+      est.Serialize(&w);
+    }
+    channel->Send(transport::Direction::kAliceToBob,
+                  transport::MakeMessage("qt-strata", std::move(w)));
+  }
+
+  // --- Bob: pick the finest level whose estimated difference fits. ---
+  const transport::Message probes =
+      channel->Receive(transport::Direction::kAliceToBob);
+  BitReader pr(probes.payload);
+  const size_t budget = params_.DecodeBudget();
+  int chosen = levels.back();
+  uint64_t chosen_estimate = 0;
+  bool have_choice = false;
+  for (int level : levels) {
+    std::optional<StrataEstimator> alice_est =
+        StrataEstimator::Deserialize(strata_config_for(level), &pr);
+    RSR_CHECK_MSG(alice_est.has_value(), "truncated qt-strata message");
+    if (have_choice) continue;  // drain remaining probes
+    StrataEstimator bob_est(strata_config_for(level));
+    fill_estimator(bob, level, &bob_est);
+    const uint64_t estimate = alice_est->EstimateDifference(bob_est);
+    if (estimate <= budget || level == levels.back()) {
+      chosen = level;
+      chosen_estimate = estimate;
+      have_choice = true;
+    }
+  }
+
+  // --- Attempt loop: request an IBLT sized from the estimate; double on
+  // failure. Every request/response is billed to the channel. ---
+  ReconResult result;
+  result.bob_final = bob;
+  result.chosen_level = chosen;
+  // Safety factor 2 over the estimate, floored at the configured budget.
+  uint64_t target_entries = chosen_estimate * 2;
+  if (target_entries < budget) target_entries = budget;
+  for (size_t attempt = 0; attempt < max_attempts_; ++attempt) {
+    result.attempts = attempt + 1;
+    const size_t cells = RecommendedCells(
+        static_cast<size_t>(target_entries) << attempt, params_.q,
+        params_.headroom);
+
+    // Bob -> Alice: the negotiated level / size / attempt.
+    {
+      BitWriter w;
+      w.WriteVarint(static_cast<uint64_t>(chosen));
+      w.WriteVarint(cells);
+      w.WriteVarint(attempt);
+      channel->Send(transport::Direction::kBobToAlice,
+                    transport::MakeMessage("qt-level-request", std::move(w)));
+    }
+    // Alice: honour the request.
+    {
+      const transport::Message req =
+          channel->Receive(transport::Direction::kBobToAlice);
+      BitReader rr(req.payload);
+      uint64_t req_level = 0, req_cells = 0, req_attempt = 0;
+      RSR_CHECK(rr.ReadVarint(&req_level) && rr.ReadVarint(&req_cells) &&
+                rr.ReadVarint(&req_attempt));
+      IbltConfig config = LevelIbltConfig(grid, static_cast<int>(req_level),
+                                          n, params_, context_.seed);
+      config.cells = static_cast<size_t>(req_cells);
+      config.seed = Hash64(req_attempt, config.seed);
+      Iblt table(config);
+      const auto histogram =
+          BuildCellHistogram(grid, alice, static_cast<int>(req_level));
+      for (const auto& [cell_key, cc] : histogram) {
+        (void)cell_key;
+        table.Insert(
+            HistogramEntryKey(grid, cc.cell, static_cast<int>(req_level),
+                              cc.count),
+            HistogramEntryValue(grid, cc.cell, static_cast<int>(req_level),
+                                cc.count, n));
+      }
+      BitWriter w;
+      table.Serialize(&w);
+      channel->Send(transport::Direction::kAliceToBob,
+                    transport::MakeMessage("qt-level-iblt", std::move(w)));
+    }
+    // Bob: decode.
+    {
+      const transport::Message resp =
+          channel->Receive(transport::Direction::kAliceToBob);
+      IbltConfig config =
+          LevelIbltConfig(grid, chosen, n, params_, context_.seed);
+      config.cells = cells;
+      config.seed = Hash64(attempt, config.seed);
+      BitReader rr(resp.payload);
+      std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &rr);
+      RSR_CHECK_MSG(alice_iblt.has_value(), "truncated qt-level-iblt");
+
+      Iblt bob_iblt(config);
+      const auto histogram = BuildCellHistogram(grid, bob, chosen);
+      for (const auto& [cell_key, cc] : histogram) {
+        (void)cell_key;
+        bob_iblt.Insert(HistogramEntryKey(grid, cc.cell, chosen, cc.count),
+                        HistogramEntryValue(grid, cc.cell, chosen, cc.count,
+                                            n));
+      }
+      const size_t accept = static_cast<size_t>(target_entries) << attempt;
+      std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+          grid, chosen, n, *alice_iblt, bob_iblt, accept);
+      if (diff.has_value()) {
+        result.success = true;
+        result.decoded_entries = diff->size();
+        result.bob_final = RepairBob(grid, bob, chosen, *diff);
+        return result;
+      }
+    }
+  }
+  return result;  // all attempts failed
+}
+
+}  // namespace recon
+}  // namespace rsr

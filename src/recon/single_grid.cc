@@ -1,0 +1,51 @@
+#include "recon/single_grid.h"
+
+#include <utility>
+
+#include "recon/quadtree_recon.h"
+#include "util/check.h"
+
+namespace rsr {
+namespace recon {
+
+ReconResult SingleGridReconciler::Run(const PointSet& alice,
+                                      const PointSet& bob,
+                                      transport::Channel* channel) const {
+  RSR_CHECK_MSG(alice.size() == bob.size(),
+                "EMD model requires equal-size sets");
+  const size_t n = alice.size();
+  const ShiftedGrid grid(context_.universe, context_.seed);
+  RSR_CHECK(level_ >= 0 && level_ <= grid.max_level());
+
+  {
+    BitWriter w;
+    BuildLevelIblt(grid, alice, level_, n, params_, context_.seed)
+        .Serialize(&w);
+    channel->Send(transport::Direction::kAliceToBob,
+                  transport::MakeMessage("single-grid", std::move(w)));
+  }
+
+  ReconResult result;
+  result.bob_final = bob;
+  result.chosen_level = level_;
+  const transport::Message msg =
+      channel->Receive(transport::Direction::kAliceToBob);
+  BitReader r(msg.payload);
+  const IbltConfig config =
+      LevelIbltConfig(grid, level_, n, params_, context_.seed);
+  std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
+  RSR_CHECK(alice_iblt.has_value());
+  const Iblt bob_iblt =
+      BuildLevelIblt(grid, bob, level_, n, params_, context_.seed);
+  std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+      grid, level_, n, *alice_iblt, bob_iblt, params_.DecodeBudget());
+  if (diff.has_value()) {
+    result.success = true;
+    result.decoded_entries = diff->size();
+    result.bob_final = RepairBob(grid, bob, level_, *diff);
+  }
+  return result;
+}
+
+}  // namespace recon
+}  // namespace rsr

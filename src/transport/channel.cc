@@ -1,0 +1,57 @@
+#include "transport/channel.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace transport {
+
+void Channel::Send(Direction direction, Message message) {
+  stats_.total_bits += message.bits();
+  if (direction == Direction::kAliceToBob) {
+    stats_.alice_to_bob_bits += message.bits();
+  } else {
+    stats_.bob_to_alice_bits += message.bits();
+  }
+  ++stats_.message_count;
+  if (!any_message_ || direction != last_direction_) {
+    ++stats_.rounds;
+    any_message_ = true;
+    last_direction_ = direction;
+  }
+  transcript_.push_back({direction, message.label, message.bits()});
+  auto& queue =
+      direction == Direction::kAliceToBob ? to_bob_ : to_alice_;
+  queue.push_back(std::move(message));
+}
+
+Message Channel::Receive(Direction direction) {
+  auto& queue =
+      direction == Direction::kAliceToBob ? to_bob_ : to_alice_;
+  RSR_CHECK_MSG(!queue.empty(), "Receive on empty channel");
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return msg;
+}
+
+bool Channel::HasPending(Direction direction) const {
+  const auto& queue =
+      direction == Direction::kAliceToBob ? to_bob_ : to_alice_;
+  return !queue.empty();
+}
+
+std::string Channel::TranscriptToString() const {
+  std::string out;
+  for (const TranscriptEntry& entry : transcript_) {
+    out += entry.direction == Direction::kAliceToBob ? "A->B  " : "B->A  ";
+    out += entry.label;
+    out += "  ";
+    out += std::to_string(entry.bits);
+    out += " bits\n";
+  }
+  return out;
+}
+
+}  // namespace transport
+}  // namespace rsr

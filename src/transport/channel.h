@@ -1,0 +1,78 @@
+// In-memory duplex channel with exact communication accounting.
+//
+// A protocol run pushes each message with its direction; the channel keeps a
+// FIFO per direction (so the receiving party deserialises the same bytes the
+// sender produced), a transcript, per-direction bit totals, and the round
+// count (the number of direction alternations — the standard communication-
+// complexity notion of rounds).
+
+#ifndef RSR_TRANSPORT_CHANNEL_H_
+#define RSR_TRANSPORT_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "transport/message.h"
+
+namespace rsr {
+namespace transport {
+
+/// Direction of a message.
+enum class Direction {
+  kAliceToBob,
+  kBobToAlice,
+};
+
+/// Summary of a finished (or in-progress) protocol run.
+struct ChannelStats {
+  size_t total_bits = 0;
+  size_t alice_to_bob_bits = 0;
+  size_t bob_to_alice_bits = 0;
+  size_t message_count = 0;
+  size_t rounds = 0;  ///< Number of direction alternations (>= 1 if any msg).
+
+  double total_bytes() const { return static_cast<double>(total_bits) / 8.0; }
+};
+
+/// One transcript line.
+struct TranscriptEntry {
+  Direction direction;
+  std::string label;
+  size_t bits;
+};
+
+class Channel {
+ public:
+  /// Enqueues a message and updates accounting.
+  void Send(Direction direction, Message message);
+
+  /// Dequeues the oldest undelivered message in `direction`.
+  /// Aborts if none is pending (protocol bug).
+  Message Receive(Direction direction);
+
+  /// True if a message is pending in `direction`.
+  bool HasPending(Direction direction) const;
+
+  const ChannelStats& stats() const { return stats_; }
+  const std::vector<TranscriptEntry>& transcript() const {
+    return transcript_;
+  }
+
+  /// Renders the transcript as a small table (for examples / debugging).
+  std::string TranscriptToString() const;
+
+ private:
+  std::deque<Message> to_bob_;
+  std::deque<Message> to_alice_;
+  ChannelStats stats_;
+  std::vector<TranscriptEntry> transcript_;
+  bool any_message_ = false;
+  Direction last_direction_ = Direction::kAliceToBob;
+};
+
+}  // namespace transport
+}  // namespace rsr
+
+#endif  // RSR_TRANSPORT_CHANNEL_H_

@@ -1,0 +1,17 @@
+#include "transport/message.h"
+
+#include <utility>
+
+namespace rsr {
+namespace transport {
+
+Message MakeMessage(std::string label, BitWriter&& writer) {
+  Message msg;
+  msg.label = std::move(label);
+  msg.payload_bits = writer.bit_count();
+  msg.payload = std::move(writer).TakeBytes();
+  return msg;
+}
+
+}  // namespace transport
+}  // namespace rsr

@@ -1,0 +1,35 @@
+// Messages exchanged by reconciliation protocols.
+//
+// Every protocol in this library communicates exclusively through Message
+// objects carried over a transport::Channel, so reported communication costs
+// are measured from real encoded payloads (at bit granularity), never
+// estimated from formulas.
+
+#ifndef RSR_TRANSPORT_MESSAGE_H_
+#define RSR_TRANSPORT_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitio.h"
+
+namespace rsr {
+namespace transport {
+
+/// A single protocol message.
+struct Message {
+  std::string label;             ///< Human-readable tag for transcripts.
+  std::vector<uint8_t> payload;  ///< Encoded bytes.
+  size_t payload_bits = 0;       ///< Exact bit count (<= payload.size()*8).
+
+  size_t bits() const { return payload_bits; }
+};
+
+/// Builds a Message from a finished BitWriter (moves the buffer out).
+Message MakeMessage(std::string label, BitWriter&& writer);
+
+}  // namespace transport
+}  // namespace rsr
+
+#endif  // RSR_TRANSPORT_MESSAGE_H_

@@ -1,0 +1,40 @@
+// Lightweight invariant-checking macros used throughout rsr.
+//
+// RSR_CHECK fires in every build type; RSR_DCHECK only in debug builds.
+// Both print the failing condition with its location and abort, following
+// the project convention of aborting on programming errors rather than
+// throwing exceptions (fallible operations return bool/optional instead).
+
+#ifndef RSR_UTIL_CHECK_H_
+#define RSR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RSR_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "RSR_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define RSR_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "RSR_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                               \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define RSR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define RSR_DCHECK(cond) RSR_CHECK(cond)
+#endif
+
+#endif  // RSR_UTIL_CHECK_H_

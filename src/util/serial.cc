@@ -1,0 +1,100 @@
+#include "util/serial.h"
+
+#include <cstring>
+
+namespace rsr {
+
+void ByteWriter::WriteU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::WriteVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::WriteBytes(const uint8_t* data, size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void ByteWriter::WriteBlob(const std::vector<uint8_t>& blob) {
+  WriteVarint(blob.size());
+  WriteBytes(blob.data(), blob.size());
+}
+
+void ByteWriter::WriteString(const std::string& s) {
+  WriteVarint(s.size());
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+bool ByteReader::ReadU8(uint8_t* out) {
+  if (pos_ + 1 > size_) return false;
+  *out = data_[pos_++];
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* out) {
+  if (pos_ + 4 > size_) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* out) {
+  if (pos_ + 8 > size_) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (pos_ >= size_) return false;
+    const uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool ByteReader::ReadBytes(size_t size, std::vector<uint8_t>* out) {
+  if (pos_ + size > size_) return false;
+  out->assign(data_ + pos_, data_ + pos_ + size);
+  pos_ += size;
+  return true;
+}
+
+bool ByteReader::ReadBlob(std::vector<uint8_t>* out) {
+  uint64_t size = 0;
+  if (!ReadVarint(&size)) return false;
+  return ReadBytes(static_cast<size_t>(size), out);
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  uint64_t size = 0;
+  if (!ReadVarint(&size)) return false;
+  if (pos_ + size > size_) return false;
+  out->assign(reinterpret_cast<const char*>(data_ + pos_),
+              static_cast<size_t>(size));
+  pos_ += static_cast<size_t>(size);
+  return true;
+}
+
+}  // namespace rsr

@@ -1,0 +1,61 @@
+// Byte-level serialisation helpers layered on top of plain byte vectors.
+//
+// Used for message framing in transport/ where byte granularity suffices;
+// dense payloads (IBLT cells, packed points) use util/bitio.h instead.
+
+#ifndef RSR_UTIL_SERIAL_H_
+#define RSR_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rsr {
+
+/// Append-only byte sink with fixed-width and varint primitives
+/// (little-endian).
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteVarint(uint64_t v);
+  void WriteBytes(const uint8_t* data, size_t size);
+  void WriteBlob(const std::vector<uint8_t>& blob);  // varint length + bytes
+  void WriteString(const std::string& s);            // varint length + bytes
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() && { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential reader; all Read* return false on underrun or malformed input.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ReadU8(uint8_t* out);
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadVarint(uint64_t* out);
+  bool ReadBytes(size_t size, std::vector<uint8_t>* out);
+  bool ReadBlob(std::vector<uint8_t>* out);
+  bool ReadString(std::string* out);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_SERIAL_H_

@@ -1,0 +1,61 @@
+// Summary statistics used by the benchmark harnesses to report series
+// (mean / stddev / min / max / percentiles over repeated trials).
+
+#ifndef RSR_UTIL_STATS_H_
+#define RSR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rsr {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples and answers percentile queries.
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  /// Linear-interpolated percentile, p in [0, 100]. Requires count() > 0.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Formats `x` with `digits` significant digits — compact table cells.
+std::string FormatCompact(double x, int digits = 4);
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_STATS_H_

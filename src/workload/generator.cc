@@ -1,0 +1,150 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace workload {
+
+namespace {
+int64_t ClampCoord(int64_t v, const Universe& universe) {
+  if (v < 0) return 0;
+  if (v >= universe.delta) return universe.delta - 1;
+  return v;
+}
+
+Point UniformPoint(const Universe& universe, Rng* rng) {
+  Point p(static_cast<size_t>(universe.d));
+  for (auto& c : p) {
+    c = static_cast<int64_t>(rng->Below(static_cast<uint64_t>(universe.delta)));
+  }
+  return p;
+}
+}  // namespace
+
+PointSet GenerateCloud(const CloudSpec& spec, Rng* rng) {
+  RSR_CHECK(spec.universe.d >= 1 && spec.universe.delta >= 1);
+  PointSet points;
+  points.reserve(spec.n);
+  switch (spec.shape) {
+    case CloudShape::kUniform: {
+      for (size_t i = 0; i < spec.n; ++i) {
+        points.push_back(UniformPoint(spec.universe, rng));
+      }
+      break;
+    }
+    case CloudShape::kClusters: {
+      RSR_CHECK(spec.num_clusters >= 1);
+      PointSet centres;
+      centres.reserve(static_cast<size_t>(spec.num_clusters));
+      for (int c = 0; c < spec.num_clusters; ++c) {
+        centres.push_back(UniformPoint(spec.universe, rng));
+      }
+      const double sigma = spec.cluster_stddev_fraction *
+                           static_cast<double>(spec.universe.delta);
+      for (size_t i = 0; i < spec.n; ++i) {
+        const Point& centre =
+            centres[rng->Below(centres.size())];
+        Point p(centre.size());
+        for (size_t j = 0; j < p.size(); ++j) {
+          const double v =
+              static_cast<double>(centre[j]) + rng->Gaussian(0.0, sigma);
+          p[j] = ClampCoord(static_cast<int64_t>(std::llround(v)),
+                            spec.universe);
+        }
+        points.push_back(std::move(p));
+      }
+      break;
+    }
+    case CloudShape::kGridAligned: {
+      RSR_CHECK(spec.grid_pitch >= 1);
+      const int64_t slots =
+          (spec.universe.delta + spec.grid_pitch - 1) / spec.grid_pitch;
+      for (size_t i = 0; i < spec.n; ++i) {
+        Point p(static_cast<size_t>(spec.universe.d));
+        for (auto& c : p) {
+          const int64_t slot =
+              static_cast<int64_t>(rng->Below(static_cast<uint64_t>(slots)));
+          c = ClampCoord(slot * spec.grid_pitch, spec.universe);
+        }
+        points.push_back(std::move(p));
+      }
+      break;
+    }
+  }
+  return points;
+}
+
+Point PerturbPoint(const Point& p, const Universe& universe, NoiseKind kind,
+                   double scale, Rng* rng) {
+  Point out = p;
+  switch (kind) {
+    case NoiseKind::kNone:
+      break;
+    case NoiseKind::kGaussian:
+      for (auto& c : out) {
+        const double v = static_cast<double>(c) + rng->Gaussian(0.0, scale);
+        c = ClampCoord(static_cast<int64_t>(std::llround(v)), universe);
+      }
+      break;
+    case NoiseKind::kUniformBox: {
+      const int64_t radius = static_cast<int64_t>(std::llround(scale));
+      for (auto& c : out) {
+        if (radius > 0) {
+          c = ClampCoord(c + rng->Uniform(-radius, radius), universe);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+ReplicaPair MakeReplicaPair(const CloudSpec& cloud,
+                            const PerturbationSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  Rng cloud_rng = rng.Fork(1);
+  Rng noise_rng = rng.Fork(2);
+  Rng outlier_rng = rng.Fork(3);
+  Rng shuffle_rng = rng.Fork(4);
+
+  ReplicaPair pair;
+  pair.bob = GenerateCloud(cloud, &cloud_rng);
+
+  pair.alice.reserve(pair.bob.size());
+  for (const Point& p : pair.bob) {
+    pair.alice.push_back(PerturbPoint(p, cloud.universe, spec.noise,
+                                      spec.noise_scale, &noise_rng));
+  }
+
+  // Plant outliers: replace random distinct positions with fresh uniform
+  // points (models delete-at-Bob + insert-at-Alice, keeping |alice| == n).
+  const size_t k = spec.outliers < pair.alice.size() ? spec.outliers
+                                                     : pair.alice.size();
+  std::vector<size_t> positions(pair.alice.size());
+  for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  outlier_rng.Shuffle(&positions);
+  positions.resize(k);
+  std::vector<char> is_outlier(pair.alice.size(), 0);
+  for (size_t pos : positions) {
+    pair.alice[pos] = UniformPoint(cloud.universe, &outlier_rng);
+    is_outlier[pos] = 1;
+  }
+
+  // Shuffle Alice's ordering (protocols must not exploit alignment) while
+  // keeping the outlier markers attached to their points.
+  std::vector<size_t> perm(pair.alice.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  shuffle_rng.Shuffle(&perm);
+  PointSet shuffled(pair.alice.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    shuffled[i] = std::move(pair.alice[perm[i]]);
+    if (is_outlier[perm[i]]) pair.outlier_indices.push_back(i);
+  }
+  pair.alice = std::move(shuffled);
+  return pair;
+}
+
+}  // namespace workload
+}  // namespace rsr

@@ -1,0 +1,79 @@
+// Synthetic workloads: point clouds and noisy-replica perturbation.
+//
+// The SIGMOD 2014 evaluation data is not available (see DESIGN.md §5); these
+// generators are the documented substitution. They control exactly the two
+// quantities the paper's claims are parameterised by:
+//   * per-point measurement noise of scale ε (every common point differs
+//     slightly between the replicas — what breaks exact reconciliation), and
+//   * k planted outliers (points present on one side with no counterpart
+//     near them — what robust reconciliation must recover).
+
+#ifndef RSR_WORKLOAD_GENERATOR_H_
+#define RSR_WORKLOAD_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/point.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace workload {
+
+/// Shape of the base point cloud.
+enum class CloudShape {
+  kUniform,   ///< i.i.d. uniform over [Δ]^d.
+  kClusters,  ///< Gaussian mixture: centres uniform, points N(centre, σ).
+  kGridAligned,  ///< Snapped to a coarse lattice (census-style data).
+};
+
+/// Parameters of the base cloud.
+struct CloudSpec {
+  Universe universe;
+  size_t n = 0;
+  CloudShape shape = CloudShape::kUniform;
+  int num_clusters = 16;              ///< For kClusters.
+  double cluster_stddev_fraction = 0.02;  ///< σ as a fraction of Δ.
+  int64_t grid_pitch = 64;            ///< For kGridAligned.
+};
+
+/// Generates a base cloud (multiset; duplicates possible and allowed).
+PointSet GenerateCloud(const CloudSpec& spec, Rng* rng);
+
+/// Kind of per-point noise applied to the replica.
+enum class NoiseKind {
+  kNone,
+  kGaussian,    ///< Per-coordinate N(0, ε), rounded, clamped into [Δ].
+  kUniformBox,  ///< Per-coordinate uniform in [-ε, ε], clamped.
+};
+
+/// Parameters of the replica perturbation.
+struct PerturbationSpec {
+  NoiseKind noise = NoiseKind::kGaussian;
+  double noise_scale = 0.0;   ///< ε, in coordinate units.
+  size_t outliers = 0;        ///< Points replaced by fresh uniform points.
+};
+
+/// A reconciliation instance: Bob holds `bob` (the reference replica),
+/// Alice holds `alice` (noisy copy with planted outliers). |alice| == |bob|.
+struct ReplicaPair {
+  PointSet alice;
+  PointSet bob;
+  /// Indices (into alice) of the planted outliers, for diagnostics.
+  std::vector<size_t> outlier_indices;
+};
+
+/// Applies noise to every point and replaces `spec.outliers` random points
+/// of the copy with fresh uniform points. Point order is shuffled on the
+/// Alice side so protocols cannot exploit alignment.
+ReplicaPair MakeReplicaPair(const CloudSpec& cloud,
+                            const PerturbationSpec& spec, uint64_t seed);
+
+/// Adds noise to a single point (clamped into the universe).
+Point PerturbPoint(const Point& p, const Universe& universe, NoiseKind kind,
+                   double scale, Rng* rng);
+
+}  // namespace workload
+}  // namespace rsr
+
+#endif  // RSR_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,50 @@
+#include "workload/scenario.h"
+
+namespace rsr {
+namespace workload {
+
+Scenario StandardScenario(size_t n, int d, int64_t delta, size_t k,
+                          double noise, uint64_t seed) {
+  Scenario s;
+  s.name = "standard";
+  s.universe = MakeUniverse(delta, d);
+  s.metric = Metric::kL2;
+  s.cloud.universe = s.universe;
+  s.cloud.n = n;
+  s.cloud.shape = CloudShape::kClusters;
+  s.cloud.num_clusters = 16;
+  s.cloud.cluster_stddev_fraction = 0.05;
+  s.perturbation.noise = noise > 0 ? NoiseKind::kGaussian : NoiseKind::kNone;
+  s.perturbation.noise_scale = noise;
+  s.perturbation.outliers = k;
+  s.seed = seed;
+  return s;
+}
+
+Scenario SensorScenario(size_t n, size_t k, double noise, uint64_t seed) {
+  Scenario s = StandardScenario(n, /*d=*/2, /*delta=*/int64_t{1} << 20, k,
+                                noise, seed);
+  s.name = "sensor";
+  s.cloud.num_clusters = 32;
+  s.cloud.cluster_stddev_fraction = 0.01;
+  return s;
+}
+
+Scenario HighDimScenario(size_t n, int d, size_t k, double noise,
+                         uint64_t seed) {
+  Scenario s;
+  s.name = "highdim";
+  s.universe = MakeUniverse(int64_t{1} << 10, d);
+  s.metric = Metric::kL1;
+  s.cloud.universe = s.universe;
+  s.cloud.n = n;
+  s.cloud.shape = CloudShape::kUniform;
+  s.perturbation.noise = noise > 0 ? NoiseKind::kUniformBox : NoiseKind::kNone;
+  s.perturbation.noise_scale = noise;
+  s.perturbation.outliers = k;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace workload
+}  // namespace rsr

@@ -1,0 +1,44 @@
+// Named end-to-end scenarios shared by benches, examples and integration
+// tests, so that every consumer measures the same instances.
+
+#ifndef RSR_WORKLOAD_SCENARIO_H_
+#define RSR_WORKLOAD_SCENARIO_H_
+
+#include <string>
+
+#include "geometry/metric.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace workload {
+
+/// A fully specified reconciliation instance.
+struct Scenario {
+  std::string name;
+  Universe universe;
+  Metric metric = Metric::kL2;
+  CloudSpec cloud;
+  PerturbationSpec perturbation;
+  uint64_t seed = 0;
+
+  ReplicaPair Materialize() const {
+    return MakeReplicaPair(cloud, perturbation, seed);
+  }
+};
+
+/// The default evaluation scenario: n clustered points in [Δ]^d with
+/// Gaussian measurement noise of scale `noise` and `k` planted outliers.
+Scenario StandardScenario(size_t n, int d, int64_t delta, size_t k,
+                          double noise, uint64_t seed = 1);
+
+/// Sensor-network flavoured scenario (2-D geo coordinates, kClusters).
+Scenario SensorScenario(size_t n, size_t k, double noise, uint64_t seed = 2);
+
+/// High-dimensional feature-vector scenario (uniform cloud, ℓ1 metric).
+Scenario HighDimScenario(size_t n, int d, size_t k, double noise,
+                         uint64_t seed = 3);
+
+}  // namespace workload
+}  // namespace rsr
+
+#endif  // RSR_WORKLOAD_SCENARIO_H_

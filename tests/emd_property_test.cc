@@ -1,0 +1,169 @@
+// Property tests for EMD: it is a metric on equal-size multisets, invariant
+// under permutation and translation, monotone under trimming, and the
+// assignment engine is consistent across formulations.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "geometry/emd.h"
+#include "geometry/hungarian.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+PointSet RandomSet(size_t n, int d, int64_t lo, int64_t hi, Rng* rng) {
+  PointSet points;
+  for (size_t i = 0; i < n; ++i) {
+    Point p(static_cast<size_t>(d));
+    for (auto& c : p) c = rng->Uniform(lo, hi);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+class EmdMetricPropertySweep : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(EmdMetricPropertySweep, IsAMetricOnMultisets) {
+  const Metric metric = GetParam();
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t n = 2 + rng.Below(6);
+    const int d = 1 + static_cast<int>(rng.Below(3));
+    const PointSet x = RandomSet(n, d, 0, 40, &rng);
+    const PointSet y = RandomSet(n, d, 0, 40, &rng);
+    const PointSet z = RandomSet(n, d, 0, 40, &rng);
+    const double xy = ExactEmd(x, y, metric);
+    const double yx = ExactEmd(y, x, metric);
+    const double xz = ExactEmd(x, z, metric);
+    const double yz = ExactEmd(y, z, metric);
+    EXPECT_NEAR(xy, yx, 1e-9);                 // symmetry
+    EXPECT_GE(xy, 0.0);                        // non-negativity
+    EXPECT_DOUBLE_EQ(ExactEmd(x, x, metric), 0.0);
+    EXPECT_LE(xz, xy + yz + 1e-9);             // triangle inequality
+  }
+}
+
+TEST_P(EmdMetricPropertySweep, PermutationInvariance) {
+  const Metric metric = GetParam();
+  Rng rng(8);
+  const PointSet x = RandomSet(7, 2, 0, 100, &rng);
+  PointSet y = RandomSet(7, 2, 0, 100, &rng);
+  const double base = ExactEmd(x, y, metric);
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    rng.Shuffle(&y);
+    EXPECT_NEAR(ExactEmd(x, y, metric), base, 1e-9);
+  }
+}
+
+TEST_P(EmdMetricPropertySweep, TranslationInvariance) {
+  const Metric metric = GetParam();
+  Rng rng(9);
+  const PointSet x = RandomSet(6, 3, 0, 50, &rng);
+  const PointSet y = RandomSet(6, 3, 0, 50, &rng);
+  const double base = ExactEmd(x, y, metric);
+  PointSet xt = x, yt = y;
+  for (auto& p : xt) {
+    for (auto& c : p) c += 1000;
+  }
+  for (auto& p : yt) {
+    for (auto& c : p) c += 1000;
+  }
+  EXPECT_NEAR(ExactEmd(xt, yt, metric), base, 1e-9);
+}
+
+TEST_P(EmdMetricPropertySweep, SingleOutlierCostIsItsDistance) {
+  // If the sets agree except one point, EMD equals the distance between
+  // the disagreeing points (matching everything else to itself is free).
+  const Metric metric = GetParam();
+  Rng rng(10);
+  PointSet x = RandomSet(9, 2, 0, 30, &rng);
+  PointSet y = x;
+  y[4] = {200, 300};
+  EXPECT_NEAR(ExactEmd(x, y, metric), Distance(x[4], y[4], metric), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, EmdMetricPropertySweep,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kLinf, Metric::kHamming),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(EmdKPropertyTest, SandwichBounds) {
+  // EMD_k <= EMD_{k-1} <= ... <= EMD_0 = EMD, and all non-negative.
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PointSet x = RandomSet(7, 2, 0, 200, &rng);
+    const PointSet y = RandomSet(7, 2, 0, 200, &rng);
+    double prev = ExactEmd(x, y, Metric::kL1);
+    for (size_t k = 1; k <= 7; ++k) {
+      const double cur = ExactEmdK(x, y, k, Metric::kL1);
+      EXPECT_LE(cur, prev + 1e-9);
+      EXPECT_GE(cur, 0.0);
+      prev = cur;
+    }
+  }
+}
+
+TEST(EmdKPropertyTest, RemovingTheWorstPairNeverHelpsMoreThanItsCost) {
+  // EMD - EMD_1 is at most the largest single matched-pair distance.
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const PointSet x = RandomSet(6, 2, 0, 100, &rng);
+    const PointSet y = RandomSet(6, 2, 0, 100, &rng);
+    const double full = ExactEmd(x, y, Metric::kL2);
+    const double trimmed = ExactEmdK(x, y, 1, Metric::kL2);
+    double max_pair = 0.0;
+    for (const Point& a : x) {
+      for (const Point& b : y) {
+        max_pair = std::max(max_pair, Distance(a, b, Metric::kL2));
+      }
+    }
+    EXPECT_LE(full - trimmed, max_pair + 1e-9);
+  }
+}
+
+TEST(HungarianPropertyTest, PermutedCostMatrixPermutesAssignment) {
+  // Swapping two columns of the cost matrix swaps them in the solution.
+  Rng rng(13);
+  const size_t n = 6;
+  std::vector<double> cost(n * n);
+  for (auto& c : cost) c = static_cast<double>(rng.Below(1000));
+  const AssignmentResult base = SolveAssignment(cost, n);
+
+  std::vector<double> swapped = cost;
+  for (size_t i = 0; i < n; ++i) std::swap(swapped[i * n + 0], swapped[i * n + 1]);
+  const AssignmentResult after = SolveAssignment(swapped, n);
+  EXPECT_NEAR(base.cost, after.cost, 1e-9);
+}
+
+TEST(HungarianPropertyTest, AddingConstantToARowShiftsCostByConstant) {
+  Rng rng(14);
+  const size_t n = 5;
+  std::vector<double> cost(n * n);
+  for (auto& c : cost) c = static_cast<double>(rng.Below(100));
+  const double base = SolveAssignment(cost, n).cost;
+  for (size_t j = 0; j < n; ++j) cost[2 * n + j] += 17.0;
+  EXPECT_NEAR(SolveAssignment(cost, n).cost, base + 17.0, 1e-9);
+}
+
+TEST(GreedyEmdPropertyTest, AgreesWithExactOnSeparatedInstances) {
+  // When the optimal matching is unique and locally greedy (clusters far
+  // apart relative to intra-cluster noise), greedy == exact.
+  Rng rng(15);
+  for (int trial = 0; trial < 10; ++trial) {
+    PointSet x, y;
+    for (int c = 0; c < 5; ++c) {
+      const int64_t cx = 10000 * (c + 1);
+      x.push_back({cx + rng.Uniform(-3, 3), cx + rng.Uniform(-3, 3)});
+      y.push_back({cx + rng.Uniform(-3, 3), cx + rng.Uniform(-3, 3)});
+    }
+    EXPECT_NEAR(GreedyEmdUpperBound(x, y, Metric::kL2),
+                ExactEmd(x, y, Metric::kL2), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rsr

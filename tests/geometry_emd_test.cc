@@ -1,0 +1,221 @@
+#include "geometry/emd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/hungarian.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+// Brute-force EMD by trying all permutations (n <= 7).
+double BruteForceEmd(const PointSet& x, const PointSet& y, Metric metric) {
+  const size_t n = x.size();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) total += Distance(x[i], y[perm[i]], metric);
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+// Brute-force EMD_k by trying all subsets of size n-k on both sides.
+double BruteForceEmdK(const PointSet& x, const PointSet& y, size_t k,
+                      Metric metric) {
+  const size_t n = x.size();
+  const size_t keep = n - k;
+  std::vector<char> select_x(n, 0), select_y(n, 0);
+  std::fill(select_x.begin(), select_x.begin() + static_cast<long>(keep), 1);
+  double best = 1e300;
+  std::sort(select_x.begin(), select_x.end(), std::greater<char>());
+  do {
+    PointSet xs;
+    for (size_t i = 0; i < n; ++i) {
+      if (select_x[i]) xs.push_back(x[i]);
+    }
+    std::fill(select_y.begin(), select_y.end(), 0);
+    std::fill(select_y.begin(), select_y.begin() + static_cast<long>(keep), 1);
+    std::sort(select_y.begin(), select_y.end(), std::greater<char>());
+    do {
+      PointSet ys;
+      for (size_t i = 0; i < n; ++i) {
+        if (select_y[i]) ys.push_back(y[i]);
+      }
+      best = std::min(best, BruteForceEmd(xs, ys, metric));
+    } while (std::prev_permutation(select_y.begin(), select_y.end()));
+  } while (std::prev_permutation(select_x.begin(), select_x.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialSizes) {
+  EXPECT_DOUBLE_EQ(SolveAssignment({}, 0).cost, 0.0);
+  const AssignmentResult r = SolveAssignment({7.0}, 1);
+  EXPECT_DOUBLE_EQ(r.cost, 7.0);
+  EXPECT_EQ(r.row_to_col[0], 0);
+}
+
+TEST(HungarianTest, KnownSmallMatrix) {
+  // Classic 3x3 instance; optimum is 5 (1+2+2 via anti-diagonal-ish).
+  const std::vector<double> cost = {4, 1, 3,
+                                    2, 0, 5,
+                                    3, 2, 2};
+  const AssignmentResult r = SolveAssignment(cost, 3);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+  // Verify the assignment is a permutation achieving the cost.
+  std::vector<char> used(3, 0);
+  double total = 0;
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_GE(r.row_to_col[i], 0);
+    ASSERT_LT(r.row_to_col[i], 3);
+    EXPECT_FALSE(used[static_cast<size_t>(r.row_to_col[i])]);
+    used[static_cast<size_t>(r.row_to_col[i])] = 1;
+    total += cost[i * 3 + static_cast<size_t>(r.row_to_col[i])];
+  }
+  EXPECT_DOUBLE_EQ(total, r.cost);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomMatrices) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 2 + rng.Below(5);
+    std::vector<double> cost(n * n);
+    for (auto& c : cost) c = static_cast<double>(rng.Below(100));
+    const AssignmentResult r = SolveAssignment(cost, n);
+
+    // Brute force over permutations.
+    std::vector<size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    double best = 1e300;
+    do {
+      double total = 0;
+      for (size_t i = 0; i < n; ++i) total += cost[i * n + perm[i]];
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_DOUBLE_EQ(r.cost, best);
+  }
+}
+
+TEST(EmdTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(ExactEmd({}, {}, Metric::kL2), 0.0);
+  EXPECT_DOUBLE_EQ(ExactEmd({{1, 1}}, {{4, 5}}, Metric::kL2), 5.0);
+}
+
+TEST(EmdTest, IdenticalSetsHaveZeroEmd) {
+  const PointSet x = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_DOUBLE_EQ(ExactEmd(x, x, Metric::kL1), 0.0);
+  PointSet shuffled = {{5, 6}, {1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(ExactEmd(x, shuffled, Metric::kL1), 0.0);
+}
+
+TEST(EmdTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + rng.Below(5);
+    PointSet x, y;
+    for (size_t i = 0; i < n; ++i) {
+      x.push_back({rng.Uniform(0, 30), rng.Uniform(0, 30)});
+      y.push_back({rng.Uniform(0, 30), rng.Uniform(0, 30)});
+    }
+    for (Metric metric : {Metric::kL1, Metric::kL2, Metric::kLinf}) {
+      EXPECT_NEAR(ExactEmd(x, y, metric), BruteForceEmd(x, y, metric), 1e-9);
+    }
+  }
+}
+
+TEST(EmdKTest, DegenerateCases) {
+  const PointSet x = {{0, 0}, {10, 10}};
+  const PointSet y = {{0, 1}, {90, 90}};
+  // k = n removes everything.
+  EXPECT_DOUBLE_EQ(ExactEmdK(x, y, 2, Metric::kL1), 0.0);
+  // k = 0 is plain EMD.
+  EXPECT_DOUBLE_EQ(ExactEmdK(x, y, 0, Metric::kL1),
+                   ExactEmd(x, y, Metric::kL1));
+}
+
+TEST(EmdKTest, RemovesTheOutlierPair) {
+  // One far outlier on each side; EMD_1 should only pay the near pair.
+  const PointSet x = {{0, 0}, {1000, 1000}};
+  const PointSet y = {{0, 1}, {-500, 300}};
+  EXPECT_DOUBLE_EQ(ExactEmdK(x, y, 1, Metric::kL1), 1.0);
+}
+
+TEST(EmdKTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + rng.Below(3);  // 3..5
+    const size_t k = 1 + rng.Below(2);  // 1..2
+    PointSet x, y;
+    for (size_t i = 0; i < n; ++i) {
+      x.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+      y.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+    }
+    EXPECT_NEAR(ExactEmdK(x, y, k, Metric::kL1),
+                BruteForceEmdK(x, y, k, Metric::kL1), 1e-9);
+  }
+}
+
+TEST(EmdKTest, MonotoneNonIncreasingInK) {
+  Rng rng(8);
+  PointSet x, y;
+  for (size_t i = 0; i < 8; ++i) {
+    x.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    y.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  double prev = ExactEmdK(x, y, 0, Metric::kL2);
+  for (size_t k = 1; k <= 8; ++k) {
+    const double cur = ExactEmdK(x, y, k, Metric::kL2);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+}
+
+TEST(GreedyEmdTest, UpperBoundsExact) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.Below(8);
+    PointSet x, y;
+    for (size_t i = 0; i < n; ++i) {
+      x.push_back({rng.Uniform(0, 50), rng.Uniform(0, 50)});
+      y.push_back({rng.Uniform(0, 50), rng.Uniform(0, 50)});
+    }
+    const double exact = ExactEmd(x, y, Metric::kL2);
+    const double greedy = GreedyEmdUpperBound(x, y, Metric::kL2);
+    EXPECT_GE(greedy, exact - 1e-9);
+    // Greedy nearest-pair matching is a known 3-ish approximation in
+    // practice; just sanity check it is not wildly off on small inputs.
+    EXPECT_LE(greedy, 3.5 * exact + 1e-9);
+  }
+}
+
+TEST(GreedyEmdTest, ExactOnDisjointClusters) {
+  // Points pair up uniquely when clusters are far apart.
+  const PointSet x = {{0, 0}, {100, 100}, {200, 0}};
+  const PointSet y = {{1, 0}, {100, 101}, {199, 0}};
+  EXPECT_DOUBLE_EQ(GreedyEmdUpperBound(x, y, Metric::kL1), 3.0);
+  EXPECT_DOUBLE_EQ(ExactEmd(x, y, Metric::kL1), 3.0);
+}
+
+TEST(EmdAutoTest, SwitchesToGreedyAboveLimit) {
+  Rng rng(10);
+  PointSet x, y;
+  for (size_t i = 0; i < 20; ++i) {
+    x.push_back({rng.Uniform(0, 50), rng.Uniform(0, 50)});
+    y.push_back({rng.Uniform(0, 50), rng.Uniform(0, 50)});
+  }
+  const double exact = EmdAuto(x, y, Metric::kL2, /*exact_limit=*/32);
+  const double greedy = EmdAuto(x, y, Metric::kL2, /*exact_limit=*/4);
+  EXPECT_DOUBLE_EQ(exact, ExactEmd(x, y, Metric::kL2));
+  EXPECT_DOUBLE_EQ(greedy, GreedyEmdUpperBound(x, y, Metric::kL2));
+  EXPECT_GE(greedy, exact - 1e-9);
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,94 @@
+#include "geometry/metric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+TEST(MetricTest, KnownDistances) {
+  const Point a = {0, 0};
+  const Point b = {3, 4};
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kLinf), 4.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kHamming), 2.0);
+}
+
+TEST(MetricTest, HammingCountsDifferingCoords) {
+  EXPECT_DOUBLE_EQ(Distance({1, 2, 3}, {1, 5, 3}, Metric::kHamming), 1.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 2, 3}, {1, 2, 3}, Metric::kHamming), 0.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0, 0}, {1, 1, 1}, Metric::kHamming), 3.0);
+}
+
+TEST(MetricTest, IntegerHelpers) {
+  EXPECT_EQ(DistanceL1({1, -2}, {4, 2}), 7);
+  EXPECT_EQ(DistanceL2Squared({0, 0}, {3, 4}), 25);
+}
+
+class MetricAxiomsTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricAxiomsTest, AxiomsOnRandomPoints) {
+  const Metric metric = GetParam();
+  Rng rng(42);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int d = 1 + static_cast<int>(rng.Below(6));
+    auto random_point = [&] {
+      Point p(static_cast<size_t>(d));
+      for (auto& c : p) c = rng.Uniform(-50, 50);
+      return p;
+    };
+    const Point x = random_point(), y = random_point(), z = random_point();
+
+    // Identity of indiscernibles (one direction) and non-negativity.
+    EXPECT_DOUBLE_EQ(Distance(x, x, metric), 0.0);
+    EXPECT_GE(Distance(x, y, metric), 0.0);
+    // Symmetry.
+    EXPECT_DOUBLE_EQ(Distance(x, y, metric), Distance(y, x, metric));
+    // Triangle inequality (allow tiny float slack for L2).
+    EXPECT_LE(Distance(x, z, metric),
+              Distance(x, y, metric) + Distance(y, z, metric) + 1e-9);
+  }
+}
+
+TEST_P(MetricAxiomsTest, PositiveForDistinctPoints) {
+  const Metric metric = GetParam();
+  EXPECT_GT(Distance({0, 0, 0}, {0, 0, 1}, metric), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(Metric::kL1, Metric::kL2,
+                                           Metric::kLinf, Metric::kHamming),
+                         [](const auto& info) {
+                           return MetricName(info.param);
+                         });
+
+TEST(MetricTest, UniverseDiameter) {
+  const Universe u = MakeUniverse(101, 2);  // coords in [0, 100]
+  EXPECT_DOUBLE_EQ(UniverseDiameter(u, Metric::kL1), 200.0);
+  EXPECT_DOUBLE_EQ(UniverseDiameter(u, Metric::kLinf), 100.0);
+  EXPECT_NEAR(UniverseDiameter(u, Metric::kL2), 100.0 * std::sqrt(2.0),
+              1e-9);
+  EXPECT_DOUBLE_EQ(UniverseDiameter(u, Metric::kHamming), 2.0);
+}
+
+TEST(MetricTest, CellDiameter) {
+  EXPECT_DOUBLE_EQ(CellDiameter(3, 8.0, Metric::kL1), 24.0);
+  EXPECT_DOUBLE_EQ(CellDiameter(3, 8.0, Metric::kLinf), 8.0);
+  EXPECT_NEAR(CellDiameter(4, 8.0, Metric::kL2), 16.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CellDiameter(5, 0.0, Metric::kHamming), 0.0);
+  EXPECT_DOUBLE_EQ(CellDiameter(5, 1.0, Metric::kHamming), 5.0);
+}
+
+TEST(MetricTest, Names) {
+  EXPECT_EQ(MetricName(Metric::kL1), "l1");
+  EXPECT_EQ(MetricName(Metric::kL2), "l2");
+  EXPECT_EQ(MetricName(Metric::kLinf), "linf");
+  EXPECT_EQ(MetricName(Metric::kHamming), "hamming");
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,102 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+TEST(UniverseTest, BitWidths) {
+  EXPECT_EQ(MakeUniverse(1024, 2).BitsPerCoord(), 10);
+  EXPECT_EQ(MakeUniverse(1024, 2).BitsPerPoint(), 20);
+  EXPECT_EQ(MakeUniverse(1000, 3).BitsPerCoord(), 10);  // next power of two
+  EXPECT_EQ(MakeUniverse(1, 4).BitsPerCoord(), 0);
+  EXPECT_EQ(MakeUniverse(2, 4).BitsPerCoord(), 1);
+}
+
+TEST(UniverseTest, Contains) {
+  const Universe u = MakeUniverse(100, 2);
+  EXPECT_TRUE(u.Contains({0, 0}));
+  EXPECT_TRUE(u.Contains({99, 99}));
+  EXPECT_FALSE(u.Contains({100, 0}));
+  EXPECT_FALSE(u.Contains({0, -1}));
+  EXPECT_FALSE(u.Contains({1, 2, 3}));  // wrong arity
+  EXPECT_FALSE(u.Contains({1}));
+}
+
+TEST(PointPackTest, RoundTripFixedCases) {
+  const Universe u = MakeUniverse(1 << 12, 3);
+  const PointSet points = {
+      {0, 0, 0}, {4095, 4095, 4095}, {1, 2, 3}, {1024, 0, 4095}};
+  BitWriter w;
+  for (const Point& p : points) PackPoint(u, p, &w);
+  EXPECT_EQ(w.bit_count(), points.size() * 36);
+
+  BitReader r(w.bytes());
+  for (const Point& expected : points) {
+    Point p;
+    ASSERT_TRUE(UnpackPoint(u, &r, &p));
+    EXPECT_EQ(p, expected);
+  }
+}
+
+TEST(PointPackTest, RoundTripRandomSweep) {
+  Rng rng(77);
+  for (int d = 1; d <= 8; d *= 2) {
+    for (int64_t delta : {2ll, 17ll, 1024ll, 1ll << 20}) {
+      const Universe u = MakeUniverse(delta, d);
+      BitWriter w;
+      PointSet points;
+      for (int i = 0; i < 50; ++i) {
+        Point p(static_cast<size_t>(d));
+        for (auto& c : p) {
+          c = static_cast<int64_t>(rng.Below(static_cast<uint64_t>(delta)));
+        }
+        PackPoint(u, p, &w);
+        points.push_back(std::move(p));
+      }
+      BitReader r(w.bytes());
+      for (const Point& expected : points) {
+        Point p;
+        ASSERT_TRUE(UnpackPoint(u, &r, &p));
+        ASSERT_EQ(p, expected);
+      }
+    }
+  }
+}
+
+TEST(PointPackTest, UnderrunFails) {
+  const Universe u = MakeUniverse(1 << 16, 4);
+  BitWriter w;
+  w.WriteBits(7, 16);  // not enough for a whole point
+  BitReader r(w.bytes());
+  Point p;
+  EXPECT_FALSE(UnpackPoint(u, &r, &p));
+}
+
+TEST(PointKeyTest, SensitivityAndSeedDependence) {
+  const Point a = {1, 2, 3};
+  const Point b = {1, 2, 4};
+  EXPECT_EQ(PointKey(a, 5), PointKey(a, 5));
+  EXPECT_NE(PointKey(a, 5), PointKey(b, 5));
+  EXPECT_NE(PointKey(a, 5), PointKey(a, 6));
+  // Arity matters too.
+  EXPECT_NE(PointKey({1, 2}, 5), PointKey({1, 2, 0}, 5));
+}
+
+TEST(PointLessTest, LexicographicOrder) {
+  EXPECT_TRUE(PointLess({1, 2}, {1, 3}));
+  EXPECT_TRUE(PointLess({1, 2}, {2, 0}));
+  EXPECT_FALSE(PointLess({1, 2}, {1, 2}));
+  EXPECT_FALSE(PointLess({2, 0}, {1, 9}));
+}
+
+TEST(PointToStringTest, Rendering) {
+  EXPECT_EQ(PointToString({1, 2, 3}), "(1, 2, 3)");
+  EXPECT_EQ(PointToString({-5}), "(-5)");
+  EXPECT_EQ(PointToString({}), "()");
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,197 @@
+// Property / fuzz tests for the IBLT against a reference multiset model,
+// plus failure-injection (wire corruption) checks.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iblt/iblt.h"
+#include "iblt/sizing.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+IbltConfig FuzzConfig(uint64_t seed, int value_bits = 16) {
+  IbltConfig config;
+  config.cells = 256;
+  config.q = 4;
+  config.value_bits = value_bits;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<uint8_t> Value16(uint64_t payload) {
+  BitWriter w;
+  w.WriteBits(payload, 16);
+  return std::move(w).TakeBytes();
+}
+
+// Reference model: signed multiset of (key -> (value, count)).
+struct Model {
+  std::map<uint64_t, std::pair<uint64_t, int64_t>> entries;
+
+  void Apply(uint64_t key, uint64_t value, int direction) {
+    auto& slot = entries[key];
+    slot.first = value;
+    slot.second += direction;
+    if (slot.second == 0) entries.erase(key);
+  }
+  size_t surviving() const { return entries.size(); }
+};
+
+// Random interleaved insert/erase with full verification of the decode.
+class IbltFuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IbltFuzzSweep, DecodeMatchesReferenceModel) {
+  Rng rng(GetParam());
+  const IbltConfig config = FuzzConfig(GetParam() * 31 + 1);
+  Iblt table(config);
+  Model model;
+
+  // Keep a pool of live keys so erases sometimes hit existing entries.
+  std::vector<std::pair<uint64_t, uint64_t>> pool;  // (key, value)
+  for (int op = 0; op < 400; ++op) {
+    const bool erase_existing =
+        !pool.empty() && rng.Bernoulli(0.45) && model.surviving() > 0;
+    if (erase_existing) {
+      const size_t i = rng.Below(pool.size());
+      table.Erase(pool[i].first, Value16(pool[i].second));
+      model.Apply(pool[i].first, pool[i].second, -1);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const uint64_t key = rng.Next64();
+      const uint64_t value = rng.Below(1 << 16);
+      table.Insert(key, Value16(value));
+      model.Apply(key, value, +1);
+      pool.emplace_back(key, value);
+      // Cap survivors below decode capacity.
+      if (model.surviving() > 150) {
+        const auto& back = pool.back();
+        table.Erase(back.first, Value16(back.second));
+        model.Apply(back.first, back.second, -1);
+        pool.pop_back();
+      }
+    }
+  }
+
+  const IbltDecodeResult decoded = table.Decode();
+  ASSERT_TRUE(decoded.success);
+  ASSERT_EQ(decoded.entries.size(), model.surviving());
+  for (const IbltEntry& entry : decoded.entries) {
+    auto it = model.entries.find(entry.key);
+    ASSERT_NE(it, model.entries.end());
+    EXPECT_EQ(entry.sign, it->second.second > 0 ? 1 : -1);
+    EXPECT_EQ(entry.value, Value16(it->second.first));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IbltFuzzSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(IbltPropertyTest, SubtractIsAssociativeWithApply) {
+  // (A - B) decode == applying A's inserts and B's erases to one table.
+  const IbltConfig config = FuzzConfig(99);
+  Iblt a(config), b(config), combined(config);
+  Rng rng(42);
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t key = rng.Next64();
+    const auto value = Value16(rng.Below(1 << 16));
+    if (i % 2 == 0) {
+      a.Insert(key, value);
+      combined.Insert(key, value);
+    } else {
+      b.Insert(key, value);
+      combined.Erase(key, value);
+    }
+  }
+  a.Subtract(b);
+  const IbltDecodeResult da = a.Decode();
+  const IbltDecodeResult dc = combined.Decode();
+  ASSERT_TRUE(da.success);
+  ASSERT_TRUE(dc.success);
+  ASSERT_EQ(da.entries.size(), dc.entries.size());
+  std::map<uint64_t, int> signs_a, signs_c;
+  for (const auto& e : da.entries) signs_a[e.key] = e.sign;
+  for (const auto& e : dc.entries) signs_c[e.key] = e.sign;
+  EXPECT_EQ(signs_a, signs_c);
+}
+
+TEST(IbltPropertyTest, DuplicateIdenticalPairsAreAKnownLimitation) {
+  // Two copies of the exact same (key, value) XOR to zero with count 2 —
+  // plain IBLTs cannot represent duplicates (that is the RIBLT's job).
+  // The failure mode must be a clean decode failure, never wrong output.
+  const IbltConfig config = FuzzConfig(7);
+  Iblt table(config);
+  const auto value = Value16(0xbeef);
+  table.Insert(123, value);
+  table.Insert(123, value);
+  const IbltDecodeResult decoded = table.Decode();
+  EXPECT_FALSE(decoded.success);
+}
+
+TEST(IbltPropertyTest, WireCorruptionIsDetectedOrHarmless) {
+  // Flip bits across the serialized image; decoding the corrupted table
+  // must never produce an entry that was not inserted (checksums).
+  const IbltConfig config = FuzzConfig(11);
+  Iblt table(config);
+  Rng rng(13);
+  std::map<uint64_t, bool> inserted;
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t key = rng.Next64();
+    inserted[key] = true;
+    table.Insert(key, Value16(rng.Below(1 << 16)));
+  }
+  BitWriter w;
+  table.Serialize(&w);
+  std::vector<uint8_t> image = std::move(w).TakeBytes();
+
+  int spurious = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint8_t> corrupt = image;
+    // Flip three random bits.
+    for (int f = 0; f < 3; ++f) {
+      const size_t bit = rng.Below(corrupt.size() * 8);
+      corrupt[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    BitReader r(corrupt);
+    std::optional<Iblt> restored = Iblt::Deserialize(config, &r);
+    ASSERT_TRUE(restored.has_value());  // size is unchanged
+    const IbltDecodeResult decoded = restored->Decode();
+    for (const IbltEntry& entry : decoded.entries) {
+      if (!inserted.count(entry.key)) ++spurious;
+    }
+  }
+  // A spurious entry requires a forged 32-bit checksum; expect none.
+  EXPECT_EQ(spurious, 0);
+}
+
+TEST(IbltPropertyTest, CapacityMonotoneInCells) {
+  // Larger tables decode strictly more often near the threshold.
+  const size_t entries = 300;
+  auto success_rate = [&](size_t cells) {
+    int ok = 0;
+    for (int t = 0; t < 30; ++t) {
+      IbltConfig config;
+      config.cells = cells;
+      config.q = 4;
+      config.seed = static_cast<uint64_t>(t) * 131 + cells;
+      Iblt table(config);
+      Rng rng(config.seed ^ 0xf00d);
+      for (size_t i = 0; i < entries; ++i) table.Insert(rng.Next64(), {});
+      if (table.Decode().success) ++ok;
+    }
+    return ok;
+  };
+  const int low = success_rate(entries);            // alpha = 1.0
+  const int mid = success_rate(entries * 13 / 10);  // alpha = 1.3
+  const int high = success_rate(entries * 2);       // alpha = 2.0
+  EXPECT_LE(low, mid);
+  EXPECT_LE(mid, high);
+  EXPECT_EQ(low, 0);
+  EXPECT_EQ(high, 30);
+}
+
+}  // namespace
+}  // namespace rsr

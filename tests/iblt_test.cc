@@ -1,0 +1,286 @@
+#include "iblt/iblt.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iblt/sizing.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+IbltConfig SmallConfig(int value_bits = 0, uint64_t seed = 1) {
+  IbltConfig config;
+  config.cells = 64;
+  config.q = 4;
+  config.value_bits = value_bits;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<uint8_t> MakeValue(uint64_t payload, int value_bits) {
+  BitWriter w;
+  w.WriteBits(payload, value_bits);
+  return std::move(w).TakeBytes();
+}
+
+TEST(IbltConfigTest, RoundingAndSize) {
+  IbltConfig config;
+  config.cells = 10;
+  config.q = 4;
+  EXPECT_EQ(config.RoundedCells(), 12u);
+  config.cells = 12;
+  EXPECT_EQ(config.RoundedCells(), 12u);
+  config.value_bits = 20;
+  config.checksum_bits = 32;
+  config.count_bits = 16;
+  EXPECT_EQ(config.SerializedBits(), 12u * (16 + 64 + 32 + 20));
+}
+
+TEST(IbltTest, EmptyTableDecodesToNothing) {
+  Iblt table(SmallConfig());
+  const IbltDecodeResult result = table.Decode();
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_TRUE(table.IsEmpty());
+}
+
+TEST(IbltTest, SingleEntryRoundTrip) {
+  Iblt table(SmallConfig(16));
+  table.Insert(42, MakeValue(0xabcd, 16));
+  EXPECT_FALSE(table.IsEmpty());
+  const IbltDecodeResult result = table.Decode();
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].key, 42u);
+  EXPECT_EQ(result.entries[0].sign, 1);
+  EXPECT_EQ(result.entries[0].value, MakeValue(0xabcd, 16));
+}
+
+TEST(IbltTest, InsertThenEraseIsEmpty) {
+  Iblt table(SmallConfig(8));
+  table.Insert(7, MakeValue(0x5a, 8));
+  table.Erase(7, MakeValue(0x5a, 8));
+  EXPECT_TRUE(table.IsEmpty());
+}
+
+TEST(IbltTest, EraseWithoutInsertYieldsNegativeEntry) {
+  Iblt table(SmallConfig());
+  table.Erase(99, {});
+  const IbltDecodeResult result = table.Decode();
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].key, 99u);
+  EXPECT_EQ(result.entries[0].sign, -1);
+}
+
+TEST(IbltTest, ManyEntriesDecodeWithinCapacity) {
+  Iblt table(SmallConfig(0, 3));
+  std::set<uint64_t> keys;
+  Rng rng(2);
+  while (keys.size() < 30) keys.insert(rng.Next64());
+  for (uint64_t k : keys) table.Insert(k, {});
+  const IbltDecodeResult result = table.Decode();
+  ASSERT_TRUE(result.success);
+  std::set<uint64_t> decoded;
+  for (const IbltEntry& e : result.entries) {
+    EXPECT_EQ(e.sign, 1);
+    decoded.insert(e.key);
+  }
+  EXPECT_EQ(decoded, keys);
+}
+
+TEST(IbltTest, OverloadedTableFailsToDecode) {
+  Iblt table(SmallConfig(0, 4));  // 64 cells
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) table.Insert(rng.Next64(), {});
+  const IbltDecodeResult result = table.Decode();
+  EXPECT_FALSE(result.success);
+}
+
+TEST(IbltTest, MaxEntriesLimitAbortsDecode) {
+  Iblt table(SmallConfig(0, 5));
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) table.Insert(rng.Next64(), {});
+  EXPECT_TRUE(table.Decode().success);
+  EXPECT_FALSE(table.Decode(/*max_entries=*/10).success);
+  EXPECT_TRUE(table.Decode(/*max_entries=*/20).success);
+}
+
+TEST(IbltTest, SubtractRecoversSymmetricDifference) {
+  const IbltConfig config = SmallConfig(24, 6);
+  Iblt alice(config), bob(config);
+  Rng rng(5);
+  std::map<uint64_t, std::vector<uint8_t>> common, alice_only, bob_only;
+  for (int i = 0; i < 200; ++i) {
+    common[rng.Next64()] = MakeValue(rng.Below(1 << 24), 24);
+  }
+  for (int i = 0; i < 8; ++i) {
+    alice_only[rng.Next64()] = MakeValue(rng.Below(1 << 24), 24);
+    bob_only[rng.Next64()] = MakeValue(rng.Below(1 << 24), 24);
+  }
+  for (const auto& [k, v] : common) {
+    alice.Insert(k, v);
+    bob.Insert(k, v);
+  }
+  for (const auto& [k, v] : alice_only) alice.Insert(k, v);
+  for (const auto& [k, v] : bob_only) bob.Insert(k, v);
+
+  alice.Subtract(bob);
+  const IbltDecodeResult result = alice.Decode();
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.entries.size(), alice_only.size() + bob_only.size());
+  for (const IbltEntry& e : result.entries) {
+    if (e.sign == 1) {
+      ASSERT_TRUE(alice_only.count(e.key));
+      EXPECT_EQ(e.value, alice_only[e.key]);
+    } else {
+      ASSERT_TRUE(bob_only.count(e.key));
+      EXPECT_EQ(e.value, bob_only[e.key]);
+    }
+  }
+}
+
+TEST(IbltTest, SubtractOfEqualTablesIsEmpty) {
+  const IbltConfig config = SmallConfig(12, 7);
+  Iblt a(config), b(config);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t k = rng.Next64();
+    const auto v = MakeValue(rng.Below(1 << 12), 12);
+    a.Insert(k, v);
+    b.Insert(k, v);
+  }
+  a.Subtract(b);
+  EXPECT_TRUE(a.IsEmpty());
+  EXPECT_TRUE(a.Decode().success);
+  EXPECT_TRUE(a.Decode().entries.empty());
+}
+
+TEST(IbltTest, SerializeDeserializeRoundTrip) {
+  const IbltConfig config = SmallConfig(20, 8);
+  Iblt table(config);
+  Rng rng(7);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 25; ++i) {
+    const uint64_t k = rng.Next64();
+    keys.insert(k);
+    table.Insert(k, MakeValue(rng.Below(1 << 20), 20));
+  }
+  BitWriter w;
+  table.Serialize(&w);
+  EXPECT_EQ(w.bit_count(), config.SerializedBits());
+
+  BitReader r(w.bytes());
+  std::optional<Iblt> restored = Iblt::Deserialize(config, &r);
+  ASSERT_TRUE(restored.has_value());
+  const IbltDecodeResult result = restored->Decode();
+  ASSERT_TRUE(result.success);
+  std::set<uint64_t> decoded;
+  for (const IbltEntry& e : result.entries) decoded.insert(e.key);
+  EXPECT_EQ(decoded, keys);
+}
+
+TEST(IbltTest, SerializeNegativeCountsRoundTrip) {
+  const IbltConfig config = SmallConfig(0, 9);
+  Iblt table(config);
+  table.Erase(123, {});
+  table.Erase(456, {});
+  BitWriter w;
+  table.Serialize(&w);
+  BitReader r(w.bytes());
+  std::optional<Iblt> restored = Iblt::Deserialize(config, &r);
+  ASSERT_TRUE(restored.has_value());
+  const IbltDecodeResult result = restored->Decode();
+  ASSERT_TRUE(result.success);
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].sign, -1);
+  EXPECT_EQ(result.entries[1].sign, -1);
+}
+
+TEST(IbltTest, DeserializeUnderrunFails) {
+  const IbltConfig config = SmallConfig(0, 10);
+  BitWriter w;
+  w.WriteBits(0, 32);  // far too short
+  BitReader r(w.bytes());
+  EXPECT_FALSE(Iblt::Deserialize(config, &r).has_value());
+}
+
+TEST(IbltTest, SubtractAfterSerializationMatchesDirect) {
+  // The reconciliation path: Alice serializes, Bob deserializes and
+  // subtracts his own table; result must equal the in-memory difference.
+  const IbltConfig config = SmallConfig(16, 11);
+  Iblt alice(config), bob(config);
+  Rng rng(8);
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t k = rng.Next64();
+    const auto v = MakeValue(rng.Below(1 << 16), 16);
+    alice.Insert(k, v);
+    if (i % 5 != 0) bob.Insert(k, v);  // bob misses every 5th
+  }
+  BitWriter w;
+  alice.Serialize(&w);
+  BitReader r(w.bytes());
+  std::optional<Iblt> wire = Iblt::Deserialize(config, &r);
+  ASSERT_TRUE(wire.has_value());
+  wire->Subtract(bob);
+  const IbltDecodeResult result = wire->Decode();
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.entries.size(), 8u);
+  for (const IbltEntry& e : result.entries) EXPECT_EQ(e.sign, 1);
+}
+
+TEST(SizingTest, ThresholdsSane) {
+  // More hash functions (up to the optimum) reduce the per-entry overhead.
+  EXPECT_GT(CellsPerEntryThreshold(3), 1.2);
+  EXPECT_LT(CellsPerEntryThreshold(3), 1.25);
+  EXPECT_GT(CellsPerEntryThreshold(4), CellsPerEntryThreshold(5) - 0.2);
+  EXPECT_GT(RecommendedCells(100, 4), 100u);
+  EXPECT_GE(RecommendedCells(0, 4), 16u);  // floor
+  EXPECT_GT(RecommendedCells(1000, 4, 2.0), RecommendedCells(1000, 4, 1.0));
+}
+
+// Decode success probability across sizing ratios: below threshold decode
+// mostly fails, above the recommended sizing it virtually always succeeds.
+class IbltThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IbltThresholdSweep, RecommendedSizingDecodes) {
+  const int q = GetParam();
+  const size_t entries = 120;
+  int successes = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    IbltConfig config;
+    config.cells = RecommendedCells(entries, q);
+    config.q = q;
+    config.seed = static_cast<uint64_t>(t) * 977 + 13;
+    Iblt table(config);
+    Rng rng(config.seed);
+    for (size_t i = 0; i < entries; ++i) table.Insert(rng.Next64(), {});
+    if (table.Decode().success) ++successes;
+  }
+  EXPECT_GE(successes, trials - 1);
+}
+
+TEST_P(IbltThresholdSweep, WayUndersizedFails) {
+  const int q = GetParam();
+  const size_t entries = 400;
+  IbltConfig config;
+  config.cells = entries / 4;  // far below any threshold
+  config.q = q;
+  config.seed = 99;
+  Iblt table(config);
+  Rng rng(31);
+  for (size_t i = 0; i < entries; ++i) table.Insert(rng.Next64(), {});
+  EXPECT_FALSE(table.Decode().success);
+}
+
+INSTANTIATE_TEST_SUITE_P(HashCounts, IbltThresholdSweep,
+                         ::testing::Values(3, 4, 5));
+
+}  // namespace
+}  // namespace rsr

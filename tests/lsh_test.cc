@@ -1,0 +1,151 @@
+#include "lshrecon/lsh.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/metric.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace lshrecon {
+namespace {
+
+// Empirical collision probability of a family over its functions.
+double CollisionRate(const MlshFamily& family, const Point& a,
+                     const Point& b) {
+  size_t collisions = 0;
+  for (size_t i = 0; i < family.size(); ++i) {
+    if (family.Eval(i, a) == family.Eval(i, b)) ++collisions;
+  }
+  return static_cast<double>(collisions) /
+         static_cast<double>(family.size());
+}
+
+TEST(GridMlshTest, DeterministicAndSeedSensitive) {
+  const Universe u = MakeUniverse(1 << 12, 2);
+  GridMlsh f1(u, 64.0, 32, 1), f2(u, 64.0, 32, 1), f3(u, 64.0, 32, 2);
+  const Point p = {100, 200};
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(f1.Eval(i, p), f2.Eval(i, p));
+  }
+  size_t diff = 0;
+  for (size_t i = 0; i < 32; ++i) {
+    if (f1.Eval(i, p) != f3.Eval(i, p)) ++diff;
+  }
+  EXPECT_GT(diff, 10u);
+}
+
+TEST(GridMlshTest, IdenticalPointsAlwaysCollide) {
+  const Universe u = MakeUniverse(1 << 12, 3);
+  GridMlsh f(u, 32.0, 64, 3);
+  const Point p = {5, 6, 7};
+  EXPECT_DOUBLE_EQ(CollisionRate(f, p, p), 1.0);
+}
+
+TEST(GridMlshTest, CollisionDecaysWithDistance) {
+  const Universe u = MakeUniverse(1 << 14, 2);
+  GridMlsh f(u, 256.0, 2000, 4);
+  const Point base = {8000, 8000};
+  const double near_rate = CollisionRate(f, base, {8004, 8000});
+  const double mid_rate = CollisionRate(f, base, {8064, 8000});
+  const double far_rate = CollisionRate(f, base, {8000 + 1024, 8000});
+  EXPECT_GT(near_rate, mid_rate);
+  EXPECT_GT(mid_rate, far_rate);
+  // Theory for the shifted lattice: collision prob per axis is
+  // max(0, 1 - dist/width). For dist=64, width=256: 0.75.
+  EXPECT_NEAR(mid_rate, 0.75, 0.05);
+  EXPECT_LT(far_rate, 0.01);
+}
+
+TEST(PStableMlshTest, CollisionDecaysWithL2Distance) {
+  const Universe u = MakeUniverse(1 << 14, 4);
+  PStableMlsh f(u, 64.0, 3000, 5);
+  const Point base = {5000, 5000, 5000, 5000};
+  const double near_rate = CollisionRate(f, base, {5002, 5000, 5000, 5000});
+  const double mid_rate = CollisionRate(f, base, {5030, 5030, 5000, 5000});
+  const double far_rate = CollisionRate(f, base, {5400, 5400, 5400, 5400});
+  EXPECT_GT(near_rate, 0.9);
+  EXPECT_GT(near_rate, mid_rate);
+  EXPECT_GT(mid_rate, far_rate);
+  EXPECT_LT(far_rate, 0.1);
+}
+
+TEST(PStableMlshTest, RotationInvarianceApprox) {
+  // ℓ2 LSH depends (in expectation) only on the distance, not direction.
+  const Universe u = MakeUniverse(1 << 14, 2);
+  PStableMlsh f(u, 100.0, 4000, 6);
+  const Point base = {8000, 8000};
+  const double axis_rate = CollisionRate(f, base, {8100, 8000});
+  const double diag_rate =
+      CollisionRate(f, base, {8000 + 71, 8000 + 71});  // ~same L2 distance
+  EXPECT_NEAR(axis_rate, diag_rate, 0.05);
+}
+
+TEST(BitSamplingMlshTest, HammingBehaviour) {
+  const Universe u = MakeUniverse(2, 32);  // binary cube {0,1}^32
+  BitSamplingMlsh f(u, 64.0, 4000, 7);
+  Point a(32, 0), b(32, 0), c(32, 0);
+  // b differs from a in 4 coords, c in 16.
+  for (int i = 0; i < 4; ++i) b[static_cast<size_t>(i)] = 1;
+  for (int i = 0; i < 16; ++i) c[static_cast<size_t>(i)] = 1;
+  const double rate_b = CollisionRate(f, a, b);
+  const double rate_c = CollisionRate(f, a, c);
+  EXPECT_GT(rate_b, rate_c);
+  // With padding w=64: collision prob = 1 - dist/64 (sampled coordinate
+  // differs with prob dist/64).
+  EXPECT_NEAR(rate_b, 1.0 - 4.0 / 64.0, 0.03);
+  EXPECT_NEAR(rate_c, 1.0 - 16.0 / 64.0, 0.03);
+}
+
+TEST(BitSamplingMlshTest, PaddingReducesSensitivity) {
+  const Universe u = MakeUniverse(2, 16);
+  BitSamplingMlsh tight(u, 16.0, 3000, 8);
+  BitSamplingMlsh padded(u, 128.0, 3000, 8);
+  Point a(16, 0), b(16, 1);  // maximally distant
+  EXPECT_LT(CollisionRate(tight, a, b), 0.05);
+  // Padded family mostly samples the constant function -> high collision.
+  EXPECT_GT(CollisionRate(padded, a, b), 0.8);
+}
+
+TEST(MakeMlshFamilyTest, FactoryDispatch) {
+  const Universe u = MakeUniverse(1 << 10, 2);
+  EXPECT_EQ(MakeMlshFamily(MlshKind::kGridL1, u, 32, 8, 1)->Name(),
+            "grid-l1");
+  EXPECT_EQ(MakeMlshFamily(MlshKind::kPStableL2, u, 32, 8, 1)->Name(),
+            "pstable-l2");
+  EXPECT_EQ(MakeMlshFamily(MlshKind::kBitSampling, u, 32, 8, 1)->Name(),
+            "bitsample-hamming");
+  EXPECT_EQ(MakeMlshFamily(MlshKind::kGridL1, u, 32, 8, 1)->size(), 8u);
+}
+
+// MLSH property (Definition 2.2 flavour): collision probability bounded
+// between p^{c·dist} curves for nearby distances — verified empirically on
+// the grid family at several distances.
+class GridMlshDecaySweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(GridMlshDecaySweep, GeometricDecayBand) {
+  const int64_t dist = GetParam();
+  const double width = 512.0;
+  const Universe u = MakeUniverse(1 << 14, 1);
+  GridMlsh f(u, width, 4000, 11);
+  const Point a = {4000};
+  const Point b = {4000 + dist};
+  const double rate = CollisionRate(f, a, b);
+  const double exact = 1.0 - static_cast<double>(dist) / width;
+  EXPECT_NEAR(rate, exact, 0.04);
+  // MLSH band: e^{-2 dist/width} <= rate <= e^{-dist/width} for
+  // dist <= 0.79 * width (Lemma 2.4 constants).
+  if (static_cast<double>(dist) <= 0.79 * width) {
+    EXPECT_GE(rate + 0.04,
+              std::exp(-2.0 * static_cast<double>(dist) / width));
+    EXPECT_LE(rate - 0.04, std::exp(-static_cast<double>(dist) / width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, GridMlshDecaySweep,
+                         ::testing::Values(16, 64, 128, 256, 400));
+
+}  // namespace
+}  // namespace lshrecon
+}  // namespace rsr

@@ -1,0 +1,150 @@
+#include "lshrecon/mlsh_recon.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "geometry/emd.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace lshrecon {
+namespace {
+
+using recon::ProtocolContext;
+using recon::ReconResult;
+using workload::CloudSpec;
+using workload::MakeReplicaPair;
+using workload::NoiseKind;
+using workload::PerturbationSpec;
+using workload::ReplicaPair;
+
+ProtocolContext Context(int64_t delta, int d, uint64_t seed = 7) {
+  ProtocolContext ctx;
+  ctx.universe = MakeUniverse(delta, d);
+  ctx.seed = seed;
+  return ctx;
+}
+
+ReplicaPair MakeInstance(int64_t delta, int d, size_t n, size_t k,
+                         double noise, uint64_t seed = 3) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(delta, d);
+  cloud.n = n;
+  PerturbationSpec spec;
+  spec.noise = noise > 0 ? NoiseKind::kGaussian : NoiseKind::kNone;
+  spec.noise_scale = noise;
+  spec.outliers = k;
+  return MakeReplicaPair(cloud, spec, seed);
+}
+
+MlshParams Params(size_t k) {
+  MlshParams p;
+  p.k = k;
+  return p;
+}
+
+TEST(MlshReconcilerTest, IdenticalSetsSucceedUnchanged) {
+  const ReplicaPair pair = MakeInstance(1 << 12, 2, 128, 0, 0.0);
+  const ProtocolContext ctx = Context(1 << 12, 2);
+  MlshReconciler protocol(ctx, Params(4));
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.decoded_entries, 0u);
+  EXPECT_EQ(result.bob_final.size(), 128u);
+  EXPECT_DOUBLE_EQ(ExactEmd(pair.alice, result.bob_final, Metric::kL2), 0.0);
+}
+
+TEST(MlshReconcilerTest, OutliersRecovered) {
+  const size_t n = 128, k = 4;
+  const ReplicaPair pair = MakeInstance(1 << 12, 2, n, k, 0.0, 5);
+  const ProtocolContext ctx = Context(1 << 12, 2, 6);
+  MlshReconciler protocol(ctx, Params(k));
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.bob_final.size(), n);
+  const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
+  const double after = ExactEmd(pair.alice, result.bob_final, Metric::kL2);
+  EXPECT_LT(after, before * 0.5);
+}
+
+TEST(MlshReconcilerTest, NoisePlusOutliers) {
+  const size_t n = 128, k = 4;
+  const ReplicaPair pair = MakeInstance(1 << 14, 2, n, k, 2.0, 7);
+  const ProtocolContext ctx = Context(1 << 14, 2, 8);
+  MlshParams params = Params(k);
+  params.width = 256.0;
+  MlshReconciler protocol(ctx, params);
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.bob_final.size(), n);
+  const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
+  const double after = ExactEmd(pair.alice, result.bob_final, Metric::kL2);
+  EXPECT_LT(after, before);
+}
+
+TEST(MlshReconcilerTest, SingleRoundProtocol) {
+  const ReplicaPair pair = MakeInstance(1 << 10, 2, 64, 2, 1.0, 9);
+  const ProtocolContext ctx = Context(1 << 10, 2, 10);
+  MlshReconciler protocol(ctx, Params(2));
+  transport::Channel channel;
+  (void)protocol.Run(pair.alice, pair.bob, &channel);
+  EXPECT_EQ(channel.stats().rounds, 1u);
+  EXPECT_EQ(channel.stats().message_count, 1u);
+}
+
+TEST(MlshReconcilerTest, GridFamilyWorksToo) {
+  const size_t n = 96, k = 3;
+  const ReplicaPair pair = MakeInstance(1 << 12, 2, n, k, 1.0, 11);
+  const ProtocolContext ctx = Context(1 << 12, 2, 12);
+  MlshParams params = Params(k);
+  params.family = MlshKind::kGridL1;
+  params.metric = Metric::kL1;
+  MlshReconciler protocol(ctx, params);
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+  ASSERT_TRUE(result.success);
+  const double before = ExactEmd(pair.alice, pair.bob, Metric::kL1);
+  const double after = ExactEmd(pair.alice, result.bob_final, Metric::kL1);
+  EXPECT_LT(after, before);
+}
+
+TEST(MlshReconcilerTest, SizePreservedAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    const ReplicaPair pair = MakeInstance(1 << 12, 2, 80, 3, 1.0, seed);
+    const ProtocolContext ctx = Context(1 << 12, 2, seed * 31);
+    MlshReconciler protocol(ctx, Params(3));
+    transport::Channel channel;
+    const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+    if (result.success) {
+      EXPECT_EQ(result.bob_final.size(), 80u);
+      for (const Point& p : result.bob_final) {
+        EXPECT_TRUE(ctx.universe.Contains(p));
+      }
+    }
+  }
+}
+
+TEST(MlshReconcilerTest, HighDimensionalInstance) {
+  // d = 16 — where the LSH variant is meant to shine (value payload is a
+  // point, level count independent of d·log Δ).
+  const size_t n = 96, k = 3;
+  const ReplicaPair pair = MakeInstance(1 << 8, 16, n, k, 1.0, 13);
+  const ProtocolContext ctx = Context(1 << 8, 16, 14);
+  MlshParams params = Params(k);
+  params.width = 64.0;
+  MlshReconciler protocol(ctx, params);
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+  ASSERT_TRUE(result.success);
+  const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
+  const double after = ExactEmd(pair.alice, result.bob_final, Metric::kL2);
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace lshrecon
+}  // namespace rsr

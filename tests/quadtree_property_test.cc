@@ -1,0 +1,190 @@
+// Parameterized end-to-end property sweep of the quadtree protocols over a
+// grid of (Δ, d, noise) configurations: the protocol must either fail
+// cleanly (Bob unchanged) or produce a valid repaired set, and on success
+// must never degrade EMD beyond the level-ℓ* cell-diameter bound.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "geometry/emd.h"
+#include "recon/quadtree_recon.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace recon {
+namespace {
+
+using workload::CloudSpec;
+using workload::MakeReplicaPair;
+using workload::NoiseKind;
+using workload::PerturbationSpec;
+using workload::ReplicaPair;
+
+// (log2 delta, d, noise scale)
+using Config = std::tuple<int, int, double>;
+
+class QuadtreeSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(QuadtreeSweep, EndToEndInvariants) {
+  const auto [log_delta, d, noise] = GetParam();
+  const int64_t delta = int64_t{1} << log_delta;
+  const size_t n = 160;
+  const size_t k = 6;
+
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    CloudSpec cloud;
+    cloud.universe = MakeUniverse(delta, d);
+    cloud.n = n;
+    PerturbationSpec spec;
+    spec.noise = noise > 0 ? NoiseKind::kGaussian : NoiseKind::kNone;
+    spec.noise_scale = noise;
+    spec.outliers = k;
+    const ReplicaPair pair = MakeReplicaPair(cloud, spec, seed);
+
+    ProtocolContext ctx;
+    ctx.universe = cloud.universe;
+    ctx.seed = seed * 7919;
+    QuadtreeParams params;
+    params.k = k;
+    QuadtreeReconciler protocol(ctx, params);
+    transport::Channel channel;
+    const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+
+    // Invariant 1: one round, Alice-to-Bob only.
+    EXPECT_EQ(channel.stats().rounds, 1u);
+
+    // Invariant 2: size preservation and universe containment.
+    EXPECT_EQ(result.bob_final.size(), n);
+    for (const Point& p : result.bob_final) {
+      ASSERT_TRUE(ctx.universe.Contains(p));
+    }
+
+    if (!result.success) {
+      // Clean failure: Bob unchanged.
+      EXPECT_EQ(result.bob_final, pair.bob);
+      continue;
+    }
+
+    // Invariant 3: the repair moves at most decoded_entries cells' worth
+    // of points, each by at most one cell diameter at the chosen level.
+    const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
+    const double after =
+        ExactEmd(pair.alice, result.bob_final, Metric::kL2);
+    const double cell_diam =
+        static_cast<double>(int64_t{1} << result.chosen_level) *
+        std::sqrt(static_cast<double>(d));
+    const double slack =
+        cell_diam * static_cast<double>(result.decoded_entries) * n;
+    EXPECT_LE(after, before + slack) << "ld=" << log_delta << " d=" << d
+                                     << " noise=" << noise;
+
+    // Invariant 4: determinism — rerunning gives identical output.
+    transport::Channel channel2;
+    const ReconResult again = protocol.Run(pair.alice, pair.bob, &channel2);
+    EXPECT_EQ(again.bob_final, result.bob_final);
+    EXPECT_EQ(channel2.stats().total_bits, channel.stats().total_bits);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QuadtreeSweep,
+    ::testing::Values(Config{8, 1, 0.0}, Config{8, 1, 1.0},
+                      Config{10, 2, 0.0}, Config{10, 2, 1.0},
+                      Config{10, 2, 4.0}, Config{14, 2, 2.0},
+                      Config{10, 3, 1.0}, Config{8, 4, 1.0},
+                      Config{20, 2, 8.0}, Config{12, 1, 16.0}));
+
+class AdaptiveSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(AdaptiveSweep, EndToEndInvariants) {
+  const auto [log_delta, d, noise] = GetParam();
+  const int64_t delta = int64_t{1} << log_delta;
+  const size_t n = 160, k = 6;
+
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(delta, d);
+  cloud.n = n;
+  PerturbationSpec spec;
+  spec.noise = noise > 0 ? NoiseKind::kGaussian : NoiseKind::kNone;
+  spec.noise_scale = noise;
+  spec.outliers = k;
+  const ReplicaPair pair = MakeReplicaPair(cloud, spec, 5);
+
+  ProtocolContext ctx;
+  ctx.universe = cloud.universe;
+  ctx.seed = 271828;
+  QuadtreeParams params;
+  params.k = k;
+  AdaptiveQuadtreeReconciler protocol(ctx, params);
+  transport::Channel channel;
+  const ReconResult result = protocol.Run(pair.alice, pair.bob, &channel);
+
+  EXPECT_GE(channel.stats().rounds, 3u);
+  EXPECT_EQ(result.bob_final.size(), n);
+  for (const Point& p : result.bob_final) {
+    ASSERT_TRUE(ctx.universe.Contains(p));
+  }
+  if (result.success) {
+    EXPECT_GE(result.chosen_level, 0);
+    EXPECT_LE(result.chosen_level,
+              MakeUniverse(delta, d).BitsPerCoord());
+  } else {
+    EXPECT_EQ(result.bob_final, pair.bob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptiveSweep,
+    ::testing::Values(Config{10, 2, 0.0}, Config{10, 2, 2.0},
+                      Config{14, 2, 4.0}, Config{10, 3, 1.0},
+                      Config{20, 2, 16.0}));
+
+TEST(LevelStrideTest, CutsBytesAndStillReconciles) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(1 << 16, 2);
+  cloud.n = 256;
+  PerturbationSpec spec;
+  spec.noise = NoiseKind::kGaussian;
+  spec.noise_scale = 2.0;
+  spec.outliers = 8;
+  const ReplicaPair pair = MakeReplicaPair(cloud, spec, 9);
+
+  ProtocolContext ctx;
+  ctx.universe = cloud.universe;
+  ctx.seed = 33;
+
+  QuadtreeParams dense;
+  dense.k = 8;
+  QuadtreeParams strided = dense;
+  strided.level_stride = 3;
+
+  transport::Channel dense_channel, strided_channel;
+  const ReconResult dense_result =
+      QuadtreeReconciler(ctx, dense).Run(pair.alice, pair.bob,
+                                         &dense_channel);
+  const ReconResult strided_result =
+      QuadtreeReconciler(ctx, strided).Run(pair.alice, pair.bob,
+                                           &strided_channel);
+  ASSERT_TRUE(dense_result.success);
+  ASSERT_TRUE(strided_result.success);
+  // Stride 3 ships ~1/3 of the levels.
+  EXPECT_LT(strided_channel.stats().total_bits,
+            dense_channel.stats().total_bits / 2);
+  // It can only decode at a ladder level >= the dense choice.
+  EXPECT_GE(strided_result.chosen_level, dense_result.chosen_level);
+  // Quality degrades by at most the coarser cell diameter factor.
+  const double dense_emd =
+      ExactEmd(pair.alice, dense_result.bob_final, Metric::kL2);
+  const double strided_emd =
+      ExactEmd(pair.alice, strided_result.bob_final, Metric::kL2);
+  const double factor = static_cast<double>(
+      int64_t{1} << (strided_result.chosen_level -
+                     dense_result.chosen_level));
+  EXPECT_LE(strided_emd, dense_emd * factor * 4 + 100.0);
+}
+
+}  // namespace
+}  // namespace recon
+}  // namespace rsr

@@ -1,0 +1,127 @@
+// Tests for the public-coin parameter derivations shared by the robust
+// protocols: both parties must derive byte-identical configurations from
+// public quantities alone.
+
+#include <gtest/gtest.h>
+
+#include "recon/params.h"
+
+namespace rsr {
+namespace recon {
+namespace {
+
+TEST(HistogramCountBitsTest, Widths) {
+  EXPECT_EQ(HistogramCountBits(1), 1);
+  EXPECT_EQ(HistogramCountBits(2), 2);
+  EXPECT_EQ(HistogramCountBits(3), 2);
+  EXPECT_EQ(HistogramCountBits(255), 8);
+  EXPECT_EQ(HistogramCountBits(256), 9);
+  EXPECT_EQ(HistogramCountBits(1u << 15), 16);
+}
+
+TEST(QuadtreeParamsTest, DecodeBudgetDefaults) {
+  QuadtreeParams p;
+  p.k = 10;
+  EXPECT_EQ(p.DecodeBudget(), 48u);  // 4k + 8
+  p.decode_budget = 17;
+  EXPECT_EQ(p.DecodeBudget(), 17u);
+}
+
+TEST(HistogramValueBitsTest, CellPlusCount) {
+  const Universe u = MakeUniverse(1 << 10, 3);
+  const ShiftedGrid grid(u, 1);
+  // level 0: 3 coords x (10 - 0 + 1) bits + count bits for n=100 (7).
+  EXPECT_EQ(HistogramValueBits(grid, 0, 100), 3 * 11 + 7);
+  // level 10: 3 coords x 1 bit + 7.
+  EXPECT_EQ(HistogramValueBits(grid, 10, 100), 3 * 1 + 7);
+}
+
+TEST(LevelIbltConfigTest, DeterministicAndLevelDependent) {
+  const Universe u = MakeUniverse(1 << 12, 2);
+  const ShiftedGrid grid(u, 3);
+  QuadtreeParams params;
+  params.k = 8;
+  const IbltConfig c5a = LevelIbltConfig(grid, 5, 200, params, 77);
+  const IbltConfig c5b = LevelIbltConfig(grid, 5, 200, params, 77);
+  const IbltConfig c6 = LevelIbltConfig(grid, 6, 200, params, 77);
+  const IbltConfig other_seed = LevelIbltConfig(grid, 5, 200, params, 78);
+
+  EXPECT_EQ(c5a.seed, c5b.seed);
+  EXPECT_EQ(c5a.cells, c5b.cells);
+  EXPECT_EQ(c5a.value_bits, c5b.value_bits);
+  EXPECT_NE(c5a.seed, c6.seed);           // level feeds the seed
+  EXPECT_NE(c5a.value_bits, c6.value_bits);  // finer cells are wider
+  EXPECT_NE(c5a.seed, other_seed.seed);
+}
+
+TEST(LevelIbltConfigTest, CellsScaleWithBudget) {
+  const Universe u = MakeUniverse(1 << 12, 2);
+  const ShiftedGrid grid(u, 3);
+  QuadtreeParams small_params, big_params;
+  small_params.k = 4;
+  big_params.k = 64;
+  const size_t small_cells =
+      LevelIbltConfig(grid, 3, 100, small_params, 1).RoundedCells();
+  const size_t big_cells =
+      LevelIbltConfig(grid, 3, 100, big_params, 1).RoundedCells();
+  EXPECT_GT(big_cells, 4 * small_cells);
+}
+
+TEST(LevelStrataConfigTest, SmallAndDeterministic) {
+  const StrataConfig a = LevelStrataConfig(5);
+  const StrataConfig b = LevelStrataConfig(5);
+  const StrataConfig c = LevelStrataConfig(6);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_NE(a.seed, c.seed);
+  // The probe must stay well under a typical per-level IBLT (E10's premise).
+  EXPECT_LT(a.SerializedBits(), 20000u);
+}
+
+TEST(LevelIbltConfigTest, SerializedSizeMatchesConfig) {
+  const Universe u = MakeUniverse(1 << 16, 2);
+  const ShiftedGrid grid(u, 9);
+  QuadtreeParams params;
+  params.k = 16;
+  for (int level : {0, 4, 8, 12, 16}) {
+    const IbltConfig config = LevelIbltConfig(grid, level, 1000, params, 2);
+    Iblt table(config);
+    BitWriter w;
+    table.Serialize(&w);
+    EXPECT_EQ(w.bit_count(), config.SerializedBits()) << "level " << level;
+  }
+}
+
+TEST(ProtocolLevelsTest, DefaultIsEveryLevel) {
+  const Universe u = MakeUniverse(1 << 8, 2);
+  const ShiftedGrid grid(u, 1);
+  QuadtreeParams params;
+  const std::vector<int> levels = ProtocolLevels(grid, params);
+  ASSERT_EQ(levels.size(), 9u);
+  EXPECT_EQ(levels.front(), 0);
+  EXPECT_EQ(levels.back(), 8);
+}
+
+TEST(ProtocolLevelsTest, StrideSkipsButKeepsCoarsest) {
+  const Universe u = MakeUniverse(1 << 8, 2);
+  const ShiftedGrid grid(u, 1);
+  QuadtreeParams params;
+  params.level_stride = 3;
+  const std::vector<int> levels = ProtocolLevels(grid, params);
+  EXPECT_EQ(levels, (std::vector<int>{0, 3, 6, 8}));
+  params.level_stride = 4;
+  EXPECT_EQ(ProtocolLevels(grid, params), (std::vector<int>{0, 4, 8}));
+}
+
+TEST(ProtocolLevelsTest, RangeRestriction) {
+  const Universe u = MakeUniverse(1 << 10, 2);
+  const ShiftedGrid grid(u, 1);
+  QuadtreeParams params;
+  params.min_level = 2;
+  params.max_level = 7;
+  params.level_stride = 2;
+  EXPECT_EQ(ProtocolLevels(grid, params), (std::vector<int>{2, 4, 6, 7}));
+}
+
+}  // namespace
+}  // namespace recon
+}  // namespace rsr

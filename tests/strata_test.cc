@@ -1,0 +1,143 @@
+#include "iblt/strata.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+StrataConfig TestConfig(uint64_t seed = 1) {
+  StrataConfig config;
+  config.num_strata = 20;
+  config.cells_per_stratum = 40;
+  config.seed = seed;
+  return config;
+}
+
+TEST(StrataTest, IdenticalSetsEstimateZero) {
+  const StrataConfig config = TestConfig();
+  StrataEstimator a(config), b(config);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t k = rng.Next64();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  EXPECT_EQ(a.EstimateDifference(b), 0u);
+  EXPECT_EQ(b.EstimateDifference(a), 0u);
+}
+
+TEST(StrataTest, SmallDifferencesAreExact) {
+  // When every stratum decodes, the estimate is the exact difference.
+  const StrataConfig config = TestConfig(2);
+  StrataEstimator a(config), b(config);
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t k = rng.Next64();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  for (int i = 0; i < 10; ++i) a.Insert(rng.Next64());
+  for (int i = 0; i < 5; ++i) b.Insert(rng.Next64());
+  const uint64_t est = a.EstimateDifference(b);
+  EXPECT_EQ(est, 15u);
+}
+
+TEST(StrataTest, LargeDifferenceWithinFactorTwo) {
+  Rng seed_rng(3);
+  int good = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const StrataConfig config = TestConfig(seed_rng.Next64());
+    StrataEstimator a(config), b(config);
+    Rng rng(seed_rng.Next64());
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t k = rng.Next64();
+      a.Insert(k);
+      b.Insert(k);
+    }
+    const uint64_t true_diff = 3000;
+    for (uint64_t i = 0; i < true_diff / 2; ++i) {
+      a.Insert(rng.Next64());
+      b.Insert(rng.Next64());
+    }
+    const uint64_t est = a.EstimateDifference(b);
+    if (est >= true_diff / 2 && est <= true_diff * 2) ++good;
+  }
+  EXPECT_GE(good, trials - 2);
+}
+
+TEST(StrataTest, EstimateSymmetryApproximate) {
+  const StrataConfig config = TestConfig(4);
+  StrataEstimator a(config), b(config);
+  Rng rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t k = rng.Next64();
+    a.Insert(k);
+    b.Insert(k);
+  }
+  for (int i = 0; i < 64; ++i) a.Insert(rng.Next64());
+  // a-vs-b and b-vs-a decode the same subtracted tables (up to sign), so
+  // the estimates agree exactly.
+  EXPECT_EQ(a.EstimateDifference(b), b.EstimateDifference(a));
+}
+
+TEST(StrataTest, SerializeRoundTrip) {
+  const StrataConfig config = TestConfig(5);
+  StrataEstimator a(config), b(config);
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t k = rng.Next64();
+    a.Insert(k);
+    if (i % 10 != 0) b.Insert(k);  // 40 differences
+  }
+  BitWriter w;
+  a.Serialize(&w);
+  EXPECT_EQ(w.bit_count(), config.SerializedBits());
+  BitReader r(w.bytes());
+  std::optional<StrataEstimator> restored =
+      StrataEstimator::Deserialize(config, &r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->EstimateDifference(b), a.EstimateDifference(b));
+}
+
+TEST(StrataTest, DeserializeUnderrunFails) {
+  const StrataConfig config = TestConfig(6);
+  BitWriter w;
+  w.WriteBits(0, 64);
+  BitReader r(w.bytes());
+  EXPECT_FALSE(StrataEstimator::Deserialize(config, &r).has_value());
+}
+
+// Sweep over difference sizes: estimates should track the truth within the
+// standard factor-2 band (with a generous allowance at tiny differences).
+class StrataAccuracySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrataAccuracySweep, TracksTrueDifference) {
+  const uint64_t true_diff = GetParam();
+  int good = 0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    const StrataConfig config = TestConfig(1000 + static_cast<uint64_t>(t));
+    StrataEstimator a(config), b(config);
+    Rng rng(2000 + static_cast<uint64_t>(t));
+    for (int i = 0; i < 1000; ++i) {
+      const uint64_t k = rng.Next64();
+      a.Insert(k);
+      b.Insert(k);
+    }
+    for (uint64_t i = 0; i < true_diff; ++i) a.Insert(rng.Next64());
+    const uint64_t est = a.EstimateDifference(b);
+    if (est >= true_diff / 3 && est <= true_diff * 3) ++good;
+  }
+  EXPECT_GE(good, trials - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(DifferenceSizes, StrataAccuracySweep,
+                         ::testing::Values(16, 64, 256, 1024, 4096));
+
+}  // namespace
+}  // namespace rsr

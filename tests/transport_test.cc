@@ -1,0 +1,107 @@
+#include "transport/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/message.h"
+
+namespace rsr {
+namespace transport {
+namespace {
+
+Message Msg(const std::string& label, size_t bits) {
+  BitWriter w;
+  for (size_t i = 0; i < bits; ++i) w.WriteBit(i % 2 == 0);
+  return MakeMessage(label, std::move(w));
+}
+
+TEST(MessageTest, MakeMessageCapturesBits) {
+  BitWriter w;
+  w.WriteBits(0x3f, 6);
+  const Message m = MakeMessage("m", std::move(w));
+  EXPECT_EQ(m.label, "m");
+  EXPECT_EQ(m.bits(), 6u);
+  EXPECT_EQ(m.payload.size(), 1u);
+}
+
+TEST(ChannelTest, AccountingBasics) {
+  Channel channel;
+  channel.Send(Direction::kAliceToBob, Msg("a", 100));
+  channel.Send(Direction::kAliceToBob, Msg("b", 28));
+  channel.Send(Direction::kBobToAlice, Msg("c", 9));
+
+  const ChannelStats& stats = channel.stats();
+  EXPECT_EQ(stats.total_bits, 137u);
+  EXPECT_EQ(stats.alice_to_bob_bits, 128u);
+  EXPECT_EQ(stats.bob_to_alice_bits, 9u);
+  EXPECT_EQ(stats.message_count, 3u);
+  EXPECT_DOUBLE_EQ(stats.total_bytes(), 137.0 / 8.0);
+}
+
+TEST(ChannelTest, RoundsCountDirectionAlternations) {
+  Channel channel;
+  EXPECT_EQ(channel.stats().rounds, 0u);
+  channel.Send(Direction::kAliceToBob, Msg("1", 8));
+  EXPECT_EQ(channel.stats().rounds, 1u);
+  channel.Send(Direction::kAliceToBob, Msg("2", 8));
+  EXPECT_EQ(channel.stats().rounds, 1u);  // same direction, same round
+  channel.Send(Direction::kBobToAlice, Msg("3", 8));
+  EXPECT_EQ(channel.stats().rounds, 2u);
+  channel.Send(Direction::kAliceToBob, Msg("4", 8));
+  EXPECT_EQ(channel.stats().rounds, 3u);
+}
+
+TEST(ChannelTest, FirstMessageFromBobCountsARound) {
+  Channel channel;
+  channel.Send(Direction::kBobToAlice, Msg("x", 8));
+  EXPECT_EQ(channel.stats().rounds, 1u);
+}
+
+TEST(ChannelTest, ReceiveIsFifoPerDirection) {
+  Channel channel;
+  channel.Send(Direction::kAliceToBob, Msg("first", 8));
+  channel.Send(Direction::kBobToAlice, Msg("reply", 8));
+  channel.Send(Direction::kAliceToBob, Msg("second", 8));
+
+  EXPECT_TRUE(channel.HasPending(Direction::kAliceToBob));
+  EXPECT_EQ(channel.Receive(Direction::kAliceToBob).label, "first");
+  EXPECT_EQ(channel.Receive(Direction::kAliceToBob).label, "second");
+  EXPECT_FALSE(channel.HasPending(Direction::kAliceToBob));
+  EXPECT_TRUE(channel.HasPending(Direction::kBobToAlice));
+  EXPECT_EQ(channel.Receive(Direction::kBobToAlice).label, "reply");
+  EXPECT_FALSE(channel.HasPending(Direction::kBobToAlice));
+}
+
+TEST(ChannelTest, PayloadSurvivesTransit) {
+  Channel channel;
+  BitWriter w;
+  w.WriteBits(0xfeedULL, 16);
+  w.WriteVarint(12345);
+  channel.Send(Direction::kAliceToBob, MakeMessage("payload", std::move(w)));
+
+  const Message m = channel.Receive(Direction::kAliceToBob);
+  BitReader r(m.payload);
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadBits(16, &v));
+  EXPECT_EQ(v, 0xfeedu);
+  ASSERT_TRUE(r.ReadVarint(&v));
+  EXPECT_EQ(v, 12345u);
+}
+
+TEST(ChannelTest, TranscriptRecordsEverything) {
+  Channel channel;
+  channel.Send(Direction::kAliceToBob, Msg("alpha", 10));
+  channel.Send(Direction::kBobToAlice, Msg("beta", 20));
+  const auto& transcript = channel.transcript();
+  ASSERT_EQ(transcript.size(), 2u);
+  EXPECT_EQ(transcript[0].label, "alpha");
+  EXPECT_EQ(transcript[0].bits, 10u);
+  EXPECT_EQ(transcript[1].label, "beta");
+
+  const std::string rendered = channel.TranscriptToString();
+  EXPECT_NE(rendered.find("alpha"), std::string::npos);
+  EXPECT_NE(rendered.find("B->A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace transport
+}  // namespace rsr

@@ -1,0 +1,202 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rsr {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndAdvances) {
+  uint64_t s1 = 42, s2 = 42;
+  const uint64_t a = SplitMix64(&s1);
+  const uint64_t b = SplitMix64(&s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(s1, 42u);
+  EXPECT_NE(SplitMix64(&s1), a);  // stream advances
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(3);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, UniformInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(9);
+  const int trials = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < trials; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(10);
+  const int trials = 50000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.1);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(11);
+  const double p = 0.25;
+  const int trials = 30000;
+  double sum = 0;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.Geometric(p));
+  }
+  // Mean of failures-before-success geometric is (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(RngTest, GeometricPOneIsZero) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(RngTest, ShuffleUniformityOfFirstElement) {
+  // Over many shuffles of {0,1,2,3}, element 0 should land in each slot
+  // about a quarter of the time.
+  Rng rng(14);
+  int slot_counts[4] = {0, 0, 0, 0};
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> v = {0, 1, 2, 3};
+    rng.Shuffle(&v);
+    for (int i = 0; i < 4; ++i) {
+      if (v[static_cast<size_t>(i)] == 0) ++slot_counts[i];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(slot_counts[i]) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(15);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  Rng a2 = parent.Fork(1);
+  EXPECT_EQ(a.Next64(), a2.Next64());  // same label -> same stream
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng p1(16), p2(16);
+  (void)p1.Fork(9);
+  EXPECT_EQ(p1.Next64(), p2.Next64());
+}
+
+// Parameterized distribution sweep: Below(bound) should be roughly uniform
+// across a few representative bounds.
+class RngUniformitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformitySweep, BelowIsRoughlyUniform) {
+  const uint64_t bound = GetParam();
+  Rng rng(100 + bound);
+  const int trials = 30000;
+  std::vector<int> buckets(8, 0);
+  for (int i = 0; i < trials; ++i) {
+    const uint64_t v = rng.Below(bound);
+    ++buckets[static_cast<size_t>(8 * v / bound)];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(static_cast<double>(b) / trials, 0.125, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngUniformitySweep,
+                         ::testing::Values(8, 100, 4096, 1000003,
+                                           uint64_t{1} << 33));
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,127 @@
+#include "util/serial.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rsr {
+namespace {
+
+TEST(SerialTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  EXPECT_EQ(w.size(), 1u + 4u + 8u);
+
+  ByteReader r(w.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(r.ReadU8(&u8));
+  ASSERT_TRUE(r.ReadU32(&u32));
+  ASSERT_TRUE(r.ReadU64(&u64));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.WriteU32(0x01020304);
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(SerialTest, VarintBoundaries) {
+  ByteWriter w;
+  w.WriteVarint(0);
+  w.WriteVarint(0x7f);
+  w.WriteVarint(0x80);
+  w.WriteVarint(~uint64_t{0});
+  ByteReader r(w.bytes());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.ReadVarint(&v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(r.ReadVarint(&v));
+  EXPECT_EQ(v, 0x7fu);
+  ASSERT_TRUE(r.ReadVarint(&v));
+  EXPECT_EQ(v, 0x80u);
+  ASSERT_TRUE(r.ReadVarint(&v));
+  EXPECT_EQ(v, ~uint64_t{0});
+}
+
+TEST(SerialTest, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const std::vector<uint8_t> blob = {1, 2, 3, 250, 251};
+  w.WriteBlob(blob);
+  w.WriteString("hello world");
+  w.WriteBlob({});
+  w.WriteString("");
+
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> out_blob;
+  std::string out_str;
+  ASSERT_TRUE(r.ReadBlob(&out_blob));
+  EXPECT_EQ(out_blob, blob);
+  ASSERT_TRUE(r.ReadString(&out_str));
+  EXPECT_EQ(out_str, "hello world");
+  ASSERT_TRUE(r.ReadBlob(&out_blob));
+  EXPECT_TRUE(out_blob.empty());
+  ASSERT_TRUE(r.ReadString(&out_str));
+  EXPECT_TRUE(out_str.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerialTest, UnderrunFails) {
+  ByteWriter w;
+  w.WriteU8(1);
+  ByteReader r(w.bytes());
+  uint32_t v = 0;
+  EXPECT_FALSE(r.ReadU32(&v));
+}
+
+TEST(SerialTest, TruncatedBlobFails) {
+  ByteWriter w;
+  w.WriteVarint(100);  // claims 100 bytes follow
+  w.WriteU8(1);
+  ByteReader r(w.bytes());
+  std::vector<uint8_t> blob;
+  EXPECT_FALSE(r.ReadBlob(&blob));
+}
+
+TEST(SerialTest, MalformedVarintFails) {
+  // Eleven continuation bytes is not a valid 64-bit varint.
+  std::vector<uint8_t> bytes(11, 0x80);
+  ByteReader r(bytes);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.ReadVarint(&v));
+}
+
+TEST(SerialTest, FuzzedRoundTrip) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    ByteWriter w;
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 100; ++i) {
+      const uint64_t v = rng.Next64() >> rng.Below(64);
+      values.push_back(v);
+      w.WriteVarint(v);
+    }
+    ByteReader r(w.bytes());
+    for (uint64_t expected : values) {
+      uint64_t v = 0;
+      ASSERT_TRUE(r.ReadVarint(&v));
+      ASSERT_EQ(v, expected);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace rsr

@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rsr {
+namespace {
+
+TEST(OnlineStatsTest, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, NegativeValues) {
+  OnlineStats s;
+  s.Add(-10.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -10.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(SampleSetTest, MeanAndStddevMatchOnline) {
+  OnlineStats online;
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>(i * i % 37);
+    online.Add(v);
+    samples.Add(v);
+  }
+  EXPECT_NEAR(samples.Mean(), online.mean(), 1e-9);
+  EXPECT_NEAR(samples.Stddev(), online.stddev(), 1e-9);
+}
+
+TEST(SampleSetTest, PercentilesOnKnownData) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 50.0);
+  EXPECT_NEAR(s.Percentile(25), 25.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.0, 1e-9);
+}
+
+TEST(SampleSetTest, PercentileInterpolates) {
+  SampleSet s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(SampleSetTest, AddAfterQueryStillCorrect) {
+  SampleSet s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+}
+
+TEST(FormatCompactTest, Basics) {
+  EXPECT_EQ(FormatCompact(1.0), "1");
+  EXPECT_EQ(FormatCompact(0.5), "0.5");
+  EXPECT_EQ(FormatCompact(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatCompact(1e9, 3), "1e+09");
+}
+
+}  // namespace
+}  // namespace rsr

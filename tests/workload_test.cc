@@ -1,0 +1,192 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geometry/emd.h"
+#include "geometry/metric.h"
+#include "workload/scenario.h"
+
+namespace rsr {
+namespace workload {
+namespace {
+
+TEST(GenerateCloudTest, UniformBasics) {
+  CloudSpec spec;
+  spec.universe = MakeUniverse(1 << 16, 3);
+  spec.n = 500;
+  spec.shape = CloudShape::kUniform;
+  Rng rng(1);
+  const PointSet points = GenerateCloud(spec, &rng);
+  EXPECT_EQ(points.size(), 500u);
+  for (const Point& p : points) EXPECT_TRUE(spec.universe.Contains(p));
+}
+
+TEST(GenerateCloudTest, DeterministicGivenRng) {
+  CloudSpec spec;
+  spec.universe = MakeUniverse(1024, 2);
+  spec.n = 100;
+  Rng r1(7), r2(7);
+  EXPECT_EQ(GenerateCloud(spec, &r1), GenerateCloud(spec, &r2));
+}
+
+TEST(GenerateCloudTest, ClustersAreClustered) {
+  CloudSpec spec;
+  spec.universe = MakeUniverse(1 << 20, 2);
+  spec.n = 600;
+  spec.shape = CloudShape::kClusters;
+  spec.num_clusters = 3;
+  spec.cluster_stddev_fraction = 0.001;
+  Rng rng(2);
+  const PointSet points = GenerateCloud(spec, &rng);
+  ASSERT_EQ(points.size(), 600u);
+  for (const Point& p : points) ASSERT_TRUE(spec.universe.Contains(p));
+  // Average nearest-neighbour distance must be far below the uniform
+  // expectation (~ Δ / sqrt(n) ≈ 42k for this configuration).
+  double total_nn = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    double best = 1e300;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, Distance(points[i], points[j], Metric::kL2));
+    }
+    total_nn += best;
+  }
+  EXPECT_LT(total_nn / 100.0, 5000.0);
+}
+
+TEST(GenerateCloudTest, GridAlignedSnapsToPitch) {
+  CloudSpec spec;
+  spec.universe = MakeUniverse(1 << 12, 2);
+  spec.n = 200;
+  spec.shape = CloudShape::kGridAligned;
+  spec.grid_pitch = 64;
+  Rng rng(3);
+  const PointSet points = GenerateCloud(spec, &rng);
+  for (const Point& p : points) {
+    for (int64_t c : p) EXPECT_EQ(c % 64, 0);
+  }
+}
+
+TEST(PerturbPointTest, NoneIsIdentity) {
+  const Universe u = MakeUniverse(1000, 3);
+  Rng rng(4);
+  const Point p = {10, 20, 30};
+  EXPECT_EQ(PerturbPoint(p, u, NoiseKind::kNone, 100.0, &rng), p);
+}
+
+TEST(PerturbPointTest, GaussianStaysInUniverseAndIsClose) {
+  const Universe u = MakeUniverse(1000, 2);
+  Rng rng(5);
+  const Point p = {500, 500};
+  for (int i = 0; i < 500; ++i) {
+    const Point q = PerturbPoint(p, u, NoiseKind::kGaussian, 3.0, &rng);
+    ASSERT_TRUE(u.Contains(q));
+    EXPECT_LT(Distance(p, q, Metric::kLinf), 30.0);  // 10 sigma
+  }
+}
+
+TEST(PerturbPointTest, UniformBoxRespectsRadius) {
+  const Universe u = MakeUniverse(1000, 2);
+  Rng rng(6);
+  const Point p = {500, 500};
+  for (int i = 0; i < 500; ++i) {
+    const Point q = PerturbPoint(p, u, NoiseKind::kUniformBox, 7.0, &rng);
+    ASSERT_TRUE(u.Contains(q));
+    EXPECT_LE(Distance(p, q, Metric::kLinf), 7.0);
+  }
+}
+
+TEST(PerturbPointTest, ClampingAtBoundary) {
+  const Universe u = MakeUniverse(100, 1);
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Point q = PerturbPoint({0}, u, NoiseKind::kGaussian, 50.0, &rng);
+    ASSERT_TRUE(u.Contains(q));
+  }
+}
+
+TEST(MakeReplicaPairTest, SizesAndOutlierCount) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(1 << 16, 2);
+  cloud.n = 300;
+  PerturbationSpec spec;
+  spec.noise = NoiseKind::kGaussian;
+  spec.noise_scale = 2.0;
+  spec.outliers = 12;
+  const ReplicaPair pair = MakeReplicaPair(cloud, spec, 99);
+  EXPECT_EQ(pair.alice.size(), 300u);
+  EXPECT_EQ(pair.bob.size(), 300u);
+  EXPECT_EQ(pair.outlier_indices.size(), 12u);
+  for (size_t idx : pair.outlier_indices) EXPECT_LT(idx, pair.alice.size());
+  std::set<size_t> unique(pair.outlier_indices.begin(),
+                          pair.outlier_indices.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(MakeReplicaPairTest, DeterministicInSeed) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(1 << 10, 2);
+  cloud.n = 50;
+  PerturbationSpec spec;
+  spec.outliers = 3;
+  const ReplicaPair a = MakeReplicaPair(cloud, spec, 5);
+  const ReplicaPair b = MakeReplicaPair(cloud, spec, 5);
+  const ReplicaPair c = MakeReplicaPair(cloud, spec, 6);
+  EXPECT_EQ(a.alice, b.alice);
+  EXPECT_EQ(a.bob, b.bob);
+  EXPECT_NE(a.alice, c.alice);
+}
+
+TEST(MakeReplicaPairTest, NoNoiseNoOutliersGivesPermutation) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(1 << 20, 2);
+  cloud.n = 100;
+  PerturbationSpec spec;  // defaults: gaussian but scale 0 -> set none
+  spec.noise = NoiseKind::kNone;
+  spec.outliers = 0;
+  const ReplicaPair pair = MakeReplicaPair(cloud, spec, 11);
+  PointSet a = pair.alice, b = pair.bob;
+  std::sort(a.begin(), a.end(), PointLess);
+  std::sort(b.begin(), b.end(), PointLess);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MakeReplicaPairTest, NoiseBoundsEmdPerPoint) {
+  CloudSpec cloud;
+  cloud.universe = MakeUniverse(1 << 20, 2);
+  cloud.n = 60;
+  PerturbationSpec spec;
+  spec.noise = NoiseKind::kUniformBox;
+  spec.noise_scale = 4.0;
+  spec.outliers = 0;
+  const ReplicaPair pair = MakeReplicaPair(cloud, spec, 12);
+  const double emd = ExactEmd(pair.alice, pair.bob, Metric::kLinf);
+  EXPECT_LE(emd, 4.0 * 60);
+}
+
+TEST(ScenarioTest, StandardScenarioMaterializes) {
+  const Scenario s = workload::StandardScenario(128, 2, 1 << 16, 8, 2.0);
+  const ReplicaPair pair = s.Materialize();
+  EXPECT_EQ(pair.alice.size(), 128u);
+  EXPECT_EQ(pair.bob.size(), 128u);
+  EXPECT_EQ(pair.outlier_indices.size(), 8u);
+  for (const Point& p : pair.alice) EXPECT_TRUE(s.universe.Contains(p));
+}
+
+TEST(ScenarioTest, NamedScenariosDiffer) {
+  const Scenario sensor = SensorScenario(64, 4, 1.0);
+  const Scenario highdim = HighDimScenario(64, 16, 4, 1.0);
+  EXPECT_EQ(sensor.universe.d, 2);
+  EXPECT_EQ(highdim.universe.d, 16);
+  EXPECT_EQ(highdim.metric, Metric::kL1);
+  const ReplicaPair hp = highdim.Materialize();
+  EXPECT_EQ(hp.alice.size(), 64u);
+  for (const Point& p : hp.alice) EXPECT_TRUE(highdim.universe.Contains(p));
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace rsr
