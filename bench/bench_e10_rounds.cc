@@ -10,7 +10,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 
 namespace rsr {
 namespace {
@@ -24,14 +24,14 @@ void RunOne(size_t k, int log_delta) {
   recon::ProtocolContext ctx;
   ctx.universe = scenario.universe;
   ctx.seed = 37;
-  recon::QuadtreeParams qp;
-  qp.k = k;
+  recon::ProtocolParams pp;
+  pp.k = k;
 
   transport::Channel oneshot_channel, adaptive_channel;
-  (void)recon::QuadtreeReconciler(ctx, qp)
-      .Run(pair.alice, pair.bob, &oneshot_channel);
-  (void)recon::AdaptiveQuadtreeReconciler(ctx, qp)
-      .Run(pair.alice, pair.bob, &adaptive_channel);
+  (void)recon::MakeReconciler("quadtree", ctx, pp)
+      ->Run(pair.alice, pair.bob, &oneshot_channel);
+  (void)recon::MakeReconciler("quadtree-adaptive", ctx, pp)
+      ->Run(pair.alice, pair.bob, &adaptive_channel);
 
   std::map<std::string, size_t> phase_bits;
   for (const auto& entry : adaptive_channel.transcript()) {

@@ -10,8 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "lshrecon/mlsh_recon.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/stats.h"
 
 namespace rsr {
@@ -41,19 +40,15 @@ void RunE11() {
       ctx.universe = scenario.universe;
       ctx.seed = 41 + static_cast<uint64_t>(t);
 
-      recon::QuadtreeParams qp;
-      qp.k = k;
-      lshrecon::MlshParams mp;
-      mp.k = k;
+      recon::ProtocolParams pp;
+      pp.k = k;
 
       recon::EvaluateOptions options;
       options.metric = Metric::kL2;
-      const recon::Evaluation qt =
-          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
-                           pair.bob, options);
-      const recon::Evaluation lsh =
-          EvaluateProtocol(lshrecon::MlshReconciler(ctx, mp), pair.alice,
-                           pair.bob, options);
+      const recon::Evaluation qt = EvaluateProtocol(
+          "quadtree", ctx, pp, pair.alice, pair.bob, options);
+      const recon::Evaluation lsh = EvaluateProtocol(
+          "mlsh-riblt", ctx, pp, pair.alice, pair.bob, options);
       qt_bits = qt.comm_bits;
       lsh_bits = lsh.comm_bits;
       if (qt.success) {

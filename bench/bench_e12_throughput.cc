@@ -11,7 +11,7 @@
 #include "geometry/grid.h"
 #include "iblt/iblt.h"
 #include "iblt/sizing.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "riblt/riblt.h"
 #include "util/random.h"
 #include "workload/scenario.h"
@@ -126,12 +126,13 @@ void BM_QuadtreeProtocol(benchmark::State& state) {
   recon::ProtocolContext ctx;
   ctx.universe = scenario.universe;
   ctx.seed = 13;
-  recon::QuadtreeParams qp;
-  qp.k = 16;
-  recon::QuadtreeReconciler protocol(ctx, qp);
+  recon::ProtocolParams pp;
+  pp.k = 16;
+  const std::unique_ptr<recon::Reconciler> protocol =
+      recon::MakeReconciler("quadtree", ctx, pp);
   for (auto _ : state) {
     transport::Channel channel;
-    benchmark::DoNotOptimize(protocol.Run(pair.alice, pair.bob, &channel));
+    benchmark::DoNotOptimize(protocol->Run(pair.alice, pair.bob, &channel));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
 }

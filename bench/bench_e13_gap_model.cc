@@ -38,10 +38,13 @@ void RunRow(size_t n, size_t far, double r2, const char* label) {
     gaprecon::GapParams params;
     params.r1 = 2.0;
     params.r2 = r2;
-    gaprecon::GapReconciler protocol(ctx, params);
+    recon::ProtocolParams pp;
+    pp.gap = params;
+    const std::unique_ptr<recon::Reconciler> protocol =
+        recon::MakeReconciler("gap-lattice", ctx, pp);
     transport::Channel channel;
-    const gaprecon::GapResult result =
-        protocol.Run(pair.alice, pair.bob, &channel);
+    const recon::ReconResult result =
+        protocol->Run(pair.alice, pair.bob, &channel);
     bits = channel.stats().total_bits;
     if (result.success) {
       ++successes;

@@ -13,7 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/stats.h"
 
 namespace rsr {
@@ -22,6 +22,9 @@ namespace {
 void StrideSweep() {
   std::printf("-- (a) level stride (n=512, d=2, delta=2^20, k=8, eps=2, "
               "8 trials)\n");
+  bench::JsonTable("E14a", "level stride ablation (n=512, d=2, delta=2^20, "
+                   "k=8, eps=2)",
+                   "bytes ~ 1/stride with bounded quality loss");
   bench::Row({"stride", "bytes", "succ", "level_med", "emd_mean"});
   const int trials = 8;
   for (int stride : {1, 2, 3, 4, 6}) {
@@ -36,14 +39,13 @@ void StrideSweep() {
       recon::ProtocolContext ctx;
       ctx.universe = scenario.universe;
       ctx.seed = 51 + static_cast<uint64_t>(t);
-      recon::QuadtreeParams qp;
-      qp.k = 8;
-      qp.level_stride = stride;
+      recon::ProtocolParams pp;
+      pp.quadtree.k = 8;
+      pp.quadtree.level_stride = stride;
       recon::EvaluateOptions options;
       options.metric = scenario.metric;
-      const recon::Evaluation eval =
-          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
-                           pair.bob, options);
+      const recon::Evaluation eval = EvaluateProtocol(
+          "quadtree", ctx, pp, pair.alice, pair.bob, options);
       bits = eval.comm_bits;
       if (eval.success) {
         ++successes;
@@ -60,6 +62,8 @@ void StrideSweep() {
 
 void ChecksumSweep() {
   std::printf("\n-- (b) checksum width (same workload, 8 trials)\n");
+  bench::JsonTable("E14b", "checksum width ablation (same workload)",
+                   "bytes fall with width; no quality loss down to ~16 bits");
   bench::Row({"check_bits", "bytes", "succ", "emd_mean"});
   const int trials = 8;
   for (int bits_width : {8, 16, 24, 32, 48, 64}) {
@@ -74,14 +78,13 @@ void ChecksumSweep() {
       recon::ProtocolContext ctx;
       ctx.universe = scenario.universe;
       ctx.seed = 61 + static_cast<uint64_t>(t);
-      recon::QuadtreeParams qp;
-      qp.k = 8;
-      qp.checksum_bits = bits_width;
+      recon::ProtocolParams pp;
+      pp.quadtree.k = 8;
+      pp.quadtree.checksum_bits = bits_width;
       recon::EvaluateOptions options;
       options.metric = scenario.metric;
-      const recon::Evaluation eval =
-          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
-                           pair.bob, options);
+      const recon::Evaluation eval = EvaluateProtocol(
+          "quadtree", ctx, pp, pair.alice, pair.bob, options);
       bits = eval.comm_bits;
       if (eval.success) {
         ++successes;

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/stats.h"
 
 namespace rsr {
@@ -39,16 +39,15 @@ void RunE2() {
         ctx.universe = scenario.universe;
         ctx.seed = 7 + static_cast<uint64_t>(t);
 
-        recon::QuadtreeParams qp;
-        qp.k = k;
-        qp.headroom = headroom;
-        qp.decode_budget = budget_factor * k;
+        recon::ProtocolParams pp;
+        pp.quadtree.k = k;
+        pp.quadtree.headroom = headroom;
+        pp.quadtree.decode_budget = budget_factor * k;
         recon::EvaluateOptions options;
         options.metric = scenario.metric;
         options.k = k;
-        const recon::Evaluation eval =
-            EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
-                             pair.bob, options);
+        const recon::Evaluation eval = EvaluateProtocol(
+            "quadtree", ctx, pp, pair.alice, pair.bob, options);
         bytes_bits = eval.comm_bits;
         if (eval.success) {
           ++successes;

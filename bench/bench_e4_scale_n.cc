@@ -8,9 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/exact_recon.h"
-#include "recon/full_transfer.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 
 namespace rsr {
 namespace {
@@ -34,18 +32,16 @@ void RunE4() {
     ctx.universe = scenario.universe;
     ctx.seed = 17;
 
-    recon::QuadtreeParams qp;
-    qp.k = k;
+    recon::ProtocolParams pp;
+    pp.k = k;
     const recon::Evaluation quadtree = EvaluateProtocol(
-        recon::QuadtreeReconciler(ctx, qp), pair.alice, pair.bob, options);
+        "quadtree", ctx, pp, pair.alice, pair.bob, options);
     const recon::Evaluation adaptive = EvaluateProtocol(
-        recon::AdaptiveQuadtreeReconciler(ctx, qp), pair.alice, pair.bob,
-        options);
+        "quadtree-adaptive", ctx, pp, pair.alice, pair.bob, options);
     const recon::Evaluation exact = EvaluateProtocol(
-        recon::ExactReconciler(ctx, recon::ExactReconParams{}), pair.alice,
-        pair.bob, options);
+        "exact-iblt", ctx, pp, pair.alice, pair.bob, options);
     const recon::Evaluation full = EvaluateProtocol(
-        recon::FullTransferReconciler(ctx), pair.alice, pair.bob, options);
+        "full-transfer", ctx, pp, pair.alice, pair.bob, options);
 
     bench::Row({std::to_string(n), bench::Bits(quadtree.comm_bits),
                 bench::Bits(adaptive.comm_bits), bench::Bits(exact.comm_bits),

@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/stats.h"
 
 namespace rsr {
@@ -36,14 +36,13 @@ void RunE5() {
       ctx.universe = scenario.universe;
       ctx.seed = 23 + static_cast<uint64_t>(t);
 
-      recon::QuadtreeParams qp;
-      qp.k = k;
+      recon::ProtocolParams pp;
+      pp.k = k;
       recon::EvaluateOptions options;
       options.metric = Metric::kL2;
       options.k = k;
-      const recon::Evaluation eval =
-          EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp), pair.alice,
-                           pair.bob, options);
+      const recon::Evaluation eval = EvaluateProtocol(
+          "quadtree", ctx, pp, pair.alice, pair.bob, options);
       bits = eval.comm_bits;
       if (eval.success) {
         ++successes;

@@ -9,7 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 
 namespace rsr {
 namespace {
@@ -36,13 +36,12 @@ void RunE6() {
     ctx.universe = scenario.universe;
     ctx.seed = 29;
 
-    recon::QuadtreeParams qp;
-    qp.k = k;
+    recon::ProtocolParams pp;
+    pp.k = k;
     const recon::Evaluation quadtree = EvaluateProtocol(
-        recon::QuadtreeReconciler(ctx, qp), pair.alice, pair.bob, options);
+        "quadtree", ctx, pp, pair.alice, pair.bob, options);
     const recon::Evaluation adaptive = EvaluateProtocol(
-        recon::AdaptiveQuadtreeReconciler(ctx, qp), pair.alice, pair.bob,
-        options);
+        "quadtree-adaptive", ctx, pp, pair.alice, pair.bob, options);
     const size_t full_bits =
         n * 2 * static_cast<size_t>(log_delta);  // packed points
 

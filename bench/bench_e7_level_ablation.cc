@@ -9,8 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "recon/quadtree_recon.h"
-#include "recon/single_grid.h"
+#include "recon/registry.h"
 #include "util/stats.h"
 
 namespace rsr {
@@ -39,19 +38,19 @@ void RunE7() {
       recon::ProtocolContext ctx;
       ctx.universe = scenario.universe;
       ctx.seed = 31 + static_cast<uint64_t>(t);
-      recon::QuadtreeParams qp;
-      qp.k = k;
+      recon::ProtocolParams pp;
+      pp.k = k;
       recon::EvaluateOptions options;
       options.metric = scenario.metric;
       recon::Evaluation eval;
       if (forced_level < 0) {
-        eval = EvaluateProtocol(recon::QuadtreeReconciler(ctx, qp),
-                                pair.alice, pair.bob, options);
+        eval = EvaluateProtocol("quadtree", ctx, pp, pair.alice, pair.bob,
+                                options);
         auto_level_sum += eval.chosen_level;
       } else {
-        eval = EvaluateProtocol(
-            recon::SingleGridReconciler(ctx, qp, forced_level), pair.alice,
-            pair.bob, options);
+        pp.single_grid_level = forced_level;
+        eval = EvaluateProtocol("single-grid", ctx, pp, pair.alice,
+                                pair.bob, options);
       }
       bits = eval.comm_bits;
       if (eval.success) {

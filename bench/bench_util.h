@@ -1,13 +1,23 @@
-// Shared helpers for the experiment harnesses (bench_e1 .. bench_e11).
+// Shared helpers for the experiment harnesses (bench_e1 .. bench_e14).
 //
 // Each harness prints a self-describing table: experiment id, the claim
 // being reproduced ("paper shape"), the sweep axis, and one row per
 // configuration. EXPERIMENTS.md records these outputs next to the claims.
+//
+// Alongside the human-readable table, every harness also writes a
+// machine-readable BENCH_<id>.json (into $RSR_BENCH_JSON_DIR, default the
+// working directory) so the perf trajectory can be tracked across PRs:
+//   { "experiment": "E1", "title": ..., "shape": ...,
+//     "columns": ["k", "quadtree_B", ...],
+//     "rows": [{"k": 1, "quadtree_B": 1234.5, ...}, ...] }
+// The first Row() after Banner() names the columns; numeric-looking cells
+// are emitted as JSON numbers, everything else as strings.
 
 #ifndef RSR_BENCH_BENCH_UTIL_H_
 #define RSR_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,20 +28,123 @@
 namespace rsr {
 namespace bench {
 
-/// Prints the experiment banner.
+/// Incremental writer for BENCH_<id>.json. The whole (tiny) document is
+/// rewritten after every row, so the file is always valid JSON even if the
+/// harness is interrupted.
+class JsonSink {
+ public:
+  static JsonSink& Instance() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void Open(const std::string& id, const std::string& title,
+            const std::string& shape) {
+    id_ = id;
+    title_ = title;
+    shape_ = shape;
+    columns_.clear();
+    rows_.clear();
+    const char* dir = std::getenv("RSR_BENCH_JSON_DIR");
+    path_ = (dir != nullptr && dir[0] != '\0')
+                ? std::string(dir) + "/BENCH_" + id + ".json"
+                : "BENCH_" + id + ".json";
+    // The file is only materialised once a row arrives, so switching to a
+    // per-table sink (JsonTable) before any Row leaves no empty stub.
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    if (path_.empty()) return;  // no Banner yet
+    if (columns_.empty()) {
+      columns_ = cells;  // header row
+    } else {
+      rows_.push_back(cells);
+    }
+    Flush();
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  }
+
+  // Numeric-looking cells become JSON numbers.
+  static std::string Cell(const std::string& s) {
+    if (!s.empty()) {
+      char* end = nullptr;
+      std::strtod(s.c_str(), &end);
+      if (end != nullptr && *end == '\0') return s;
+    }
+    return "\"" + Escape(s) + "\"";
+  }
+
+  void Flush() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return;  // e.g. read-only working directory
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n", Escape(id_).c_str());
+    std::fprintf(f, "  \"title\": \"%s\",\n", Escape(title_).c_str());
+    std::fprintf(f, "  \"shape\": \"%s\",\n", Escape(shape_).c_str());
+    std::fprintf(f, "  \"columns\": [");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i ? ", " : "",
+                   Escape(columns_[i]).c_str());
+    }
+    std::fprintf(f, "],\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      const auto& row = rows_[r];
+      for (size_t i = 0; i < row.size(); ++i) {
+        const std::string key =
+            i < columns_.size() ? columns_[i] : "col" + std::to_string(i);
+        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                     Escape(key).c_str(), Cell(row[i]).c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string id_, title_, shape_, path_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints the experiment banner and opens BENCH_<id>.json.
 inline void Banner(const char* id, const char* title, const char* shape) {
   std::printf("==============================================================\n");
   std::printf("%s: %s\n", id, title);
   std::printf("paper shape: %s\n", shape);
   std::printf("==============================================================\n");
+  JsonSink::Instance().Open(id, title, shape);
 }
 
-/// Prints a row of cells separated by two spaces, padded to width 14.
+/// Prints a row of cells separated by two spaces, padded to width 14, and
+/// mirrors it into the JSON sink (first row after Banner = column names).
 inline void Row(const std::vector<std::string>& cells) {
   for (const std::string& cell : cells) {
     std::printf("%-14s", cell.c_str());
   }
   std::printf("\n");
+  JsonSink::Instance().Row(cells);
+}
+
+/// Redirects the JSON sink to a fresh BENCH_<id>.json without printing a
+/// new banner. Harnesses that emit several tables under one banner (e.g.
+/// E14's stride and checksum sweeps) call this before each table's header
+/// row so every table gets coherent columns.
+inline void JsonTable(const char* id, const char* title, const char* shape) {
+  JsonSink::Instance().Open(id, title, shape);
 }
 
 inline std::string Num(double v, int digits = 5) {

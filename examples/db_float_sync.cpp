@@ -17,8 +17,7 @@
 #include <vector>
 
 #include "geometry/emd.h"
-#include "recon/exact_recon.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/random.h"
 
 namespace {
@@ -93,18 +92,20 @@ int main() {
   context.universe = universe;
   context.seed = 99;
 
+  recon::ProtocolParams params;
+  params.k = 2 * true_updates;
+
   // Exact reconciliation: correct but pays for the float jitter.
   transport::Channel exact_channel;
   const recon::ReconResult exact =
-      recon::ExactReconciler(context, {}).Run(alice, bob, &exact_channel);
+      recon::MakeReconciler("exact-iblt", context, params)
+          ->Run(alice, bob, &exact_channel);
 
   // Robust reconciliation: pays only for the true updates.
-  recon::QuadtreeParams params;
-  params.k = 2 * true_updates;
   transport::Channel robust_channel;
   const recon::ReconResult robust =
-      recon::QuadtreeReconciler(context, params)
-          .Run(alice, bob, &robust_channel);
+      recon::MakeReconciler("quadtree", context, params)
+          ->Run(alice, bob, &robust_channel);
 
   const double emd_before = GreedyEmdUpperBound(alice, bob, Metric::kL1);
   const double emd_exact =

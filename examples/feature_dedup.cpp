@@ -14,8 +14,7 @@
 #include <cstdio>
 
 #include "geometry/emd.h"
-#include "lshrecon/mlsh_recon.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "workload/generator.h"
 
 int main() {
@@ -42,22 +41,20 @@ int main() {
   context.seed = 5;
 
   // Extension protocol: lattice (ℓ1) MLSH keys over a Robust IBLT.
-  lshrecon::MlshParams params;
+  recon::ProtocolParams params;
   params.k = k;
-  params.family = lshrecon::MlshKind::kGridL1;  // tight d-dim boxes
-  params.width = 128.0;  // box side: >> jitter, << inter-image distance
-  lshrecon::MlshReconciler lsh_protocol(context, params);
+  params.mlsh.family = lshrecon::MlshKind::kGridL1;  // tight d-dim boxes
+  params.mlsh.width = 128.0;  // box side: >> jitter, << inter-image distance
   transport::Channel lsh_channel;
   const recon::ReconResult lsh =
-      lsh_protocol.Run(pair.alice, pair.bob, &lsh_channel);
+      recon::MakeReconciler("mlsh-riblt", context, params)
+          ->Run(pair.alice, pair.bob, &lsh_channel);
 
   // The quadtree for comparison.
-  recon::QuadtreeParams qp;
-  qp.k = k;
-  recon::QuadtreeReconciler qt_protocol(context, qp);
   transport::Channel qt_channel;
   const recon::ReconResult qt =
-      qt_protocol.Run(pair.alice, pair.bob, &qt_channel);
+      recon::MakeReconciler("quadtree", context, params)
+          ->Run(pair.alice, pair.bob, &qt_channel);
 
   const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
   const double after_lsh =

@@ -16,7 +16,7 @@
 
 #include <cstdio>
 
-#include "gaprecon/gap_recon.h"
+#include "recon/registry.h"
 #include "workload/generator.h"
 
 int main() {
@@ -44,14 +44,14 @@ int main() {
   context.universe = universe;
   context.seed = 2718;
 
-  gaprecon::GapParams params;
-  params.r1 = 2.0;    // same-asset GPS disagreement
-  params.r2 = 512.0;  // distinct assets are farther than this
-  gaprecon::GapReconciler protocol(context, params);
+  recon::ProtocolParams params;
+  params.gap.r1 = 2.0;    // same-asset GPS disagreement
+  params.gap.r2 = 512.0;  // distinct assets are farther than this
 
   transport::Channel channel;
-  const gaprecon::GapResult result =
-      protocol.Run(pair.alice, pair.bob, &channel);
+  const recon::ReconResult result =
+      recon::MakeReconciler("gap-lattice", context, params)
+          ->Run(pair.alice, pair.bob, &channel);
 
   std::printf("assets: %zu on each side, %zu known only to the field "
               "team\n",
@@ -64,7 +64,7 @@ int main() {
   std::printf("full register upload:  %.0f bytes\n",
               static_cast<double>(n) * universe.BitsPerPoint() / 8.0);
   const bool guaranteed = gaprecon::SatisfiesGapGuarantee(
-      pair.alice, result.bob_final, params, universe.d);
+      pair.alice, result.bob_final, params.gap, universe.d);
   std::printf("coverage guarantee:    every field asset within r2 of an HQ "
               "entry: %s\n",
               guaranteed ? "HOLDS" : "VIOLATED");

@@ -1,4 +1,6 @@
-// Quickstart: the smallest end-to-end use of the rsr public API.
+// Quickstart: the smallest end-to-end use of the rsr public API, driving
+// the two endpoint sessions explicitly — the shape a real deployment has,
+// where Alice and Bob live on different machines and you own the transport.
 //
 // Two replicas of a 2-D point set differ by per-point measurement noise
 // plus a few genuinely different points. Exact synchronisation would ship
@@ -9,10 +11,11 @@
 // Build & run:   ./examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "geometry/emd.h"
-#include "recon/evaluate.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
+#include "recon/session.h"
 #include "workload/generator.h"
 
 int main() {
@@ -33,22 +36,59 @@ int main() {
   const workload::ReplicaPair pair =
       workload::MakeReplicaPair(cloud, perturbation, /*seed=*/2024);
 
-  // 3. Configure the robust protocol. The context seed plays the role of
+  // 3. Look the protocol up by name. The context seed plays the role of
   //    public coins: both parties derive identical hash functions from it.
   recon::ProtocolContext context;
   context.universe = universe;
   context.seed = 7;
-  recon::QuadtreeParams params;
+  recon::ProtocolParams params;
   params.k = 8;  // outlier budget
+  const std::unique_ptr<recon::Reconciler> protocol =
+      recon::MakeReconciler("quadtree", context, params);
 
-  // 4. Run it over an accounting channel.
-  recon::QuadtreeReconciler protocol(context, params);
+  // 4. Each party is an independently driveable endpoint. In production
+  //    the two sessions live in different processes and the loop below is
+  //    your network; here an accounting channel plays that role.
+  std::unique_ptr<recon::PartySession> alice =
+      protocol->MakeAliceSession(pair.alice);
+  std::unique_ptr<recon::PartySession> bob =
+      protocol->MakeBobSession(pair.bob);
+
   transport::Channel channel;
-  const recon::ReconResult result =
-      protocol.Run(pair.alice, pair.bob, &channel);
+  for (auto& m : alice->Start()) {
+    channel.Send(transport::Direction::kAliceToBob, std::move(m));
+  }
+  for (auto& m : bob->Start()) {
+    channel.Send(transport::Direction::kBobToAlice, std::move(m));
+  }
+  while (!bob->IsDone()) {
+    bool progress = false;
+    while (!bob->IsDone() &&
+           channel.HasPending(transport::Direction::kAliceToBob)) {
+      auto msg = channel.Receive(transport::Direction::kAliceToBob);
+      for (auto& m : bob->OnMessage(std::move(*msg))) {
+        channel.Send(transport::Direction::kBobToAlice, std::move(m));
+      }
+      progress = true;
+    }
+    while (!alice->IsDone() &&
+           channel.HasPending(transport::Direction::kBobToAlice)) {
+      auto msg = channel.Receive(transport::Direction::kBobToAlice);
+      for (auto& m : alice->OnMessage(std::move(*msg))) {
+        channel.Send(transport::Direction::kAliceToBob, std::move(m));
+      }
+      progress = true;
+    }
+    if (!progress) break;  // half-open failure; result carries the error
+  }
+  const recon::ReconResult result = bob->TakeResult();
 
   // 5. Report.
   std::printf("protocol succeeded:   %s\n", result.success ? "yes" : "no");
+  if (result.error != recon::SessionError::kNone) {
+    std::printf("session error:        %s\n",
+                recon::SessionErrorName(result.error));
+  }
   std::printf("decoded at level:     %d (cell side %lld)\n",
               result.chosen_level,
               static_cast<long long>(int64_t{1} << result.chosen_level));
@@ -64,7 +104,8 @@ int main() {
 
   const double before = ExactEmd(pair.alice, pair.bob, Metric::kL2);
   const double after = ExactEmd(pair.alice, result.bob_final, Metric::kL2);
-  const double best = ExactEmdK(pair.alice, pair.bob, params.k, Metric::kL2);
+  const double best =
+      ExactEmdK(pair.alice, pair.bob, params.k, Metric::kL2);
   std::printf("EMD before:  %.1f\n", before);
   std::printf("EMD after:   %.1f\n", after);
   std::printf("EMD_k bound: %.1f  (k=%zu outliers discounted)\n", best,

@@ -15,7 +15,7 @@
 
 #include "geometry/emd.h"
 #include "geometry/metric.h"
-#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
 #include "util/random.h"
 #include "workload/generator.h"
 
@@ -114,13 +114,13 @@ int main() {
     recon::ProtocolContext context;
     context.universe = universe;
     context.seed = 1000 + static_cast<uint64_t>(epoch);  // fresh coins
-    recon::QuadtreeParams params;
+    recon::ProtocolParams params;
     params.k = k;
 
-    recon::AdaptiveQuadtreeReconciler protocol(context, params);
     transport::Channel channel;
     const recon::ReconResult result =
-        protocol.Run(station_a, station_b, &channel);
+        recon::MakeReconciler("quadtree-adaptive", context, params)
+            ->Run(station_a, station_b, &channel);
     if (result.success) {
       station_b = result.bob_final;
     }

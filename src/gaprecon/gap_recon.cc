@@ -1,12 +1,14 @@
 #include "gaprecon/gap_recon.h"
 
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "hash/mix.h"
+#include "recon/session.h"
 #include "iblt/iblt.h"
 #include "iblt/sizing.h"
 #include "iblt/strata.h"
@@ -113,164 +115,286 @@ StrataConfig GapStrataConfig(uint64_t seed) {
   return config;
 }
 
-}  // namespace
-
-GapResult GapReconciler::Run(const PointSet& alice, const PointSet& bob,
-                             transport::Channel* channel) const {
-  const Universe& universe = context_.universe;
-  const int d = universe.d;
-  const double rho = params_.RhoHat(d);
-  RSR_CHECK_MSG(rho < 1.0, "gap model requires r2 > r1 * d");
-  const size_t n = alice.size() > bob.size() ? alice.size() : bob.size();
-
-  int h = params_.num_functions;
+// h derivation from a set size (the initiator's, now that no single
+// endpoint knows both sizes).
+int DeriveNumFunctions(const GapParams& params, double rho, size_t n) {
+  int h = params.num_functions;
   if (h <= 0) {
     const double target =
         std::log(20.0 * static_cast<double>(n > 1 ? n : 2));
     h = static_cast<int>(std::ceil(target / std::log(1.0 / rho)));
     if (h < 2) h = 2;
   }
+  return h;
+}
 
-  const LatticeKeys lattice(universe, params_.CellSide(d), h, context_.seed);
-  const EntrySet alice_entries = BuildEntrySet(alice, lattice);
-  const EntrySet bob_entries = BuildEntrySet(bob, lattice);
+// Entry-key IBLT configuration of attempt `attempt` (cells travel on the
+// wire; everything else is public).
+IbltConfig GapIbltConfig(const GapParams& params, uint64_t seed,
+                         uint64_t target, size_t attempt) {
+  IbltConfig config;
+  config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
+                                  params.q, params.headroom);
+  config.q = params.q;
+  config.value_bits = 0;
+  config.seed = Hash64(attempt, seed ^ 0x676170696274ULL);  // "gapibt"
+  return config;
+}
 
-  // --- Round 1 (A->B): strata estimator over Alice's entry keys. ---
-  const StrataConfig strata_config = GapStrataConfig(context_.seed);
-  {
-    StrataEstimator est(strata_config);
-    for (uint64_t key : alice_entries.occ_keys) est.Insert(key);
+// Alice: opens with (h, strata estimator of her entry keys), decodes Bob's
+// entry-key IBLT, and ships her uncovered points at full precision.
+class GapAlice : public recon::PartySessionBase {
+ public:
+  GapAlice(const recon::ProtocolContext& context, const GapParams& params,
+           PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {
+    const int d = context_.universe.d;
+    const double rho = params_.RhoHat(d);
+    RSR_CHECK_MSG(rho < 1.0, "gap model requires r2 > r1 * d");
+    h_ = DeriveNumFunctions(params_, rho, points_.size());
+    lattice_ = std::make_unique<LatticeKeys>(
+        context_.universe, params_.CellSide(d), h_, context_.seed);
+    entries_ = BuildEntrySet(points_, *lattice_);
+  }
+
+  std::vector<transport::Message> Start() override {
+    // --- Round 1 (A->B): h, then a strata estimator over Alice's entry
+    // keys. ---
+    StrataEstimator est(GapStrataConfig(context_.seed));
+    for (uint64_t key : entries_.occ_keys) est.Insert(key);
     BitWriter w;
+    w.WriteVarint(static_cast<uint64_t>(h_));
     est.Serialize(&w);
-    channel->Send(transport::Direction::kAliceToBob,
-                  transport::MakeMessage("gap-strata", std::move(w)));
+    return OneMessage(transport::MakeMessage("gap-strata", std::move(w)));
   }
 
-  // --- Bob: estimate and ship an IBLT of his entry keys. ---
-  uint64_t estimate = 0;
-  {
-    const transport::Message msg =
-        channel->Receive(transport::Direction::kAliceToBob);
-    BitReader r(msg.payload);
-    std::optional<StrataEstimator> alice_est =
-        StrataEstimator::Deserialize(strata_config, &r);
-    RSR_CHECK(alice_est.has_value());
-    StrataEstimator bob_est(strata_config);
-    for (uint64_t key : bob_entries.occ_keys) bob_est.Insert(key);
-    estimate = bob_est.EstimateDifference(*alice_est);
-  }
-  uint64_t target = static_cast<uint64_t>(
-      static_cast<double>(estimate) * params_.estimate_safety);
-  if (target < 16) target = 16;
-
-  GapResult result;
-  result.bob_final = bob;
-  for (size_t attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    result.attempts = attempt + 1;
-    IbltConfig config;
-    config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
-                                    params_.q, params_.headroom);
-    config.q = params_.q;
-    config.value_bits = 0;
-    config.seed =
-        Hash64(attempt, context_.seed ^ 0x676170696274ULL);  // "gapibt"
-
-    // B -> A: his entry keys (cells prefixed for config agreement).
-    {
-      Iblt table(config);
-      for (uint64_t key : bob_entries.occ_keys) table.Insert(key, {});
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_ || message.label != "gap-iblt") {
+      FailWith(recon::SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    result_.attempts = attempt_ + 1;
+    BitReader r(message.payload);
+    uint64_t cells = 0;
+    if (!r.ReadVarint(&cells)) {
+      FailWith(recon::SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    IbltConfig config =
+        GapIbltConfig(params_, context_.seed, /*target=*/16, attempt_);
+    config.cells = static_cast<size_t>(cells);
+    std::optional<Iblt> table = Iblt::Deserialize(config, &r);
+    if (!table.has_value()) {
+      FailWith(recon::SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    for (uint64_t key : entries_.occ_keys) table->Erase(key, {});
+    const IbltDecodeResult decoded = table->Decode();
+    if (!decoded.success) {
+      ++attempt_;
+      if (attempt_ >= params_.max_attempts) {
+        Finish();  // every attempt failed to decode
+        return NoMessages();
+      }
       BitWriter w;
-      w.WriteVarint(config.cells);
-      table.Serialize(&w);
-      channel->Send(transport::Direction::kBobToAlice,
-                    transport::MakeMessage("gap-iblt", std::move(w)));
+      w.WriteVarint(attempt_);
+      return OneMessage(transport::MakeMessage("gap-retry", std::move(w)));
     }
 
-    // Alice: subtract her entries, decode, identify uncovered points.
-    {
-      const transport::Message msg =
-          channel->Receive(transport::Direction::kBobToAlice);
-      BitReader r(msg.payload);
-      uint64_t cells = 0;
-      RSR_CHECK(r.ReadVarint(&cells));
-      IbltConfig alice_config = config;
-      alice_config.cells = static_cast<size_t>(cells);
-      std::optional<Iblt> table = Iblt::Deserialize(alice_config, &r);
-      RSR_CHECK(table.has_value());
-      for (uint64_t key : alice_entries.occ_keys) table->Erase(key, {});
-      const IbltDecodeResult decoded = table->Decode();
-      if (!decoded.success) {
-        if (attempt + 1 < params_.max_attempts) {
-          BitWriter w;
-          w.WriteVarint(attempt + 1);
-          channel->Send(transport::Direction::kAliceToBob,
-                        transport::MakeMessage("gap-retry", std::move(w)));
-          (void)channel->Receive(transport::Direction::kAliceToBob);
-        }
-        continue;
-      }
+    // Keys with sign -1 are Alice-only entries: cells Bob lacks.
+    std::unordered_set<uint64_t> alice_only;
+    alice_only.reserve(decoded.entries.size());
+    for (const IbltEntry& entry : decoded.entries) {
+      if (entry.sign < 0) alice_only.insert(entry.key);
+    }
 
-      // Keys with sign -1 are Alice-only entries: cells Bob lacks.
-      std::unordered_set<uint64_t> alice_only;
-      alice_only.reserve(decoded.entries.size());
-      for (const IbltEntry& entry : decoded.entries) {
-        if (entry.sign < 0) alice_only.insert(entry.key);
-      }
-
-      // A raw cell key of Alice's is covered by Bob iff not every one of
-      // her occurrence keys for it is in the Alice-only diff.
-      auto covered_raw = [&](uint64_t raw) {
-        const auto it = alice_entries.raw_counts.find(raw);
-        RSR_DCHECK(it != alice_entries.raw_counts.end());
-        const int64_t count = it->second;
-        int64_t missing = 0;
-        for (int64_t occ = 0; occ < count; ++occ) {
-          if (alice_only.count(
-                  HashCombine(raw, static_cast<uint64_t>(occ)))) {
-            ++missing;
-          }
-        }
-        return missing < count;
-      };
-
-      // T_A: every point none of whose h cells is shared with Bob.
-      std::unordered_set<uint64_t> sent_exact;  // dedupe identical points
-      PointSet to_send;
-      for (const Point& p : alice) {
-        bool covered = false;
-        for (int j = 0; j < h && !covered; ++j) {
-          covered = covered_raw(lattice.Key(p, j));
-        }
-        if (!covered) {
-          const uint64_t exact = PointKey(p, context_.seed);
-          if (sent_exact.insert(exact).second) to_send.push_back(p);
+    // A raw cell key of Alice's is covered by Bob iff not every one of
+    // her occurrence keys for it is in the Alice-only diff.
+    auto covered_raw = [&](uint64_t raw) {
+      const auto it = entries_.raw_counts.find(raw);
+      RSR_DCHECK(it != entries_.raw_counts.end());
+      const int64_t count = it->second;
+      int64_t missing = 0;
+      for (int64_t occ = 0; occ < count; ++occ) {
+        if (alice_only.count(
+                HashCombine(raw, static_cast<uint64_t>(occ)))) {
+          ++missing;
         }
       }
+      return missing < count;
+    };
 
-      // A -> B: the uncovered points at full precision.
-      BitWriter w;
-      w.WriteVarint(to_send.size());
-      for (const Point& p : to_send) PackPoint(universe, p, &w);
-      channel->Send(transport::Direction::kAliceToBob,
-                    transport::MakeMessage("gap-points", std::move(w)));
+    // T_A: every point none of whose h cells is shared with Bob.
+    std::unordered_set<uint64_t> sent_exact;  // dedupe identical points
+    PointSet to_send;
+    for (const Point& p : points_) {
+      bool covered = false;
+      for (int j = 0; j < h_ && !covered; ++j) {
+        covered = covered_raw(lattice_->Key(p, j));
+      }
+      if (!covered) {
+        const uint64_t exact = PointKey(p, context_.seed);
+        if (sent_exact.insert(exact).second) to_send.push_back(p);
+      }
+    }
 
-      // Bob: append them.
-      const transport::Message points_msg =
-          channel->Receive(transport::Direction::kAliceToBob);
-      BitReader pr(points_msg.payload);
+    // A -> B: the uncovered points at full precision.
+    BitWriter w;
+    w.WriteVarint(to_send.size());
+    for (const Point& p : to_send) PackPoint(context_.universe, p, &w);
+    result_.success = true;
+    result_.transmitted = to_send.size();
+    Finish();
+    return OneMessage(transport::MakeMessage("gap-points", std::move(w)));
+  }
+
+ private:
+  recon::ProtocolContext context_;
+  GapParams params_;
+  PointSet points_;
+  int h_ = 0;
+  std::unique_ptr<LatticeKeys> lattice_;
+  EntrySet entries_;
+  size_t attempt_ = 0;
+};
+
+// Bob: estimates the entry-key difference from Alice's opening, ships an
+// IBLT of his entry keys (doubled on each retry), and appends the points
+// Alice finally transmits.
+class GapBob : public recon::PartySessionBase {
+ public:
+  GapBob(const recon::ProtocolContext& context, const GapParams& params,
+         PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {
+    const double rho = params_.RhoHat(context_.universe.d);
+    RSR_CHECK_MSG(rho < 1.0, "gap model requires r2 > r1 * d");
+    result_.bob_final = points_;
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(recon::SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    if (state_ == State::kAwaitStrata) {
+      if (message.label != "gap-strata") {
+        FailWith(recon::SessionError::kUnexpectedMessage);
+        return NoMessages();
+      }
+      BitReader r(message.payload);
+      uint64_t h = 0;
+      if (!r.ReadVarint(&h) || h < 1 || h > 4096) {
+        FailWith(recon::SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      const StrataConfig strata_config = GapStrataConfig(context_.seed);
+      std::optional<StrataEstimator> alice_est =
+          StrataEstimator::Deserialize(strata_config, &r);
+      if (!alice_est.has_value()) {
+        FailWith(recon::SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      const LatticeKeys lattice(context_.universe,
+                                params_.CellSide(context_.universe.d),
+                                static_cast<int>(h), context_.seed);
+      entries_ = BuildEntrySet(points_, lattice);
+      StrataEstimator bob_est(strata_config);
+      for (uint64_t key : entries_.occ_keys) bob_est.Insert(key);
+      const uint64_t estimate = bob_est.EstimateDifference(*alice_est);
+      target_ = static_cast<uint64_t>(static_cast<double>(estimate) *
+                                      params_.estimate_safety);
+      if (target_ < 16) target_ = 16;
+      state_ = State::kAwaitReply;
+      return OneMessage(MakeIbltMessage(/*attempt=*/0));
+    }
+    // State::kAwaitReply.
+    if (message.label == "gap-retry") {
+      BitReader r(message.payload);
+      uint64_t attempt = 0;
+      if (!r.ReadVarint(&attempt)) {
+        FailWith(recon::SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      if (attempt >= params_.max_attempts) {
+        FailWith(recon::SessionError::kUnexpectedMessage);
+        return NoMessages();
+      }
+      return OneMessage(MakeIbltMessage(static_cast<size_t>(attempt)));
+    }
+    if (message.label == "gap-points") {
+      BitReader pr(message.payload);
       uint64_t count = 0;
-      RSR_CHECK(pr.ReadVarint(&count));
+      if (!pr.ReadVarint(&count)) {
+        FailWith(recon::SessionError::kMalformedMessage);
+        return NoMessages();
+      }
       for (uint64_t i = 0; i < count; ++i) {
         Point p;
-        RSR_CHECK(UnpackPoint(universe, &pr, &p));
-        result.bob_final.push_back(std::move(p));
+        if (!UnpackPoint(context_.universe, &pr, &p)) {
+          FailWith(recon::SessionError::kMalformedMessage);
+          return NoMessages();
+        }
+        result_.bob_final.push_back(std::move(p));
       }
-      result.transmitted = static_cast<size_t>(count);
-      result.success = true;
-      return result;
+      result_.transmitted = static_cast<size_t>(count);
+      result_.success = true;
+      Finish();
+      return NoMessages();
     }
+    FailWith(recon::SessionError::kUnexpectedMessage);
+    return NoMessages();
   }
-  return result;  // every attempt failed to decode
+
+ private:
+  enum class State { kAwaitStrata, kAwaitReply };
+
+  // B -> A: his entry keys (cells prefixed for config agreement).
+  transport::Message MakeIbltMessage(size_t attempt) {
+    result_.attempts = attempt + 1;
+    const IbltConfig config =
+        GapIbltConfig(params_, context_.seed, target_, attempt);
+    Iblt table(config);
+    for (uint64_t key : entries_.occ_keys) table.Insert(key, {});
+    BitWriter w;
+    w.WriteVarint(config.cells);
+    table.Serialize(&w);
+    return transport::MakeMessage("gap-iblt", std::move(w));
+  }
+
+  recon::ProtocolContext context_;
+  GapParams params_;
+  PointSet points_;
+  State state_ = State::kAwaitStrata;
+  EntrySet entries_;
+  uint64_t target_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<recon::PartySession> GapReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<GapAlice>(context_, params_, points);
+}
+
+std::unique_ptr<recon::PartySession> GapReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<GapBob>(context_, params_, points);
+}
+
+GapResult GapReconciler::Run(const PointSet& alice, const PointSet& bob,
+                             transport::Channel* channel) const {
+  const recon::ReconResult base =
+      recon::Reconciler::Run(alice, bob, channel);
+  GapResult result;
+  result.success = base.success;
+  result.bob_final = base.bob_final;
+  result.transmitted = base.transmitted;
+  result.attempts = base.attempts;
+  return result;
 }
 
 bool SatisfiesGapGuarantee(const PointSet& alice, const PointSet& bob_final,

@@ -71,13 +71,34 @@ struct GapResult {
 /// The protocol. Unlike the EMD reconcilers this is additive-only: Bob's
 /// original points are all kept and Alice's uncovered points are appended,
 /// so |bob_final| = |bob| + transmitted.
-class GapReconciler {
+///
+/// Sessions (3 messages, 3 rounds on the no-retry path):
+///   Alice:  Start -> "gap-strata" (varint h, then her entry-key strata
+///           estimator); await "gap-iblt" -> erase her entries, decode; on
+///           success send "gap-points" (her uncovered points) and finish;
+///           on failure send "gap-retry" while attempts remain.
+///   Bob:    await "gap-strata" -> estimate, reply "gap-iblt" (his entry
+///           keys); serve each "gap-retry" with a doubled "gap-iblt";
+///           append the "gap-points" payload and finish.
+///
+/// When num_functions is 0, h is derived from the initiator's set size and
+/// carried in the "gap-strata" header so both parties agree without a prior
+/// size exchange (the pre-session code derived it from max(|A|, |B|),
+/// which no single endpoint knows).
+class GapReconciler : public recon::Reconciler {
  public:
   GapReconciler(const recon::ProtocolContext& context, const GapParams& params)
       : context_(context), params_(params) {}
 
-  std::string Name() const { return "gap-lattice"; }
+  std::string Name() const override { return "gap-lattice"; }
+  std::unique_ptr<recon::PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<recon::PartySession> MakeBobSession(
+      const PointSet& points) const override;
 
+  /// Gap-flavoured result (richer accounting than the base ReconResult).
+  /// Intentionally hides the base-class Run: it drives the same sessions
+  /// and repackages Bob's result.
   GapResult Run(const PointSet& alice, const PointSet& bob,
                 transport::Channel* channel) const;
 

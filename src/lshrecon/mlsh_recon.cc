@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hash/mix.h"
+#include "recon/session.h"
 #include "riblt/riblt.h"
 #include "util/check.h"
 
@@ -49,122 +50,178 @@ RibltConfig LevelConfig(const Universe& universe, const MlshParams& params,
   return config;
 }
 
-}  // namespace
+// Per-point key chains for a party's own points.
+std::vector<std::vector<uint64_t>> ChainsFor(const MlshFamily& family,
+                                             const PointSet& points,
+                                             uint64_t seed) {
+  std::vector<std::vector<uint64_t>> chains;
+  chains.reserve(points.size());
+  for (const Point& p : points) {
+    chains.push_back(KeyChain(family, p, seed));
+  }
+  return chains;
+}
 
-recon::ReconResult MlshReconciler::Run(const PointSet& alice,
-                                       const PointSet& bob,
-                                       transport::Channel* channel) const {
-  RSR_CHECK_MSG(alice.size() == bob.size(),
-                "EMD model requires equal-size sets");
-  const size_t n = alice.size();
-  const Universe& universe = context_.universe;
-  const size_t s = params_.NumFunctions();
-  const double width =
-      params_.width > 0.0
-          ? params_.width
-          : static_cast<double>(universe.delta) / 8.0;
-  const std::vector<size_t> prefixes = PrefixLadder(s);
+double EffectiveWidth(const Universe& universe, const MlshParams& params) {
+  return params.width > 0.0
+             ? params.width
+             : static_cast<double>(universe.delta) / 8.0;
+}
 
-  const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
-      params_.family, universe, width, s, context_.seed);
+class MlshAlice : public recon::PartySessionBase {
+ public:
+  MlshAlice(const recon::ProtocolContext& context, const MlshParams& params,
+            PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {}
 
-  // Precompute key chains (each party for its own points).
-  auto chains_for = [&](const PointSet& points) {
-    std::vector<std::vector<uint64_t>> chains;
-    chains.reserve(points.size());
-    for (const Point& p : points) {
-      chains.push_back(KeyChain(*family, p, context_.seed));
-    }
-    return chains;
-  };
-  const auto alice_chains = chains_for(alice);
+  std::vector<transport::Message> Start() override {
+    const Universe& universe = context_.universe;
+    const size_t n = points_.size();
+    const size_t s = params_.NumFunctions();
+    const std::vector<size_t> prefixes = PrefixLadder(s);
+    const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
+        params_.family, universe, EffectiveWidth(universe, params_), s,
+        context_.seed);
+    const auto chains = ChainsFor(*family, points_, context_.seed);
 
-  // --- Alice: one RIBLT per level, all in one message. ---
-  {
+    // One RIBLT per level, all in one message.
     BitWriter w;
     for (size_t li = 0; li < prefixes.size(); ++li) {
       Riblt table(LevelConfig(universe, params_, n, li, context_.seed));
       const size_t prefix = prefixes[li];
-      for (size_t i = 0; i < alice.size(); ++i) {
-        table.Insert(alice_chains[i][prefix - 1], alice[i]);
+      for (size_t i = 0; i < points_.size(); ++i) {
+        table.Insert(chains[i][prefix - 1], points_[i]);
       }
       table.Serialize(&w);
     }
-    channel->Send(transport::Direction::kAliceToBob,
-                  transport::MakeMessage("mlsh-levels", std::move(w)));
+    result_.success = true;
+    Finish();
+    return OneMessage(transport::MakeMessage("mlsh-levels", std::move(w)));
   }
 
-  // --- Bob: decode the finest decodable level. ---
-  recon::ReconResult result;
-  result.bob_final = bob;
-  const auto bob_chains = chains_for(bob);
-  const transport::Message msg =
-      channel->Receive(transport::Direction::kAliceToBob);
-  BitReader r(msg.payload);
-
-  // Deserialize every level first (stream order), then scan finest-first.
-  std::vector<Riblt> alice_tables;
-  alice_tables.reserve(prefixes.size());
-  for (size_t li = 0; li < prefixes.size(); ++li) {
-    std::optional<Riblt> table = Riblt::Deserialize(
-        LevelConfig(universe, params_, n, li, context_.seed), &r);
-    RSR_CHECK_MSG(table.has_value(), "truncated mlsh-levels message");
-    alice_tables.push_back(std::move(*table));
+  std::vector<transport::Message> OnMessage(transport::Message) override {
+    FailWith(recon::SessionError::kUnexpectedMessage);
+    return NoMessages();
   }
 
-  const size_t budget = params_.DecodeBudget();
-  Rng rounding_rng(context_.seed ^ 0x726f756e64ULL);  // "round" tag
-  for (size_t li = prefixes.size(); li-- > 0;) {
-    Riblt diff = alice_tables[li];
-    const size_t prefix = prefixes[li];
-    for (size_t i = 0; i < bob.size(); ++i) {
-      diff.Erase(bob_chains[i][prefix - 1], bob[i]);
+ private:
+  recon::ProtocolContext context_;
+  MlshParams params_;
+  PointSet points_;
+};
+
+class MlshBob : public recon::PartySessionBase {
+ public:
+  MlshBob(const recon::ProtocolContext& context, const MlshParams& params,
+          PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {
+    result_.bob_final = points_;
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(recon::SessionError::kUnexpectedMessage);
+      return NoMessages();
     }
-    const RibltDecodeResult decoded = diff.Decode(&rounding_rng, budget);
-    if (!decoded.success) continue;
+    const Universe& universe = context_.universe;
+    const PointSet& bob = points_;
+    const size_t n = bob.size();
+    const size_t s = params_.NumFunctions();
+    const std::vector<size_t> prefixes = PrefixLadder(s);
+    const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
+        params_.family, universe, EffectiveWidth(universe, params_), s,
+        context_.seed);
+    const auto bob_chains = ChainsFor(*family, bob, context_.seed);
 
-    // Split decoded pairs into Alice's side (points to adopt) and Bob's
-    // side (his unmatched points, possibly with propagated value error).
-    PointSet xa, xb;
-    for (const RibltEntry& entry : decoded.entries) {
-      for (const Point& value : entry.values) {
-        (entry.sign > 0 ? xa : xb).push_back(value);
+    BitReader r(message.payload);
+    // Deserialize every level first (stream order), then scan finest-first.
+    std::vector<Riblt> alice_tables;
+    alice_tables.reserve(prefixes.size());
+    for (size_t li = 0; li < prefixes.size(); ++li) {
+      std::optional<Riblt> table = Riblt::Deserialize(
+          LevelConfig(universe, params_, n, li, context_.seed), &r);
+      if (!table.has_value()) {  // truncated mlsh-levels message
+        FailWith(recon::SessionError::kMalformedMessage);
+        return NoMessages();
       }
+      alice_tables.push_back(std::move(*table));
     }
 
-    // Bob resolves XB against his own set: greedily match each decoded
-    // Bob-side point to its nearest not-yet-taken own point; those are the
-    // points he replaces. |XA| == |XB| when |alice| == |bob|, so the final
-    // size is preserved.
-    std::vector<char> taken(bob.size(), 0);
-    for (const Point& x : xb) {
-      double best = std::numeric_limits<double>::infinity();
-      size_t best_index = bob.size();
+    const size_t budget = params_.DecodeBudget();
+    Rng rounding_rng(context_.seed ^ 0x726f756e64ULL);  // "round" tag
+    for (size_t li = prefixes.size(); li-- > 0;) {
+      Riblt diff = alice_tables[li];
+      const size_t prefix = prefixes[li];
       for (size_t i = 0; i < bob.size(); ++i) {
-        if (taken[i]) continue;
-        const double dist = Distance(x, bob[i], params_.metric);
-        if (dist < best) {
-          best = dist;
-          best_index = i;
+        diff.Erase(bob_chains[i][prefix - 1], bob[i]);
+      }
+      const RibltDecodeResult decoded = diff.Decode(&rounding_rng, budget);
+      if (!decoded.success) continue;
+
+      // Split decoded pairs into Alice's side (points to adopt) and Bob's
+      // side (his unmatched points, possibly with propagated value error).
+      PointSet xa, xb;
+      for (const RibltEntry& entry : decoded.entries) {
+        for (const Point& value : entry.values) {
+          (entry.sign > 0 ? xa : xb).push_back(value);
         }
       }
-      if (best_index < bob.size()) taken[best_index] = 1;
-    }
 
-    PointSet final_set;
-    final_set.reserve(bob.size());
-    for (size_t i = 0; i < bob.size(); ++i) {
-      if (!taken[i]) final_set.push_back(bob[i]);
-    }
-    for (Point& p : xa) final_set.push_back(std::move(p));
+      // Bob resolves XB against his own set: greedily match each decoded
+      // Bob-side point to its nearest not-yet-taken own point; those are
+      // the points he replaces. |XA| == |XB| when |alice| == |bob|, so the
+      // final size is preserved.
+      std::vector<char> taken(bob.size(), 0);
+      for (const Point& x : xb) {
+        double best = std::numeric_limits<double>::infinity();
+        size_t best_index = bob.size();
+        for (size_t i = 0; i < bob.size(); ++i) {
+          if (taken[i]) continue;
+          const double dist = Distance(x, bob[i], params_.metric);
+          if (dist < best) {
+            best = dist;
+            best_index = i;
+          }
+        }
+        if (best_index < bob.size()) taken[best_index] = 1;
+      }
 
-    result.success = true;
-    result.chosen_level = static_cast<int>(li);
-    result.decoded_entries = xa.size() + xb.size();
-    result.bob_final = std::move(final_set);
-    return result;
+      PointSet final_set;
+      final_set.reserve(bob.size());
+      for (size_t i = 0; i < bob.size(); ++i) {
+        if (!taken[i]) final_set.push_back(bob[i]);
+      }
+      for (Point& p : xa) final_set.push_back(std::move(p));
+
+      result_.success = true;
+      result_.chosen_level = static_cast<int>(li);
+      result_.decoded_entries = xa.size() + xb.size();
+      result_.bob_final = std::move(final_set);
+      break;
+    }
+    Finish();
+    return NoMessages();
   }
-  return result;  // no level decoded
+
+ private:
+  recon::ProtocolContext context_;
+  MlshParams params_;
+  PointSet points_;
+};
+
+}  // namespace
+
+std::unique_ptr<recon::PartySession> MlshReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<MlshAlice>(context_, params_, points);
+}
+
+std::unique_ptr<recon::PartySession> MlshReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<MlshBob>(context_, params_, points);
 }
 
 }  // namespace lshrecon

@@ -62,8 +62,11 @@ class MlshReconciler : public recon::Reconciler {
       : context_(context), params_(params) {}
 
   std::string Name() const override { return "mlsh-riblt"; }
-  recon::ReconResult Run(const PointSet& alice, const PointSet& bob,
-                         transport::Channel* channel) const override;
+  std::unique_ptr<recon::PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<recon::PartySession> MakeBobSession(
+      const PointSet& points) const override;
+  bool RequiresEqualSizes() const override { return true; }
 
  private:
   recon::ProtocolContext context_;

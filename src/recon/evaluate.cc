@@ -42,5 +42,20 @@ Evaluation EvaluateProtocol(const Reconciler& protocol, const PointSet& alice,
   return eval;
 }
 
+Evaluation EvaluateProtocol(const std::string& protocol_name,
+                            const ProtocolContext& context,
+                            const ProtocolParams& params,
+                            const PointSet& alice, const PointSet& bob,
+                            const EvaluateOptions& options) {
+  const std::unique_ptr<Reconciler> protocol =
+      MakeReconciler(protocol_name, context, params);
+  if (protocol == nullptr) {
+    Evaluation eval;
+    eval.protocol = protocol_name;
+    return eval;
+  }
+  return EvaluateProtocol(*protocol, alice, bob, options);
+}
+
 }  // namespace recon
 }  // namespace rsr

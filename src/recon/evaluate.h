@@ -10,6 +10,7 @@
 
 #include "geometry/metric.h"
 #include "recon/protocol.h"
+#include "recon/registry.h"
 
 namespace rsr {
 namespace recon {
@@ -48,8 +49,18 @@ struct EvaluateOptions {
 };
 
 /// Runs `protocol` on (alice, bob) over a fresh channel and measures it.
+/// The run goes through the session driver (Reconciler::Run).
 Evaluation EvaluateProtocol(const Reconciler& protocol, const PointSet& alice,
                             const PointSet& bob,
+                            const EvaluateOptions& options);
+
+/// Registry-based variant: instantiates `protocol_name` from the global
+/// ProtocolRegistry. Unknown names yield a failed Evaluation whose
+/// `protocol` echoes the requested name.
+Evaluation EvaluateProtocol(const std::string& protocol_name,
+                            const ProtocolContext& context,
+                            const ProtocolParams& params,
+                            const PointSet& alice, const PointSet& bob,
                             const EvaluateOptions& options);
 
 }  // namespace recon

@@ -9,7 +9,7 @@
 #include "iblt/iblt.h"
 #include "iblt/sizing.h"
 #include "iblt/strata.h"
-#include "util/check.h"
+#include "recon/session.h"
 
 namespace rsr {
 namespace recon {
@@ -49,146 +49,226 @@ StrataConfig ExactStrataConfig(uint64_t seed) {
   return config;
 }
 
-}  // namespace
+// IBLT configuration of attempt `attempt` (shared derivation; only the
+// cell count travels on the wire).
+IbltConfig ExactIbltConfig(const ProtocolContext& context,
+                           const ExactReconParams& params, uint64_t target,
+                           size_t attempt) {
+  IbltConfig config;
+  config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
+                                  params.q, params.headroom);
+  config.q = params.q;
+  config.value_bits = context.universe.BitsPerPoint();
+  config.checksum_bits = params.checksum_bits;
+  config.count_bits = params.count_bits;
+  config.seed =
+      Hash64(attempt, context.seed ^ 0x6578616374ULL);  // "exact" tag
+  return config;
+}
 
-ReconResult ExactReconciler::Run(const PointSet& alice, const PointSet& bob,
-                                 transport::Channel* channel) const {
-  const uint64_t seed = context_.seed;
-  const auto alice_keyed = CanonicalKeyedPoints(alice, seed);
-  const auto bob_keyed = CanonicalKeyedPoints(bob, seed);
+// Alice: awaits Bob's strata estimator, then serves IBLTs — the first
+// sized from the estimate, each retry doubled.
+class ExactAlice : public PartySessionBase {
+ public:
+  ExactAlice(const ProtocolContext& context, const ExactReconParams& params,
+             PointSet points)
+      : context_(context),
+        params_(params),
+        keyed_(CanonicalKeyedPoints(points, context.seed)) {}
 
-  // --- Message 1 (B->A): strata estimator of Bob's keys. ---
-  const StrataConfig strata_config = ExactStrataConfig(seed);
-  {
-    StrataEstimator est(strata_config);
-    for (const auto& [key, point] : bob_keyed) {
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    if (state_ == State::kAwaitStrata) {
+      // --- Estimate the difference from Bob's estimator. ---
+      const StrataConfig strata_config = ExactStrataConfig(context_.seed);
+      BitReader r(message.payload);
+      std::optional<StrataEstimator> bob_est =
+          StrataEstimator::Deserialize(strata_config, &r);
+      if (!bob_est.has_value()) {
+        FailWith(SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      StrataEstimator alice_est(strata_config);
+      for (const auto& [key, point] : keyed_) {
+        (void)point;
+        alice_est.Insert(key);
+      }
+      const uint64_t estimate = alice_est.EstimateDifference(*bob_est);
+      target_ = static_cast<uint64_t>(static_cast<double>(estimate) *
+                                      params_.estimate_safety);
+      if (target_ < 16) target_ = 16;
+      state_ = State::kServing;
+      result_.success = true;
+      return OneMessage(MakeIbltMessage(/*attempt=*/0));
+    }
+    // State::kServing — an "exact-retry" carrying the next attempt index.
+    BitReader r(message.payload);
+    uint64_t attempt = 0;
+    if (!r.ReadVarint(&attempt)) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    if (attempt >= params_.max_attempts) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    return OneMessage(MakeIbltMessage(static_cast<size_t>(attempt)));
+  }
+
+ private:
+  enum class State { kAwaitStrata, kServing };
+
+  // Alice -> Bob: her set sketched into the IBLT (cells prefixed so Bob
+  // can reconstruct the config without further negotiation).
+  transport::Message MakeIbltMessage(size_t attempt) {
+    const IbltConfig config =
+        ExactIbltConfig(context_, params_, target_, attempt);
+    Iblt table(config);
+    for (const auto& [key, point] : keyed_) {
+      BitWriter vw;
+      PackPoint(context_.universe, point, &vw);
+      table.Insert(key, std::move(vw).TakeBytes());
+    }
+    BitWriter w;
+    w.WriteVarint(config.cells);
+    table.Serialize(&w);
+    return transport::MakeMessage("exact-iblt", std::move(w));
+  }
+
+  ProtocolContext context_;
+  ExactReconParams params_;
+  std::vector<std::pair<uint64_t, Point>> keyed_;
+  State state_ = State::kAwaitStrata;
+  uint64_t target_ = 0;
+};
+
+// Bob: opens with his strata estimator, then decodes each IBLT reply,
+// requesting a doubled table on failure while attempts remain.
+class ExactBob : public PartySessionBase {
+ public:
+  ExactBob(const ProtocolContext& context, const ExactReconParams& params,
+           PointSet points)
+      : context_(context),
+        params_(params),
+        points_(std::move(points)),
+        keyed_(CanonicalKeyedPoints(points_, context.seed)) {
+    result_.bob_final = points_;
+  }
+
+  std::vector<transport::Message> Start() override {
+    // --- Message 1 (B->A): strata estimator of Bob's keys. ---
+    StrataEstimator est(ExactStrataConfig(context_.seed));
+    for (const auto& [key, point] : keyed_) {
       (void)point;
       est.Insert(key);
     }
     BitWriter w;
     est.Serialize(&w);
-    channel->Send(transport::Direction::kBobToAlice,
-                  transport::MakeMessage("exact-strata", std::move(w)));
+    return OneMessage(transport::MakeMessage("exact-strata", std::move(w)));
   }
 
-  // --- Alice: estimate the difference. ---
-  uint64_t estimate = 0;
-  {
-    const transport::Message msg =
-        channel->Receive(transport::Direction::kBobToAlice);
-    BitReader r(msg.payload);
-    std::optional<StrataEstimator> bob_est =
-        StrataEstimator::Deserialize(strata_config, &r);
-    RSR_CHECK(bob_est.has_value());
-    StrataEstimator alice_est(strata_config);
-    for (const auto& [key, point] : alice_keyed) {
-      (void)point;
-      alice_est.Insert(key);
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
     }
-    estimate = alice_est.EstimateDifference(*bob_est);
-  }
-
-  const int value_bits = context_.universe.BitsPerPoint();
-  uint64_t target =
-      static_cast<uint64_t>(static_cast<double>(estimate) *
-                            params_.estimate_safety);
-  if (target < 16) target = 16;
-
-  ReconResult result;
-  result.bob_final = bob;
-  for (size_t attempt = 0; attempt < params_.max_attempts; ++attempt) {
-    result.attempts = attempt + 1;
-    IbltConfig config;
-    config.cells = RecommendedCells(static_cast<size_t>(target) << attempt,
-                                    params_.q, params_.headroom);
-    config.q = params_.q;
-    config.value_bits = value_bits;
-    config.checksum_bits = params_.checksum_bits;
-    config.count_bits = params_.count_bits;
-    config.seed = Hash64(attempt, seed ^ 0x6578616374ULL);  // "exact" tag
-
-    // --- Alice -> Bob: her set sketched into the IBLT (cells prefixed so
-    // Bob can reconstruct the config without further negotiation). ---
-    {
-      Iblt table(config);
-      BitWriter payload;
-      for (const auto& [key, point] : alice_keyed) {
-        BitWriter vw;
-        PackPoint(context_.universe, point, &vw);
-        table.Insert(key, std::move(vw).TakeBytes());
-        (void)payload;
-      }
-      BitWriter w;
-      w.WriteVarint(config.cells);
-      table.Serialize(&w);
-      channel->Send(transport::Direction::kAliceToBob,
-                    transport::MakeMessage("exact-iblt", std::move(w)));
+    result_.attempts = attempt_ + 1;
+    const uint64_t seed = context_.seed;
+    BitReader r(message.payload);
+    uint64_t cells = 0;
+    if (!r.ReadVarint(&cells)) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
     }
-
-    // --- Bob: erase his keys, decode, apply. ---
-    {
-      const transport::Message msg =
-          channel->Receive(transport::Direction::kAliceToBob);
-      BitReader r(msg.payload);
-      uint64_t cells = 0;
-      RSR_CHECK(r.ReadVarint(&cells));
-      IbltConfig bob_config = config;
-      bob_config.cells = static_cast<size_t>(cells);
-      std::optional<Iblt> table = Iblt::Deserialize(bob_config, &r);
-      RSR_CHECK(table.has_value());
-      for (const auto& [key, point] : bob_keyed) {
-        BitWriter vw;
-        PackPoint(context_.universe, point, &vw);
-        table->Erase(key, std::move(vw).TakeBytes());
-      }
-      const IbltDecodeResult decoded = table->Decode();
-      if (decoded.success) {
-        // Apply: +1 entries are Alice-only points, -1 entries Bob-only.
-        std::unordered_map<uint64_t, int64_t> to_remove;  // key -> copies
-        PointSet additions;
-        bool parse_ok = true;
-        for (const IbltEntry& entry : decoded.entries) {
-          BitReader vr(entry.value);
-          Point p;
-          if (!UnpackPoint(context_.universe, &vr, &p)) {
-            parse_ok = false;
-            break;
-          }
-          if (entry.sign > 0) {
-            additions.push_back(std::move(p));
-          } else {
-            ++to_remove[PointKey(p, seed)];
-          }
+    // target is irrelevant for deserialisation: the cell count comes from
+    // the wire, everything else from public parameters and the attempt.
+    IbltConfig config =
+        ExactIbltConfig(context_, params_, /*target=*/16, attempt_);
+    config.cells = static_cast<size_t>(cells);
+    std::optional<Iblt> table = Iblt::Deserialize(config, &r);
+    if (!table.has_value()) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    for (const auto& [key, point] : keyed_) {
+      BitWriter vw;
+      PackPoint(context_.universe, point, &vw);
+      table->Erase(key, std::move(vw).TakeBytes());
+    }
+    const IbltDecodeResult decoded = table->Decode();
+    if (decoded.success) {
+      // Apply: +1 entries are Alice-only points, -1 entries Bob-only.
+      std::unordered_map<uint64_t, int64_t> to_remove;  // key -> copies
+      PointSet additions;
+      bool parse_ok = true;
+      for (const IbltEntry& entry : decoded.entries) {
+        BitReader vr(entry.value);
+        Point p;
+        if (!UnpackPoint(context_.universe, &vr, &p)) {
+          parse_ok = false;
+          break;
         }
-        if (parse_ok) {
-          PointSet final_set;
-          final_set.reserve(bob.size());
-          for (const Point& p : bob) {
-            auto it = to_remove.find(PointKey(p, seed));
-            if (it != to_remove.end() && it->second > 0) {
-              --it->second;
-              continue;
-            }
-            final_set.push_back(p);
-          }
-          for (Point& p : additions) final_set.push_back(std::move(p));
-          result.success = true;
-          result.decoded_entries = decoded.entries.size();
-          result.bob_final = std::move(final_set);
-          return result;
+        if (entry.sign > 0) {
+          additions.push_back(std::move(p));
+        } else {
+          ++to_remove[PointKey(p, seed)];
         }
       }
-      // Decode failed: request a doubled table unless out of attempts.
-      if (attempt + 1 < params_.max_attempts) {
-        BitWriter w;
-        w.WriteVarint(attempt + 1);
-        channel->Send(transport::Direction::kBobToAlice,
-                      transport::MakeMessage("exact-retry", std::move(w)));
-        (void)channel->Receive(transport::Direction::kBobToAlice);
+      if (parse_ok) {
+        PointSet final_set;
+        final_set.reserve(points_.size());
+        for (const Point& p : points_) {
+          auto it = to_remove.find(PointKey(p, seed));
+          if (it != to_remove.end() && it->second > 0) {
+            --it->second;
+            continue;
+          }
+          final_set.push_back(p);
+        }
+        for (Point& p : additions) final_set.push_back(std::move(p));
+        result_.success = true;
+        result_.decoded_entries = decoded.entries.size();
+        result_.bob_final = std::move(final_set);
+        Finish();
+        return NoMessages();
       }
     }
+    // Decode failed: request a doubled table unless out of attempts.
+    ++attempt_;
+    if (attempt_ >= params_.max_attempts) {
+      Finish();  // unsuccessful
+      return NoMessages();
+    }
+    BitWriter w;
+    w.WriteVarint(attempt_);
+    return OneMessage(transport::MakeMessage("exact-retry", std::move(w)));
   }
-  return result;
+
+ private:
+  ProtocolContext context_;
+  ExactReconParams params_;
+  PointSet points_;
+  std::vector<std::pair<uint64_t, Point>> keyed_;
+  size_t attempt_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PartySession> ExactReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<ExactAlice>(context_, params_, points);
+}
+
+std::unique_ptr<PartySession> ExactReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<ExactBob>(context_, params_, points);
 }
 
 }  // namespace recon

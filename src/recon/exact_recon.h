@@ -10,6 +10,13 @@
 // sized from the estimate (Alice inserted her set, she also erases nothing —
 // Bob erases his own elements locally); on decode failure Bob requests a
 // doubled table (2 more messages per retry).
+//
+// Sessions:
+//   Bob:    Start -> "exact-strata"; await "exact-iblt" -> decode; on
+//           failure send "exact-retry" (varint next attempt) while attempts
+//           remain, else finish unsuccessfully.
+//   Alice:  await "exact-strata" -> estimate, reply "exact-iblt"; then
+//           serve each "exact-retry" with a doubled "exact-iblt".
 
 #ifndef RSR_RECON_EXACT_RECON_H_
 #define RSR_RECON_EXACT_RECON_H_
@@ -38,8 +45,10 @@ class ExactReconciler : public Reconciler {
       : context_(context), params_(params) {}
 
   std::string Name() const override { return "exact-iblt"; }
-  ReconResult Run(const PointSet& alice, const PointSet& bob,
-                  transport::Channel* channel) const override;
+  std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const override;
 
  private:
   ProtocolContext context_;

@@ -2,35 +2,89 @@
 
 #include <utility>
 
-#include "util/check.h"
+#include "recon/session.h"
 
 namespace rsr {
 namespace recon {
 
-ReconResult FullTransferReconciler::Run(const PointSet& alice,
-                                        const PointSet& bob,
-                                        transport::Channel* channel) const {
-  (void)bob;
-  BitWriter w;
-  w.WriteVarint(alice.size());
-  for (const Point& p : alice) PackPoint(context_.universe, p, &w);
-  channel->Send(transport::Direction::kAliceToBob,
-                transport::MakeMessage("full-transfer", std::move(w)));
+namespace {
 
-  const transport::Message msg =
-      channel->Receive(transport::Direction::kAliceToBob);
-  BitReader r(msg.payload);
-  uint64_t count = 0;
-  RSR_CHECK(r.ReadVarint(&count));
-  ReconResult result;
-  result.bob_final.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    Point p;
-    RSR_CHECK(UnpackPoint(context_.universe, &r, &p));
-    result.bob_final.push_back(std::move(p));
+class FullTransferAlice : public PartySessionBase {
+ public:
+  FullTransferAlice(const ProtocolContext& context, PointSet points)
+      : context_(context), points_(std::move(points)) {}
+
+  std::vector<transport::Message> Start() override {
+    BitWriter w;
+    w.WriteVarint(points_.size());
+    for (const Point& p : points_) PackPoint(context_.universe, p, &w);
+    result_.success = true;
+    Finish();
+    return OneMessage(
+        transport::MakeMessage("full-transfer", std::move(w)));
   }
-  result.success = true;
-  return result;
+
+  std::vector<transport::Message> OnMessage(transport::Message) override {
+    FailWith(SessionError::kUnexpectedMessage);
+    return NoMessages();
+  }
+
+ private:
+  ProtocolContext context_;
+  PointSet points_;
+};
+
+class FullTransferBob : public PartySessionBase {
+ public:
+  FullTransferBob(const ProtocolContext& context, PointSet points)
+      : context_(context) {
+    result_.bob_final = std::move(points);
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    BitReader r(message.payload);
+    uint64_t count = 0;
+    if (!r.ReadVarint(&count)) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    PointSet received;
+    received.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Point p;
+      if (!UnpackPoint(context_.universe, &r, &p)) {
+        FailWith(SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      received.push_back(std::move(p));
+    }
+    result_.bob_final = std::move(received);
+    result_.success = true;
+    Finish();
+    return NoMessages();
+  }
+
+ private:
+  ProtocolContext context_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartySession> FullTransferReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<FullTransferAlice>(context_, points);
+}
+
+std::unique_ptr<PartySession> FullTransferReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<FullTransferBob>(context_, points);
 }
 
 }  // namespace recon

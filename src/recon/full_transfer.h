@@ -1,6 +1,11 @@
 // Baseline: whole-set transfer. Alice ships every point at full precision;
 // Bob adopts her set verbatim. Communication is exactly n · d · ⌈log2 Δ⌉
 // bits — the yardstick every sub-linear protocol is compared against.
+//
+// Sessions (1 message, 1 round):
+//   Alice:  Start -> send "full-transfer" (varint n, then n packed points),
+//           done.
+//   Bob:    await "full-transfer" -> adopt the decoded set, done.
 
 #ifndef RSR_RECON_FULL_TRANSFER_H_
 #define RSR_RECON_FULL_TRANSFER_H_
@@ -16,8 +21,10 @@ class FullTransferReconciler : public Reconciler {
       : context_(context) {}
 
   std::string Name() const override { return "full-transfer"; }
-  ReconResult Run(const PointSet& alice, const PointSet& bob,
-                  transport::Channel* channel) const override;
+  std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const override;
 
  private:
   ProtocolContext context_;

@@ -1,14 +1,22 @@
 // Common interface implemented by every reconciliation protocol.
 //
-// A protocol runs both parties in-process but communicates exclusively via
-// transport::Channel, so the reported bits are real encoded payloads. The
-// deliverable is Bob's final point set S'_B; quality (EMD against Alice's
-// set) is computed separately by recon/evaluate.h so that the protocol code
-// never sees the objective it is judged on.
+// A protocol is a two-party message-passing computation. Each party is an
+// independently driveable endpoint state machine (recon/session.h); a
+// Reconciler is a named factory for the two endpoints plus the public
+// parameters they share. All traffic is carried as transport::Message
+// payloads, so the reported bits are real encoded payloads. The deliverable
+// is Bob's final point set S'_B; quality (EMD against Alice's set) is
+// computed separately by recon/evaluate.h so that the protocol code never
+// sees the objective it is judged on.
+//
+// The legacy convenience entry point `Run(alice, bob, channel)` still
+// exists: it is a thin in-process driver (recon/driver.h) that pumps the
+// two sessions through the channel until Bob finishes.
 
 #ifndef RSR_RECON_PROTOCOL_H_
 #define RSR_RECON_PROTOCOL_H_
 
+#include <memory>
 #include <string>
 
 #include "geometry/metric.h"
@@ -18,13 +26,30 @@
 namespace rsr {
 namespace recon {
 
-/// Outcome of one protocol run.
+/// Transport / framing errors surfaced by a session instead of aborting the
+/// process (the seed library crashed on any of these).
+enum class SessionError {
+  kNone = 0,
+  kEmptyChannel,       ///< Receive attempted with nothing pending.
+  kUnexpectedMessage,  ///< Message arrived in a state that expects none.
+  kMalformedMessage,   ///< Payload failed to parse / deserialize.
+  kStalled,            ///< Neither endpoint can make progress (half-open
+                       ///< failure, e.g. the peer gave up silently).
+};
+
+/// Human-readable name of a SessionError (for logs and test output).
+const char* SessionErrorName(SessionError error);
+
+/// Outcome of one protocol run (one party's view; the canonical result is
+/// Bob's, since he holds the deliverable S'_B).
 struct ReconResult {
   bool success = false;   ///< Protocol-level success (decode etc.).
   PointSet bob_final;     ///< S'_B (equals the input S_B on failure).
   int chosen_level = -1;  ///< Quadtree level used, if applicable.
   size_t decoded_entries = 0;  ///< Differing pairs recovered, if applicable.
   size_t attempts = 1;    ///< Retries (for protocols that resize and retry).
+  size_t transmitted = 0; ///< Gap model: |T_A|, points shipped verbatim.
+  SessionError error = SessionError::kNone;  ///< Transport-level failure.
 };
 
 /// Context shared by both parties (public coins: the seed is common
@@ -34,18 +59,38 @@ struct ProtocolContext {
   uint64_t seed = 0;
 };
 
-/// Abstract reconciliation protocol.
+class PartySession;  // recon/session.h
+
+/// Abstract reconciliation protocol: a named factory for the two endpoint
+/// state machines.
 class Reconciler {
  public:
   virtual ~Reconciler() = default;
 
-  /// Short identifier used in benchmark tables.
+  /// Short identifier used in benchmark tables and the protocol registry.
   virtual std::string Name() const = 0;
 
-  /// Runs the protocol. Alice holds `alice`, Bob holds `bob`; all traffic
-  /// goes through `channel`. Returns Bob's result.
-  virtual ReconResult Run(const PointSet& alice, const PointSet& bob,
-                          transport::Channel* channel) const = 0;
+  /// Creates Alice's endpoint. `points` is S_A, the set Bob reconciles
+  /// towards.
+  virtual std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const = 0;
+
+  /// Creates Bob's endpoint. `points` is S_B; Bob's session owns the
+  /// deliverable result.
+  virtual std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const = 0;
+
+  /// True for the EMD-model protocols, whose analysis (and sketch sizing)
+  /// assumes |S_A| == |S_B|. The in-process driver enforces it with a
+  /// clear diagnostic; across a real network no endpoint can verify it —
+  /// it is part of the protocol's contract.
+  virtual bool RequiresEqualSizes() const { return false; }
+
+  /// Convenience in-process driver: pumps the two sessions through
+  /// `channel` (see recon/driver.h) and returns Bob's result. Exactly
+  /// equivalent to constructing both sessions and calling DrivePair.
+  ReconResult Run(const PointSet& alice, const PointSet& bob,
+                  transport::Channel* channel) const;
 };
 
 }  // namespace recon

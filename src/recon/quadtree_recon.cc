@@ -6,6 +6,7 @@
 #include "hash/mix.h"
 #include "iblt/sizing.h"
 #include "iblt/strata.h"
+#include "recon/session.h"
 #include "util/check.h"
 
 namespace rsr {
@@ -142,194 +143,323 @@ PointSet RepairBob(const ShiftedGrid& grid, const PointSet& bob, int level,
   return result;
 }
 
-ReconResult QuadtreeReconciler::Run(const PointSet& alice,
-                                    const PointSet& bob,
-                                    transport::Channel* channel) const {
-  RSR_CHECK_MSG(alice.size() == bob.size(),
-                "EMD model requires equal-size sets");
-  const size_t n = alice.size();
-  const ShiftedGrid grid(context_.universe, context_.seed);
-  const std::vector<int> levels = ProtocolLevels(grid, params_);
+namespace {
 
-  // --- Alice: encode every ladder level and ship them in one message. ---
-  {
-    BitWriter w;
-    for (int level : levels) {
-      BuildLevelIblt(grid, alice, level, n, params_, context_.seed)
-          .Serialize(&w);
-    }
-    channel->Send(transport::Direction::kAliceToBob,
-                  transport::MakeMessage("qt-levels", std::move(w)));
-  }
-
-  // --- Bob: find the finest decodable level and repair. ---
-  ReconResult result;
-  result.bob_final = bob;
-  const transport::Message msg =
-      channel->Receive(transport::Direction::kAliceToBob);
-  BitReader r(msg.payload);
-  const size_t budget = params_.DecodeBudget();
-  for (int level : levels) {
-    const IbltConfig config =
-        LevelIbltConfig(grid, level, n, params_, context_.seed);
-    std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
-    RSR_CHECK_MSG(alice_iblt.has_value(), "truncated qt-levels message");
-    if (result.success) continue;  // already repaired; just drain the stream
-    const Iblt bob_iblt =
-        BuildLevelIblt(grid, bob, level, n, params_, context_.seed);
-    std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
-        grid, level, n, *alice_iblt, bob_iblt, budget);
-    if (diff.has_value()) {
-      result.success = true;
-      result.chosen_level = level;
-      result.decoded_entries = diff->size();
-      result.bob_final = RepairBob(grid, bob, level, *diff);
-    }
-  }
-  return result;
+// Strata configuration of the adaptive variant's level-`level` probe.
+StrataConfig LevelProbeConfig(int level, uint64_t seed) {
+  StrataConfig config = LevelStrataConfig(seed);
+  config.seed = Hash64(static_cast<uint64_t>(level), config.seed);
+  return config;
 }
 
-ReconResult AdaptiveQuadtreeReconciler::Run(
-    const PointSet& alice, const PointSet& bob,
-    transport::Channel* channel) const {
-  RSR_CHECK_MSG(alice.size() == bob.size(),
-                "EMD model requires equal-size sets");
-  const size_t n = alice.size();
-  const ShiftedGrid grid(context_.universe, context_.seed);
-  const std::vector<int> levels = ProtocolLevels(grid, params_);
+void FillLevelEstimator(const ShiftedGrid& grid, const PointSet& points,
+                        int level, StrataEstimator* est) {
+  const auto histogram = BuildCellHistogram(grid, points, level);
+  for (const auto& [cell_key, cc] : histogram) {
+    (void)cell_key;
+    est->Insert(HistogramEntryKey(grid, cc.cell, level, cc.count));
+  }
+}
 
-  auto strata_config_for = [&](int level) {
-    StrataConfig config = LevelStrataConfig(context_.seed);
-    config.seed = Hash64(static_cast<uint64_t>(level), config.seed);
-    return config;
-  };
-  auto fill_estimator = [&](const PointSet& points, int level,
-                            StrataEstimator* est) {
-    const auto histogram = BuildCellHistogram(grid, points, level);
-    for (const auto& [cell_key, cc] : histogram) {
-      (void)cell_key;
-      est->Insert(HistogramEntryKey(grid, cc.cell, level, cc.count));
-    }
-  };
+// --- One-shot sessions. ---
 
-  // --- Round 1 (A->B): per-level strata probes. ---
-  {
+class QuadtreeAlice : public PartySessionBase {
+ public:
+  QuadtreeAlice(const ProtocolContext& context, const QuadtreeParams& params,
+                PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {}
+
+  std::vector<transport::Message> Start() override {
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    const std::vector<int> levels = ProtocolLevels(grid, params_);
     BitWriter w;
     for (int level : levels) {
-      StrataEstimator est(strata_config_for(level));
-      fill_estimator(alice, level, &est);
+      BuildLevelIblt(grid, points_, level, points_.size(), params_,
+                     context_.seed)
+          .Serialize(&w);
+    }
+    result_.success = true;
+    Finish();
+    return OneMessage(transport::MakeMessage("qt-levels", std::move(w)));
+  }
+
+  std::vector<transport::Message> OnMessage(transport::Message) override {
+    FailWith(SessionError::kUnexpectedMessage);
+    return NoMessages();
+  }
+
+ private:
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  PointSet points_;
+};
+
+class QuadtreeBob : public PartySessionBase {
+ public:
+  QuadtreeBob(const ProtocolContext& context, const QuadtreeParams& params,
+              PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {
+    result_.bob_final = points_;
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    const size_t n = points_.size();
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    const std::vector<int> levels = ProtocolLevels(grid, params_);
+    BitReader r(message.payload);
+    const size_t budget = params_.DecodeBudget();
+    for (int level : levels) {
+      const IbltConfig config =
+          LevelIbltConfig(grid, level, n, params_, context_.seed);
+      std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
+      if (!alice_iblt.has_value()) {  // truncated qt-levels message
+        FailWith(SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      if (result_.success) continue;  // already repaired; drain the stream
+      const Iblt bob_iblt =
+          BuildLevelIblt(grid, points_, level, n, params_, context_.seed);
+      std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+          grid, level, n, *alice_iblt, bob_iblt, budget);
+      if (diff.has_value()) {
+        result_.success = true;
+        result_.chosen_level = level;
+        result_.decoded_entries = diff->size();
+        result_.bob_final = RepairBob(grid, points_, level, *diff);
+      }
+    }
+    Finish();
+    return NoMessages();
+  }
+
+ private:
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  PointSet points_;
+};
+
+// --- Adaptive sessions. ---
+
+// Alice: opening strata probes, then an IBLT server. She has no way to
+// observe the protocol's end (Bob just stops requesting), so she stays in
+// the serving state; the driver terminates on Bob.
+class AdaptiveQuadtreeAlice : public PartySessionBase {
+ public:
+  AdaptiveQuadtreeAlice(const ProtocolContext& context,
+                        const QuadtreeParams& params, PointSet points)
+      : context_(context), params_(params), points_(std::move(points)) {}
+
+  std::vector<transport::Message> Start() override {
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    const std::vector<int> levels = ProtocolLevels(grid, params_);
+    BitWriter w;
+    for (int level : levels) {
+      StrataEstimator est(LevelProbeConfig(level, context_.seed));
+      FillLevelEstimator(grid, points_, level, &est);
       est.Serialize(&w);
     }
-    channel->Send(transport::Direction::kAliceToBob,
-                  transport::MakeMessage("qt-strata", std::move(w)));
+    result_.success = true;
+    return OneMessage(transport::MakeMessage("qt-strata", std::move(w)));
   }
 
-  // --- Bob: pick the finest level whose estimated difference fits. ---
-  const transport::Message probes =
-      channel->Receive(transport::Direction::kAliceToBob);
-  BitReader pr(probes.payload);
-  const size_t budget = params_.DecodeBudget();
-  int chosen = levels.back();
-  uint64_t chosen_estimate = 0;
-  bool have_choice = false;
-  for (int level : levels) {
-    std::optional<StrataEstimator> alice_est =
-        StrataEstimator::Deserialize(strata_config_for(level), &pr);
-    RSR_CHECK_MSG(alice_est.has_value(), "truncated qt-strata message");
-    if (have_choice) continue;  // drain remaining probes
-    StrataEstimator bob_est(strata_config_for(level));
-    fill_estimator(bob, level, &bob_est);
-    const uint64_t estimate = alice_est->EstimateDifference(bob_est);
-    if (estimate <= budget || level == levels.back()) {
-      chosen = level;
-      chosen_estimate = estimate;
-      have_choice = true;
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    // Serve a "qt-level-request": ship this level's histogram IBLT at the
+    // requested size, salted by the attempt number.
+    const size_t n = points_.size();
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    BitReader rr(message.payload);
+    uint64_t req_level = 0, req_cells = 0, req_attempt = 0;
+    if (!rr.ReadVarint(&req_level) || !rr.ReadVarint(&req_cells) ||
+        !rr.ReadVarint(&req_attempt)) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
     }
+    IbltConfig config = LevelIbltConfig(grid, static_cast<int>(req_level), n,
+                                        params_, context_.seed);
+    config.cells = static_cast<size_t>(req_cells);
+    config.seed = Hash64(req_attempt, config.seed);
+    Iblt table(config);
+    const auto histogram =
+        BuildCellHistogram(grid, points_, static_cast<int>(req_level));
+    for (const auto& [cell_key, cc] : histogram) {
+      (void)cell_key;
+      table.Insert(
+          HistogramEntryKey(grid, cc.cell, static_cast<int>(req_level),
+                            cc.count),
+          HistogramEntryValue(grid, cc.cell, static_cast<int>(req_level),
+                              cc.count, n));
+    }
+    BitWriter w;
+    table.Serialize(&w);
+    return OneMessage(transport::MakeMessage("qt-level-iblt", std::move(w)));
   }
 
-  // --- Attempt loop: request an IBLT sized from the estimate; double on
-  // failure. Every request/response is billed to the channel. ---
-  ReconResult result;
-  result.bob_final = bob;
-  result.chosen_level = chosen;
-  // Safety factor 2 over the estimate, floored at the configured budget.
-  uint64_t target_entries = chosen_estimate * 2;
-  if (target_entries < budget) target_entries = budget;
-  for (size_t attempt = 0; attempt < max_attempts_; ++attempt) {
-    result.attempts = attempt + 1;
-    const size_t cells = RecommendedCells(
-        static_cast<size_t>(target_entries) << attempt, params_.q,
+ private:
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  PointSet points_;
+};
+
+class AdaptiveQuadtreeBob : public PartySessionBase {
+ public:
+  AdaptiveQuadtreeBob(const ProtocolContext& context,
+                      const QuadtreeParams& params, size_t max_attempts,
+                      PointSet points)
+      : context_(context),
+        params_(params),
+        max_attempts_(max_attempts),
+        points_(std::move(points)) {
+    result_.bob_final = points_;
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    switch (state_) {
+      case State::kAwaitProbes:
+        return HandleProbes(std::move(message));
+      case State::kAwaitIblt:
+        return HandleIblt(std::move(message));
+    }
+    FailWith(SessionError::kUnexpectedMessage);
+    return NoMessages();
+  }
+
+ private:
+  enum class State { kAwaitProbes, kAwaitIblt };
+
+  std::vector<transport::Message> HandleProbes(transport::Message message) {
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    const std::vector<int> levels = ProtocolLevels(grid, params_);
+    BitReader pr(message.payload);
+    const size_t budget = params_.DecodeBudget();
+    int chosen = levels.back();
+    uint64_t chosen_estimate = 0;
+    bool have_choice = false;
+    for (int level : levels) {
+      std::optional<StrataEstimator> alice_est = StrataEstimator::Deserialize(
+          LevelProbeConfig(level, context_.seed), &pr);
+      if (!alice_est.has_value()) {  // truncated qt-strata message
+        FailWith(SessionError::kMalformedMessage);
+        return NoMessages();
+      }
+      if (have_choice) continue;  // drain remaining probes
+      StrataEstimator bob_est(LevelProbeConfig(level, context_.seed));
+      FillLevelEstimator(grid, points_, level, &bob_est);
+      const uint64_t estimate = alice_est->EstimateDifference(bob_est);
+      if (estimate <= budget || level == levels.back()) {
+        chosen = level;
+        chosen_estimate = estimate;
+        have_choice = true;
+      }
+    }
+    chosen_ = chosen;
+    result_.chosen_level = chosen;
+    // Safety factor 2 over the estimate, floored at the configured budget.
+    target_entries_ = chosen_estimate * 2;
+    if (target_entries_ < budget) target_entries_ = budget;
+    attempt_ = 0;
+    state_ = State::kAwaitIblt;
+    return OneMessage(MakeRequest());
+  }
+
+  std::vector<transport::Message> HandleIblt(transport::Message message) {
+    const size_t n = points_.size();
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    IbltConfig config =
+        LevelIbltConfig(grid, chosen_, n, params_, context_.seed);
+    config.cells = cells_;
+    config.seed = Hash64(attempt_, config.seed);
+    BitReader rr(message.payload);
+    std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &rr);
+    if (!alice_iblt.has_value()) {  // truncated qt-level-iblt
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    Iblt bob_iblt(config);
+    const auto histogram = BuildCellHistogram(grid, points_, chosen_);
+    for (const auto& [cell_key, cc] : histogram) {
+      (void)cell_key;
+      bob_iblt.Insert(HistogramEntryKey(grid, cc.cell, chosen_, cc.count),
+                      HistogramEntryValue(grid, cc.cell, chosen_, cc.count,
+                                          n));
+    }
+    const size_t accept = static_cast<size_t>(target_entries_) << attempt_;
+    std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+        grid, chosen_, n, *alice_iblt, bob_iblt, accept);
+    if (diff.has_value()) {
+      result_.success = true;
+      result_.decoded_entries = diff->size();
+      result_.bob_final = RepairBob(grid, points_, chosen_, *diff);
+      Finish();
+      return NoMessages();
+    }
+    ++attempt_;
+    if (attempt_ >= max_attempts_) {
+      Finish();  // all attempts failed (success stays false)
+      return NoMessages();
+    }
+    return OneMessage(MakeRequest());
+  }
+
+  // Bob -> Alice: the negotiated level / size / attempt.
+  transport::Message MakeRequest() {
+    result_.attempts = attempt_ + 1;
+    cells_ = RecommendedCells(
+        static_cast<size_t>(target_entries_) << attempt_, params_.q,
         params_.headroom);
-
-    // Bob -> Alice: the negotiated level / size / attempt.
-    {
-      BitWriter w;
-      w.WriteVarint(static_cast<uint64_t>(chosen));
-      w.WriteVarint(cells);
-      w.WriteVarint(attempt);
-      channel->Send(transport::Direction::kBobToAlice,
-                    transport::MakeMessage("qt-level-request", std::move(w)));
-    }
-    // Alice: honour the request.
-    {
-      const transport::Message req =
-          channel->Receive(transport::Direction::kBobToAlice);
-      BitReader rr(req.payload);
-      uint64_t req_level = 0, req_cells = 0, req_attempt = 0;
-      RSR_CHECK(rr.ReadVarint(&req_level) && rr.ReadVarint(&req_cells) &&
-                rr.ReadVarint(&req_attempt));
-      IbltConfig config = LevelIbltConfig(grid, static_cast<int>(req_level),
-                                          n, params_, context_.seed);
-      config.cells = static_cast<size_t>(req_cells);
-      config.seed = Hash64(req_attempt, config.seed);
-      Iblt table(config);
-      const auto histogram =
-          BuildCellHistogram(grid, alice, static_cast<int>(req_level));
-      for (const auto& [cell_key, cc] : histogram) {
-        (void)cell_key;
-        table.Insert(
-            HistogramEntryKey(grid, cc.cell, static_cast<int>(req_level),
-                              cc.count),
-            HistogramEntryValue(grid, cc.cell, static_cast<int>(req_level),
-                                cc.count, n));
-      }
-      BitWriter w;
-      table.Serialize(&w);
-      channel->Send(transport::Direction::kAliceToBob,
-                    transport::MakeMessage("qt-level-iblt", std::move(w)));
-    }
-    // Bob: decode.
-    {
-      const transport::Message resp =
-          channel->Receive(transport::Direction::kAliceToBob);
-      IbltConfig config =
-          LevelIbltConfig(grid, chosen, n, params_, context_.seed);
-      config.cells = cells;
-      config.seed = Hash64(attempt, config.seed);
-      BitReader rr(resp.payload);
-      std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &rr);
-      RSR_CHECK_MSG(alice_iblt.has_value(), "truncated qt-level-iblt");
-
-      Iblt bob_iblt(config);
-      const auto histogram = BuildCellHistogram(grid, bob, chosen);
-      for (const auto& [cell_key, cc] : histogram) {
-        (void)cell_key;
-        bob_iblt.Insert(HistogramEntryKey(grid, cc.cell, chosen, cc.count),
-                        HistogramEntryValue(grid, cc.cell, chosen, cc.count,
-                                            n));
-      }
-      const size_t accept = static_cast<size_t>(target_entries) << attempt;
-      std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
-          grid, chosen, n, *alice_iblt, bob_iblt, accept);
-      if (diff.has_value()) {
-        result.success = true;
-        result.decoded_entries = diff->size();
-        result.bob_final = RepairBob(grid, bob, chosen, *diff);
-        return result;
-      }
-    }
+    BitWriter w;
+    w.WriteVarint(static_cast<uint64_t>(chosen_));
+    w.WriteVarint(cells_);
+    w.WriteVarint(attempt_);
+    return transport::MakeMessage("qt-level-request", std::move(w));
   }
-  return result;  // all attempts failed
+
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  size_t max_attempts_;
+  PointSet points_;
+  State state_ = State::kAwaitProbes;
+  int chosen_ = -1;
+  uint64_t target_entries_ = 0;
+  size_t attempt_ = 0;
+  size_t cells_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PartySession> QuadtreeReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<QuadtreeAlice>(context_, params_, points);
+}
+
+std::unique_ptr<PartySession> QuadtreeReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<QuadtreeBob>(context_, params_, points);
+}
+
+std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<AdaptiveQuadtreeAlice>(context_, params_, points);
+}
+
+std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<AdaptiveQuadtreeBob>(context_, params_,
+                                               max_attempts_, points);
 }
 
 }  // namespace recon

@@ -73,6 +73,10 @@ std::optional<std::vector<LevelDiffEntry>> TryDecodeLevelDiff(
     const Iblt& bob_iblt, size_t budget);
 
 /// One-shot (single round) robust reconciliation.
+///
+/// Sessions: Alice sends every ladder level's IBLT in one "qt-levels"
+/// message and is done; Bob scans for the finest decodable level, repairs,
+/// and is done. 1 message, 1 round.
 class QuadtreeReconciler : public Reconciler {
  public:
   QuadtreeReconciler(const ProtocolContext& context,
@@ -80,8 +84,11 @@ class QuadtreeReconciler : public Reconciler {
       : context_(context), params_(params) {}
 
   std::string Name() const override { return "quadtree"; }
-  ReconResult Run(const PointSet& alice, const PointSet& bob,
-                  transport::Channel* channel) const override;
+  std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const override;
+  bool RequiresEqualSizes() const override { return true; }
 
  private:
   ProtocolContext context_;
@@ -90,6 +97,12 @@ class QuadtreeReconciler : public Reconciler {
 
 /// Adaptive (strata-probe) robust reconciliation; at most `max_attempts`
 /// doubling retries if the negotiated IBLT fails to decode.
+///
+/// Sessions: Alice opens with per-level strata probes ("qt-strata") and
+/// then serves "qt-level-request" messages with "qt-level-iblt" responses;
+/// Bob picks the finest level whose estimated difference fits his budget,
+/// requests it, and doubles the request on decode failure. 3 messages /
+/// 3 rounds on the first-attempt-success path, +2 per retry.
 class AdaptiveQuadtreeReconciler : public Reconciler {
  public:
   AdaptiveQuadtreeReconciler(const ProtocolContext& context,
@@ -98,8 +111,11 @@ class AdaptiveQuadtreeReconciler : public Reconciler {
       : context_(context), params_(params), max_attempts_(max_attempts) {}
 
   std::string Name() const override { return "quadtree-adaptive"; }
-  ReconResult Run(const PointSet& alice, const PointSet& bob,
-                  transport::Channel* channel) const override;
+  std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const override;
+  bool RequiresEqualSizes() const override { return true; }
 
  private:
   ProtocolContext context_;

@@ -1,0 +1,122 @@
+#include "recon/registry.h"
+
+#include <utility>
+
+#include "recon/full_transfer.h"
+#include "recon/quadtree_recon.h"
+#include "recon/single_grid.h"
+
+namespace rsr {
+namespace recon {
+
+ProtocolParams ProtocolParams::Resolved() const {
+  ProtocolParams resolved = *this;
+  if (k > 0) {
+    resolved.quadtree.k = k;
+    resolved.mlsh.k = k;
+    resolved.riblt.k = k;
+  }
+  return resolved;
+}
+
+bool ProtocolRegistry::Register(const std::string& name,
+                                const std::string& description,
+                                Factory factory) {
+  return entries_
+      .emplace(name, Entry{description, std::move(factory)})
+      .second;
+}
+
+bool ProtocolRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::unique_ptr<Reconciler> ProtocolRegistry::Create(
+    const std::string& name, const ProtocolContext& context,
+    const ProtocolParams& params) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  return it->second.factory(context, params.Resolved());
+}
+
+std::vector<std::string> ProtocolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    (void)entry;
+    names.push_back(name);  // std::map iterates in sorted order
+  }
+  return names;
+}
+
+std::string ProtocolRegistry::Describe(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.description;
+}
+
+namespace {
+
+void RegisterBuiltins(ProtocolRegistry* registry) {
+  registry->Register(
+      "full-transfer", "whole-set transfer baseline",
+      [](const ProtocolContext& ctx, const ProtocolParams&) {
+        return std::make_unique<FullTransferReconciler>(ctx);
+      });
+  registry->Register(
+      "exact-iblt", "strata + IBLT exact reconciliation baseline",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<ExactReconciler>(ctx, p.exact);
+      });
+  registry->Register(
+      "quadtree", "one-shot robust quadtree reconciliation (SIGMOD'14)",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<QuadtreeReconciler>(ctx, p.quadtree);
+      });
+  registry->Register(
+      "quadtree-adaptive",
+      "3-message strata-probe quadtree with doubling retries",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<AdaptiveQuadtreeReconciler>(ctx, p.quadtree);
+      });
+  registry->Register(
+      "single-grid", "one forced quadtree level (ablation)",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<SingleGridReconciler>(ctx, p.quadtree,
+                                                     p.single_grid_level);
+      });
+  registry->Register(
+      "mlsh-riblt", "multi-level LSH + Robust IBLT extension",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<lshrecon::MlshReconciler>(ctx, p.mlsh);
+      });
+  registry->Register(
+      "riblt-oneshot", "exact-key one-shot Robust IBLT baseline",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<RibltReconciler>(ctx, p.riblt);
+      });
+  registry->Register(
+      "gap-lattice", "gap-guarantee lattice reconciliation",
+      [](const ProtocolContext& ctx, const ProtocolParams& p) {
+        return std::make_unique<gaprecon::GapReconciler>(ctx, p.gap);
+      });
+}
+
+}  // namespace
+
+ProtocolRegistry& ProtocolRegistry::Global() {
+  static ProtocolRegistry* registry = [] {
+    auto* r = new ProtocolRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<Reconciler> MakeReconciler(const std::string& name,
+                                           const ProtocolContext& context,
+                                           const ProtocolParams& params) {
+  return ProtocolRegistry::Global().Create(name, context, params);
+}
+
+}  // namespace recon
+}  // namespace rsr

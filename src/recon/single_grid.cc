@@ -3,48 +3,109 @@
 #include <utility>
 
 #include "recon/quadtree_recon.h"
+#include "recon/session.h"
 #include "util/check.h"
 
 namespace rsr {
 namespace recon {
 
-ReconResult SingleGridReconciler::Run(const PointSet& alice,
-                                      const PointSet& bob,
-                                      transport::Channel* channel) const {
-  RSR_CHECK_MSG(alice.size() == bob.size(),
-                "EMD model requires equal-size sets");
-  const size_t n = alice.size();
-  const ShiftedGrid grid(context_.universe, context_.seed);
-  RSR_CHECK(level_ >= 0 && level_ <= grid.max_level());
+namespace {
 
-  {
+class SingleGridAlice : public PartySessionBase {
+ public:
+  SingleGridAlice(const ProtocolContext& context,
+                  const QuadtreeParams& params, int level, PointSet points)
+      : context_(context),
+        params_(params),
+        level_(level),
+        points_(std::move(points)) {}
+
+  std::vector<transport::Message> Start() override {
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    RSR_CHECK(level_ >= 0 && level_ <= grid.max_level());
     BitWriter w;
-    BuildLevelIblt(grid, alice, level_, n, params_, context_.seed)
+    BuildLevelIblt(grid, points_, level_, points_.size(), params_,
+                   context_.seed)
         .Serialize(&w);
-    channel->Send(transport::Direction::kAliceToBob,
-                  transport::MakeMessage("single-grid", std::move(w)));
+    result_.success = true;
+    result_.chosen_level = level_;
+    Finish();
+    return OneMessage(transport::MakeMessage("single-grid", std::move(w)));
   }
 
-  ReconResult result;
-  result.bob_final = bob;
-  result.chosen_level = level_;
-  const transport::Message msg =
-      channel->Receive(transport::Direction::kAliceToBob);
-  BitReader r(msg.payload);
-  const IbltConfig config =
-      LevelIbltConfig(grid, level_, n, params_, context_.seed);
-  std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
-  RSR_CHECK(alice_iblt.has_value());
-  const Iblt bob_iblt =
-      BuildLevelIblt(grid, bob, level_, n, params_, context_.seed);
-  std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
-      grid, level_, n, *alice_iblt, bob_iblt, params_.DecodeBudget());
-  if (diff.has_value()) {
-    result.success = true;
-    result.decoded_entries = diff->size();
-    result.bob_final = RepairBob(grid, bob, level_, *diff);
+  std::vector<transport::Message> OnMessage(transport::Message) override {
+    FailWith(SessionError::kUnexpectedMessage);
+    return NoMessages();
   }
-  return result;
+
+ private:
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  int level_;
+  PointSet points_;
+};
+
+class SingleGridBob : public PartySessionBase {
+ public:
+  SingleGridBob(const ProtocolContext& context, const QuadtreeParams& params,
+                int level, PointSet points)
+      : context_(context),
+        params_(params),
+        level_(level),
+        points_(std::move(points)) {
+    result_.bob_final = points_;
+    result_.chosen_level = level_;
+  }
+
+  std::vector<transport::Message> Start() override { return NoMessages(); }
+
+  std::vector<transport::Message> OnMessage(
+      transport::Message message) override {
+    if (done_) {
+      FailWith(SessionError::kUnexpectedMessage);
+      return NoMessages();
+    }
+    const size_t n = points_.size();
+    const ShiftedGrid grid(context_.universe, context_.seed);
+    RSR_CHECK(level_ >= 0 && level_ <= grid.max_level());
+    BitReader r(message.payload);
+    const IbltConfig config =
+        LevelIbltConfig(grid, level_, n, params_, context_.seed);
+    std::optional<Iblt> alice_iblt = Iblt::Deserialize(config, &r);
+    if (!alice_iblt.has_value()) {
+      FailWith(SessionError::kMalformedMessage);
+      return NoMessages();
+    }
+    const Iblt bob_iblt =
+        BuildLevelIblt(grid, points_, level_, n, params_, context_.seed);
+    std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
+        grid, level_, n, *alice_iblt, bob_iblt, params_.DecodeBudget());
+    if (diff.has_value()) {
+      result_.success = true;
+      result_.decoded_entries = diff->size();
+      result_.bob_final = RepairBob(grid, points_, level_, *diff);
+    }
+    Finish();
+    return NoMessages();
+  }
+
+ private:
+  ProtocolContext context_;
+  QuadtreeParams params_;
+  int level_;
+  PointSet points_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartySession> SingleGridReconciler::MakeAliceSession(
+    const PointSet& points) const {
+  return std::make_unique<SingleGridAlice>(context_, params_, level_, points);
+}
+
+std::unique_ptr<PartySession> SingleGridReconciler::MakeBobSession(
+    const PointSet& points) const {
+  return std::make_unique<SingleGridBob>(context_, params_, level_, points);
 }
 
 }  // namespace recon

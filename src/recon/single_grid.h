@@ -6,6 +6,10 @@
 // (the histograms differ almost everywhere), a level coarser than necessary
 // inflates the repair error by the cell diameter. Experiment E7 sweeps the
 // forced level against the auto-selected one.
+//
+// Sessions (1 message, 1 round):
+//   Alice:  Start -> send "single-grid" (the level's histogram IBLT), done.
+//   Bob:    await "single-grid" -> subtract his histogram, decode, repair.
 
 #ifndef RSR_RECON_SINGLE_GRID_H_
 #define RSR_RECON_SINGLE_GRID_H_
@@ -26,8 +30,11 @@ class SingleGridReconciler : public Reconciler {
   std::string Name() const override {
     return "single-grid-L" + std::to_string(level_);
   }
-  ReconResult Run(const PointSet& alice, const PointSet& bob,
-                  transport::Channel* channel) const override;
+  std::unique_ptr<PartySession> MakeAliceSession(
+      const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points) const override;
+  bool RequiresEqualSizes() const override { return true; }
 
  private:
   ProtocolContext context_;

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "util/check.h"
-
 namespace rsr {
 namespace transport {
 
@@ -26,10 +24,10 @@ void Channel::Send(Direction direction, Message message) {
   queue.push_back(std::move(message));
 }
 
-Message Channel::Receive(Direction direction) {
+std::optional<Message> Channel::Receive(Direction direction) {
   auto& queue =
       direction == Direction::kAliceToBob ? to_bob_ : to_alice_;
-  RSR_CHECK_MSG(!queue.empty(), "Receive on empty channel");
+  if (queue.empty()) return std::nullopt;
   Message msg = std::move(queue.front());
   queue.pop_front();
   return msg;

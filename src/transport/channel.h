@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,8 +50,10 @@ class Channel {
   void Send(Direction direction, Message message);
 
   /// Dequeues the oldest undelivered message in `direction`.
-  /// Aborts if none is pending (protocol bug).
-  Message Receive(Direction direction);
+  /// Returns nullopt if none is pending (e.g. an out-of-order receive);
+  /// the session driver surfaces this as SessionError::kEmptyChannel
+  /// instead of crashing the process.
+  std::optional<Message> Receive(Direction direction);
 
   /// True if a message is pending in `direction`.
   bool HasPending(Direction direction) const;

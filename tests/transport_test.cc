@@ -63,12 +63,27 @@ TEST(ChannelTest, ReceiveIsFifoPerDirection) {
   channel.Send(Direction::kAliceToBob, Msg("second", 8));
 
   EXPECT_TRUE(channel.HasPending(Direction::kAliceToBob));
-  EXPECT_EQ(channel.Receive(Direction::kAliceToBob).label, "first");
-  EXPECT_EQ(channel.Receive(Direction::kAliceToBob).label, "second");
+  EXPECT_EQ(channel.Receive(Direction::kAliceToBob)->label, "first");
+  EXPECT_EQ(channel.Receive(Direction::kAliceToBob)->label, "second");
   EXPECT_FALSE(channel.HasPending(Direction::kAliceToBob));
   EXPECT_TRUE(channel.HasPending(Direction::kBobToAlice));
-  EXPECT_EQ(channel.Receive(Direction::kBobToAlice).label, "reply");
+  EXPECT_EQ(channel.Receive(Direction::kBobToAlice)->label, "reply");
   EXPECT_FALSE(channel.HasPending(Direction::kBobToAlice));
+}
+
+TEST(ChannelTest, ReceiveOnEmptyQueueReturnsNulloptNotAbort) {
+  Channel channel;
+  // A fresh channel has nothing pending in either direction.
+  EXPECT_FALSE(channel.Receive(Direction::kAliceToBob).has_value());
+  EXPECT_FALSE(channel.Receive(Direction::kBobToAlice).has_value());
+  // Out-of-order receive: a message queued A->B must not satisfy a B->A
+  // receive, and asking again after draining is an error value, not a crash.
+  channel.Send(Direction::kAliceToBob, Msg("only", 8));
+  EXPECT_FALSE(channel.Receive(Direction::kBobToAlice).has_value());
+  ASSERT_TRUE(channel.Receive(Direction::kAliceToBob).has_value());
+  EXPECT_FALSE(channel.Receive(Direction::kAliceToBob).has_value());
+  // Accounting is unaffected by failed receives.
+  EXPECT_EQ(channel.stats().message_count, 1u);
 }
 
 TEST(ChannelTest, PayloadSurvivesTransit) {
@@ -78,8 +93,9 @@ TEST(ChannelTest, PayloadSurvivesTransit) {
   w.WriteVarint(12345);
   channel.Send(Direction::kAliceToBob, MakeMessage("payload", std::move(w)));
 
-  const Message m = channel.Receive(Direction::kAliceToBob);
-  BitReader r(m.payload);
+  const std::optional<Message> m = channel.Receive(Direction::kAliceToBob);
+  ASSERT_TRUE(m.has_value());
+  BitReader r(m->payload);
   uint64_t v = 0;
   ASSERT_TRUE(r.ReadBits(16, &v));
   EXPECT_EQ(v, 0xfeedu);
