@@ -1,0 +1,195 @@
+// E16 — Serving-layer load: many concurrent clients over real sockets.
+//
+// One SyncServer holds a canonical clustered cloud; N client threads each
+// connect over loopback TCP, negotiate a registry protocol, and sync a
+// drifted replica. Per (clients × protocol) configuration the table
+// reports throughput (syncs/sec across the whole burst), framed bytes per
+// sync in each direction, the server's mean per-session wall time, and
+// `match_driver` — the fraction of served results that are bit-identical
+// (full ReconResult, reconciled set included) to recon::DrivePair on the
+// same inputs, which must be 1. Expected shape: syncs/sec scales with the
+// burst size until the worker pool saturates, and cheap-sketch protocols
+// (quadtree) sustain far higher sync rates than full transfer at equal
+// fidelity of accounting.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/tcp.h"
+#include "recon/driver.h"
+#include "server/sync_client.h"
+#include "server/sync_server.h"
+#include "util/stats.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace {
+
+constexpr size_t kSetSize = 256;
+constexpr size_t kOutliers = 6;
+constexpr double kNoise = 1.0;
+
+recon::ProtocolContext Ctx() {
+  recon::ProtocolContext ctx;
+  ctx.universe = MakeUniverse(1 << 14, 2);
+  ctx.seed = 616;
+  return ctx;
+}
+
+recon::ProtocolParams Params() {
+  recon::ProtocolParams params;
+  params.k = 8;
+  return params;
+}
+
+PointSet Canonical() {
+  workload::CloudSpec spec;
+  spec.universe = Ctx().universe;
+  spec.n = kSetSize;
+  spec.shape = workload::CloudShape::kClusters;
+  Rng rng(991);
+  return workload::GenerateCloud(spec, &rng);
+}
+
+PointSet DriftedReplica(const PointSet& base, uint64_t seed) {
+  const Universe universe = Ctx().universe;
+  Rng rng(seed);
+  PointSet replica;
+  replica.reserve(base.size());
+  for (const Point& p : base) {
+    replica.push_back(workload::PerturbPoint(
+        p, universe, workload::NoiseKind::kGaussian, kNoise, &rng));
+  }
+  for (size_t i = 0; i < kOutliers; ++i) {
+    Point fresh(universe.d);
+    for (int j = 0; j < universe.d; ++j) {
+      fresh[j] = static_cast<int64_t>(rng.Below(universe.delta));
+    }
+    replica[rng.Below(replica.size())] = std::move(fresh);
+  }
+  return replica;
+}
+
+bool SameResult(const recon::ReconResult& a, const recon::ReconResult& b,
+                bool compare_sets) {
+  return a.success == b.success && a.error == b.error &&
+         a.chosen_level == b.chosen_level &&
+         a.decoded_entries == b.decoded_entries && a.attempts == b.attempts &&
+         a.transmitted == b.transmitted &&
+         (!compare_sets || a.bob_final == b.bob_final);
+}
+
+/// One burst: `clients` concurrent TCP clients, client i negotiating
+/// protocols[i % protocols.size()]. Emits one table row labelled `label`.
+void RunBurst(const PointSet& canonical, const std::string& label,
+              const std::vector<std::string>& protocols, size_t clients) {
+  server::SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  server_options.worker_threads = 8;
+  server::SyncServer server(canonical, server_options);
+  if (!server.Start(net::TcpListener::Listen("127.0.0.1", 0))) {
+    std::fprintf(stderr, "E16: failed to bind a loopback listener\n");
+    return;
+  }
+
+  std::vector<PointSet> replicas(clients);
+  for (size_t i = 0; i < clients; ++i) {
+    replicas[i] = DriftedReplica(canonical, 3000 + 31 * i);
+  }
+
+  std::vector<server::SyncOutcome> outcomes(clients);
+  const auto burst_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      server::SyncClientOptions options;
+      options.context = Ctx();
+      options.params = Params();
+      const server::SyncClient client(options);
+      auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+      if (stream == nullptr) return;
+      outcomes[i] = client.Sync(stream.get(), protocols[i % protocols.size()],
+                                replicas[i]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double burst_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    burst_start)
+          .count();
+  server.Stop();
+
+  size_t matched = 0, succeeded = 0;
+  for (size_t i = 0; i < clients; ++i) {
+    const auto reconciler = recon::MakeReconciler(
+        protocols[i % protocols.size()], Ctx(), Params());
+    transport::Channel channel;
+    const recon::ReconResult expected =
+        reconciler->Run(replicas[i], canonical, &channel);
+    if (outcomes[i].handshake_ok &&
+        SameResult(outcomes[i].result, expected, expected.success)) {
+      ++matched;
+    }
+    if (outcomes[i].result.success) ++succeeded;
+  }
+
+  const server::SyncServerMetrics metrics = server.metrics();
+  const double total_sessions =
+      static_cast<double>(metrics.syncs_completed + metrics.syncs_failed);
+  double mean_wall_ms = 0.0;
+  for (const auto& [name, stats] : metrics.per_protocol) {
+    (void)name;
+    mean_wall_ms += stats.wall_seconds;
+  }
+  mean_wall_ms = total_sessions > 0
+                     ? 1e3 * mean_wall_ms / total_sessions
+                     : 0.0;
+
+  bench::Row({label, std::to_string(clients), std::to_string(succeeded),
+              bench::Num(static_cast<double>(clients) / burst_seconds),
+              bench::Num(static_cast<double>(metrics.bytes_in) /
+                         static_cast<double>(clients)),
+              bench::Num(static_cast<double>(metrics.bytes_out) /
+                         static_cast<double>(clients)),
+              bench::Num(mean_wall_ms),
+              bench::Num(static_cast<double>(matched) /
+                         static_cast<double>(clients))});
+}
+
+}  // namespace
+}  // namespace rsr
+
+int main() {
+  using namespace rsr;
+  bench::Banner("E16", "sync-server load: concurrent clients over TCP",
+                "syncs/sec grows with the burst until workers saturate; "
+                "every served result is bit-identical to the in-process "
+                "driver (match_driver = 1)");
+  bench::Row({"protocol", "clients", "ok", "syncs_per_sec", "bytes_in_per",
+              "bytes_out_per", "wall_ms_mean", "match_driver"});
+
+  const PointSet canonical = Canonical();
+  const std::vector<std::string> kSingles[] = {{"quadtree"},
+                                               {"exact-iblt"},
+                                               {"full-transfer"},
+                                               {"gap-lattice"},
+                                               {"riblt-oneshot"}};
+  for (const auto& protocols : kSingles) {
+    for (const size_t clients : {8, 32}) {
+      RunBurst(canonical, protocols[0], protocols, clients);
+    }
+  }
+  // Mixed burst: 32 clients round-robin over five protocols at once.
+  RunBurst(canonical, "mixed-5",
+           {"quadtree", "exact-iblt", "full-transfer", "gap-lattice",
+            "riblt-oneshot"},
+           32);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// syncd — many-client sync server demo over real loopback sockets.
+//
+// Starts a SyncServer holding a canonical clustered point cloud, then
+// simulates a fleet of drifting replicas: each client thread connects over
+// TCP, negotiates a protocol from the registry, and reconciles its replica
+// against the canonical set. Prints one line per client and the server's
+// aggregate metrics. Usage:
+//
+//   syncd [num_clients] [worker_threads]
+//
+// See examples/syncd/README.md for a walkthrough of the wire format and
+// the handshake this exercises.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+#include "recon/driver.h"
+#include "server/sync_client.h"
+#include "server/sync_server.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace rsr;
+
+constexpr size_t kSetSize = 200;
+
+recon::ProtocolContext Context() {
+  recon::ProtocolContext ctx;
+  ctx.universe = MakeUniverse(1 << 14, 2);
+  ctx.seed = 2014;  // shared public coins: both parties must agree
+  return ctx;
+}
+
+recon::ProtocolParams Params() {
+  recon::ProtocolParams params;
+  params.k = 8;
+  return params;
+}
+
+PointSet CanonicalCloud() {
+  workload::CloudSpec spec;
+  spec.universe = Context().universe;
+  spec.n = kSetSize;
+  spec.shape = workload::CloudShape::kClusters;
+  Rng rng(99);
+  return workload::GenerateCloud(spec, &rng);
+}
+
+PointSet Drift(const PointSet& base, uint64_t seed) {
+  const Universe universe = Context().universe;
+  Rng rng(seed);
+  PointSet replica;
+  replica.reserve(base.size());
+  for (const Point& p : base) {
+    replica.push_back(workload::PerturbPoint(
+        p, universe, workload::NoiseKind::kGaussian, 1.5, &rng));
+  }
+  for (int i = 0; i < 5; ++i) {  // a few genuinely divergent points
+    Point fresh(universe.d);
+    for (int j = 0; j < universe.d; ++j) {
+      fresh[j] = static_cast<int64_t>(rng.Below(universe.delta));
+    }
+    replica[rng.Below(replica.size())] = std::move(fresh);
+  }
+  return replica;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_clients = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+  const size_t workers = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+
+  const PointSet canonical = CanonicalCloud();
+  server::SyncServerOptions server_options;
+  server_options.context = Context();
+  server_options.params = Params();
+  server_options.worker_threads = workers;
+  server::SyncServer server(canonical, server_options);
+  if (!server.Start(net::TcpListener::Listen("127.0.0.1", 0))) {
+    std::fprintf(stderr, "syncd: could not bind a loopback listener\n");
+    return 1;
+  }
+  std::printf("syncd: serving %zu canonical points on 127.0.0.1:%u with %zu "
+              "workers\n\n",
+              canonical.size(), server.port(), workers);
+
+  const std::vector<std::string> protocols = {
+      "quadtree", "exact-iblt", "full-transfer", "riblt-oneshot"};
+  std::vector<std::thread> clients;
+  std::mutex print_mu;
+  clients.reserve(num_clients);
+  for (size_t i = 0; i < num_clients; ++i) {
+    clients.emplace_back([&, i] {
+      const std::string& protocol = protocols[i % protocols.size()];
+      server::SyncClientOptions options;
+      options.context = Context();
+      options.params = Params();
+      const server::SyncClient client(options);
+      auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+      if (stream == nullptr) {
+        std::fprintf(stderr, "client %zu: connect failed\n", i);
+        return;
+      }
+      const server::SyncOutcome outcome =
+          client.Sync(stream.get(), protocol, Drift(canonical, 100 + 7 * i));
+      // success=false with error=kNone is a protocol-level failure (e.g. a
+      // sketch sized for k differences meeting far more), not a transport one.
+      const char* status =
+          outcome.result.success
+              ? "ok"
+              : (outcome.result.error == recon::SessionError::kNone
+                     ? "no-decode"
+                     : recon::SessionErrorName(outcome.result.error));
+      std::lock_guard<std::mutex> lock(print_mu);
+      std::printf(
+          "client %2zu  %-15s %-9s recovered=%4zu pts  %6zu B up  %6zu B "
+          "down  %.1f ms\n",
+          i, protocol.c_str(), status,
+          outcome.result.bob_final.size(), outcome.bytes_sent,
+          outcome.bytes_received, 1e3 * outcome.wall_seconds);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  const server::SyncServerMetrics metrics = server.metrics();
+  std::printf("\nserver: %zu accepted, %zu ok, %zu failed, %zu rejected, "
+              "%zu B in, %zu B out\n",
+              metrics.connections_accepted, metrics.syncs_completed,
+              metrics.syncs_failed, metrics.handshakes_rejected,
+              metrics.bytes_in, metrics.bytes_out);
+  for (const auto& [name, stats] : metrics.per_protocol) {
+    std::printf("  %-15s %zu syncs, %zu failures, mean %.1f ms, "
+                "%zu B in, %zu B out\n",
+                name.c_str(), stats.syncs, stats.failures,
+                stats.syncs + stats.failures > 0
+                    ? 1e3 * stats.wall_seconds /
+                          static_cast<double>(stats.syncs + stats.failures)
+                    : 0.0,
+                stats.bytes_in, stats.bytes_out);
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include "net/byte_stream.h"
+
+namespace rsr {
+namespace net {
+
+ReadStatus ReadFull(ByteStream* stream, uint8_t* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ptrdiff_t r = stream->Read(buf + got, n - got);
+    if (r < 0) return ReadStatus::kError;
+    if (r == 0) return got == 0 ? ReadStatus::kClosed : ReadStatus::kTruncated;
+    got += static_cast<size_t>(r);
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace net
+}  // namespace rsr

@@ -1,0 +1,54 @@
+// Blocking byte-stream transport abstraction.
+//
+// Everything above this layer (framing, the sync server and client) speaks
+// ByteStream, so the same code runs over an in-process pipe pair
+// (net/pipe_stream.h) in unit tests and over real TCP sockets (net/tcp.h)
+// in the syncd demo and the server load bench. The contract is the plain
+// POSIX one: reads block until at least one byte (or EOF/error), writes are
+// all-or-nothing, Close is idempotent and unblocks a peer's pending read
+// with a clean EOF.
+
+#ifndef RSR_NET_BYTE_STREAM_H_
+#define RSR_NET_BYTE_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rsr {
+namespace net {
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Blocks until at least one byte is available, then reads up to `n`
+  /// bytes into `buf`. Returns the number of bytes read, 0 on clean EOF
+  /// (peer closed), or -1 on a transport error.
+  virtual ptrdiff_t Read(uint8_t* buf, size_t n) = 0;
+
+  /// Writes all `n` bytes. Returns false if the stream is closed or the
+  /// transport failed mid-write.
+  virtual bool Write(const uint8_t* data, size_t n) = 0;
+
+  /// Shuts the stream down in both directions. Idempotent; a peer blocked
+  /// in Read observes EOF.
+  virtual void Close() = 0;
+};
+
+/// Outcome of ReadFull: distinguishes a clean EOF *before* any byte (the
+/// peer hung up between frames) from one *inside* the requested span (a
+/// truncated frame).
+enum class ReadStatus {
+  kOk,         ///< All `n` bytes were read.
+  kClosed,     ///< EOF before the first byte.
+  kTruncated,  ///< EOF after >= 1 byte but before `n`.
+  kError,      ///< Transport error.
+};
+
+/// Reads exactly `n` bytes (blocking across short reads).
+ReadStatus ReadFull(ByteStream* stream, uint8_t* buf, size_t n);
+
+}  // namespace net
+}  // namespace rsr
+
+#endif  // RSR_NET_BYTE_STREAM_H_

@@ -1,0 +1,149 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace net {
+
+namespace {
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrame(const transport::Message& message,
+                 std::vector<uint8_t>* out) {
+  RSR_CHECK_MSG(transport::IsWellFormed(message),
+                "refusing to encode a message with corrupt bit accounting");
+  RSR_CHECK_MSG(message.label.size() <= 0xFFFF, "frame label too long");
+  RSR_CHECK_MSG(message.payload.size() <= 0xFFFFFFFFu, "frame payload too big");
+  out->reserve(out->size() + kFrameHeaderBytes + message.label.size() +
+               message.payload.size());
+  out->insert(out->end(), kFrameMagic, kFrameMagic + 4);
+  out->push_back(kWireVersion);
+  PutU16(static_cast<uint16_t>(message.label.size()), out);
+  PutU32(static_cast<uint32_t>(message.payload.size()), out);
+  PutU64(message.payload_bits, out);
+  out->insert(out->end(), message.label.begin(), message.label.end());
+  out->insert(out->end(), message.payload.begin(), message.payload.end());
+}
+
+std::vector<uint8_t> EncodeFrame(const transport::Message& message) {
+  std::vector<uint8_t> out;
+  EncodeFrame(message, &out);
+  return out;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  if (error_ != recon::SessionError::kNone) return;
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::Next(transport::Message* out) {
+  if (error_ != recon::SessionError::kNone) return Status::kError;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return Status::kNeedMoreData;
+
+  const uint8_t* header = buffer_.data() + consumed_;
+  // Validate the header as soon as it is complete, before waiting for the
+  // body: garbage and over-limit frames fail without buffering their
+  // claimed length.
+  if (std::memcmp(header, kFrameMagic, 4) != 0 || header[4] != kWireVersion) {
+    error_ = recon::SessionError::kMalformedMessage;
+    return Status::kError;
+  }
+  const size_t label_len = GetU16(header + 5);
+  const size_t payload_len = GetU32(header + 7);
+  const uint64_t payload_bits = GetU64(header + 11);
+  if (label_len > limits_.max_label_bytes ||
+      payload_len > limits_.max_payload_bytes ||
+      payload_bits > static_cast<uint64_t>(payload_len) * 8) {
+    error_ = recon::SessionError::kMalformedMessage;
+    return Status::kError;
+  }
+
+  const size_t total = kFrameHeaderBytes + label_len + payload_len;
+  if (avail < total) return Status::kNeedMoreData;
+
+  const uint8_t* body = header + kFrameHeaderBytes;
+  out->label.assign(reinterpret_cast<const char*>(body), label_len);
+  out->payload.assign(body + label_len, body + label_len + payload_len);
+  out->payload_bits = static_cast<size_t>(payload_bits);
+  consumed_ += total;
+  // Compact once the dead prefix dominates, so long sessions stay O(frame).
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return Status::kFrame;
+}
+
+bool FramedStream::Send(const transport::Message& message) {
+  const std::vector<uint8_t> frame = EncodeFrame(message);
+  if (!stream_->Write(frame.data(), frame.size())) return false;
+  bytes_sent_ += frame.size();
+  return true;
+}
+
+FramedStream::RecvStatus FramedStream::Receive(transport::Message* out) {
+  for (;;) {
+    switch (decoder_.Next(out)) {
+      case FrameDecoder::Status::kFrame:
+        return RecvStatus::kMessage;
+      case FrameDecoder::Status::kError:
+        error_ = decoder_.error();
+        return RecvStatus::kError;
+      case FrameDecoder::Status::kNeedMoreData:
+        break;
+    }
+    uint8_t chunk[4096];
+    const ptrdiff_t r = stream_->Read(chunk, sizeof(chunk));
+    if (r > 0) {
+      decoder_.Feed(chunk, static_cast<size_t>(r));
+      bytes_received_ += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0 && !decoder_.mid_frame()) {
+      error_ = recon::SessionError::kTransportClosed;
+      return RecvStatus::kClosed;
+    }
+    // EOF inside a frame is a truncated frame; a read error is a dead
+    // transport. Both end the session.
+    error_ = r == 0 ? recon::SessionError::kMalformedMessage
+                    : recon::SessionError::kTransportClosed;
+    return RecvStatus::kError;
+  }
+}
+
+}  // namespace net
+}  // namespace rsr

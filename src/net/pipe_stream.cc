@@ -1,0 +1,56 @@
+#include "net/pipe_stream.h"
+
+#include <algorithm>
+
+namespace rsr {
+namespace net {
+
+std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>>
+PipeStream::CreatePair() {
+  auto a_to_b = std::make_shared<HalfPipe>();
+  auto b_to_a = std::make_shared<HalfPipe>();
+  // Endpoint A reads b_to_a and writes a_to_b; endpoint B the reverse.
+  std::unique_ptr<PipeStream> a(new PipeStream(b_to_a, a_to_b));
+  std::unique_ptr<PipeStream> b(new PipeStream(a_to_b, b_to_a));
+  return {std::move(a), std::move(b)};
+}
+
+PipeStream::~PipeStream() { Close(); }
+
+ptrdiff_t PipeStream::Read(uint8_t* buf, size_t n) {
+  if (n == 0) return 0;
+  std::unique_lock<std::mutex> lock(incoming_->mu);
+  incoming_->cv.wait(lock, [this] {
+    return !incoming_->data.empty() || incoming_->closed;
+  });
+  if (incoming_->data.empty()) return 0;  // closed and drained: EOF
+  const size_t take = std::min(n, incoming_->data.size());
+  std::copy_n(incoming_->data.begin(), take, buf);
+  incoming_->data.erase(incoming_->data.begin(),
+                        incoming_->data.begin() + take);
+  return static_cast<ptrdiff_t>(take);
+}
+
+bool PipeStream::Write(const uint8_t* data, size_t n) {
+  std::lock_guard<std::mutex> lock(outgoing_->mu);
+  if (outgoing_->closed) return false;
+  outgoing_->data.insert(outgoing_->data.end(), data, data + n);
+  outgoing_->cv.notify_all();
+  return true;
+}
+
+void PipeStream::Close() {
+  {
+    std::lock_guard<std::mutex> lock(outgoing_->mu);
+    outgoing_->closed = true;
+    outgoing_->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(incoming_->mu);
+    incoming_->closed = true;
+    incoming_->cv.notify_all();
+  }
+}
+
+}  // namespace net
+}  // namespace rsr

@@ -1,0 +1,57 @@
+// In-process ByteStream pair.
+//
+// PipeStream::CreatePair() returns two connected endpoints: bytes written
+// to one are read from the other, each direction an unbounded FIFO guarded
+// by a mutex + condition variable. Reads block until data arrives or the
+// writer closes. This is the transport used by the server unit tests (no
+// sockets, fully deterministic teardown) and by examples that want the
+// server stack without networking.
+
+#ifndef RSR_NET_PIPE_STREAM_H_
+#define RSR_NET_PIPE_STREAM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/byte_stream.h"
+
+namespace rsr {
+namespace net {
+
+class PipeStream : public ByteStream {
+ public:
+  /// Two connected endpoints. Destroying one endpoint closes it (the
+  /// survivor sees EOF after draining buffered bytes).
+  static std::pair<std::unique_ptr<PipeStream>, std::unique_ptr<PipeStream>>
+  CreatePair();
+
+  ~PipeStream() override;
+
+  ptrdiff_t Read(uint8_t* buf, size_t n) override;
+  bool Write(const uint8_t* data, size_t n) override;
+  void Close() override;
+
+ private:
+  /// One direction of flow, shared by the writer and the reader endpoint.
+  struct HalfPipe {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<uint8_t> data;
+    bool closed = false;  // no further writes; reads drain then EOF
+  };
+
+  PipeStream(std::shared_ptr<HalfPipe> incoming,
+             std::shared_ptr<HalfPipe> outgoing)
+      : incoming_(std::move(incoming)), outgoing_(std::move(outgoing)) {}
+
+  std::shared_ptr<HalfPipe> incoming_;  // peer writes, we read
+  std::shared_ptr<HalfPipe> outgoing_;  // we write, peer reads
+};
+
+}  // namespace net
+}  // namespace rsr
+
+#endif  // RSR_NET_PIPE_STREAM_H_

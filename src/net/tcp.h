@@ -1,0 +1,77 @@
+// POSIX TCP transport: TcpListener / TcpStream.
+//
+// A thin RAII wrapper over BSD sockets implementing net::ByteStream, enough
+// to put the sync server behind real sockets: bind-to-ephemeral-port
+// support for tests (port 0, then port()), TCP_NODELAY on connections (the
+// protocols exchange many small frames), EINTR-safe read/write loops, and a
+// Close that unblocks a pending Accept.
+
+#ifndef RSR_NET_TCP_H_
+#define RSR_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/byte_stream.h"
+
+namespace rsr {
+namespace net {
+
+class TcpStream : public ByteStream {
+ public:
+  /// Connects to host:port ("127.0.0.1" style dotted quad or a hostname
+  /// resolvable by getaddrinfo). Returns nullptr on failure.
+  static std::unique_ptr<TcpStream> Connect(const std::string& host,
+                                            uint16_t port);
+
+  /// Adopts an already-connected socket fd (used by TcpListener::Accept).
+  explicit TcpStream(int fd);
+  ~TcpStream() override;
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  ptrdiff_t Read(uint8_t* buf, size_t n) override;
+  bool Write(const uint8_t* data, size_t n) override;
+  void Close() override;
+
+ private:
+  std::atomic<int> fd_;
+};
+
+class TcpListener {
+ public:
+  /// Binds and listens on host:port. `host` must be a dotted-quad IPv4
+  /// address ("127.0.0.1", "0.0.0.0", ...); anything else fails rather
+  /// than silently binding all interfaces. Pass port 0 for an ephemeral
+  /// port and read it back with port(). Returns nullptr on failure.
+  static std::unique_ptr<TcpListener> Listen(const std::string& host,
+                                             uint16_t port, int backlog = 64);
+
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks for the next connection. Returns nullptr once the listener is
+  /// closed (or on a non-transient accept failure).
+  std::unique_ptr<TcpStream> Accept();
+
+  /// Unblocks pending Accept calls; idempotent.
+  void Close();
+
+  uint16_t port() const { return port_; }
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  std::atomic<int> fd_;
+  uint16_t port_;
+};
+
+}  // namespace net
+}  // namespace rsr
+
+#endif  // RSR_NET_TCP_H_

@@ -19,6 +19,10 @@ const char* SessionErrorName(SessionError error) {
       return "malformed-message";
     case SessionError::kStalled:
       return "stalled";
+    case SessionError::kTransportClosed:
+      return "transport-closed";
+    case SessionError::kProtocolRejected:
+      return "protocol-rejected";
   }
   return "unknown";
 }

@@ -35,6 +35,10 @@ enum class SessionError {
   kMalformedMessage,   ///< Payload failed to parse / deserialize.
   kStalled,            ///< Neither endpoint can make progress (half-open
                        ///< failure, e.g. the peer gave up silently).
+  kTransportClosed,    ///< The byte stream closed / failed mid-protocol
+                       ///< (serving layer; see net/frame.h).
+  kProtocolRejected,   ///< The server rejected the requested protocol
+                       ///< during the sync handshake (server/sync_client.h).
 };
 
 /// Human-readable name of a SessionError (for logs and test output).

@@ -22,6 +22,8 @@ ProtocolParams ProtocolParams::Resolved() const {
 bool ProtocolRegistry::Register(const std::string& name,
                                 const std::string& description,
                                 Factory factory) {
+  // Dedupe: emplace leaves an existing entry untouched, so a late plugin
+  // cannot silently shadow a built-in protocol.
   return entries_
       .emplace(name, Entry{description, std::move(factory)})
       .second;
@@ -39,7 +41,7 @@ std::unique_ptr<Reconciler> ProtocolRegistry::Create(
   return it->second.factory(context, params.Resolved());
 }
 
-std::vector<std::string> ProtocolRegistry::Names() const {
+std::vector<std::string> ProtocolRegistry::ListProtocols() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {

@@ -72,8 +72,14 @@ class ProtocolRegistry {
                                      const ProtocolContext& context,
                                      const ProtocolParams& params) const;
 
-  /// Registered names, sorted.
-  std::vector<std::string> Names() const;
+  /// Registered names, sorted. The sync-server handshake sends this list
+  /// back to a client whose requested protocol is unknown, so rejection
+  /// errors are self-describing.
+  std::vector<std::string> ListProtocols() const;
+
+  /// Registered names, sorted (alias of ListProtocols, kept for existing
+  /// callers).
+  std::vector<std::string> Names() const { return ListProtocols(); }
 
   /// One-line description of `name` ("" if unknown).
   std::string Describe(const std::string& name) const;

@@ -1,0 +1,160 @@
+#include "server/handshake.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/bitio.h"
+
+namespace rsr {
+namespace server {
+
+namespace {
+
+void WriteString(const std::string& s, BitWriter* out) {
+  out->WriteVarint(s.size());
+  for (char c : s) out->WriteBits(static_cast<uint8_t>(c), 8);
+}
+
+bool ReadString(BitReader* in, size_t max_len, std::string* out) {
+  uint64_t len = 0;
+  if (!in->ReadVarint(&len) || len > max_len) return false;
+  out->clear();
+  out->reserve(len);
+  for (uint64_t i = 0; i < len; ++i) {
+    uint64_t c = 0;
+    if (!in->ReadBits(8, &c)) return false;
+    out->push_back(static_cast<char>(c));
+  }
+  return true;
+}
+
+constexpr size_t kMaxStringLen = 4096;
+constexpr size_t kMaxListedProtocols = 4096;
+constexpr uint64_t kMaxResultPoints = uint64_t{1} << 32;
+
+}  // namespace
+
+bool IsControlLabel(const std::string& label) {
+  return !label.empty() && label[0] == '@';
+}
+
+transport::Message EncodeHello(const HelloFrame& hello) {
+  BitWriter writer;
+  WriteString(hello.protocol, &writer);
+  writer.WriteVarint(hello.client_set_size);
+  writer.WriteBit(hello.want_result_set);
+  return transport::MakeMessage(kHelloLabel, std::move(writer));
+}
+
+bool DecodeHello(const transport::Message& message, HelloFrame* out) {
+  if (message.label != kHelloLabel) return false;
+  BitReader reader(message.payload);
+  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
+         reader.ReadVarint(&out->client_set_size) &&
+         reader.ReadBit(&out->want_result_set);
+}
+
+transport::Message EncodeAccept(const AcceptFrame& accept) {
+  BitWriter writer;
+  WriteString(accept.protocol, &writer);
+  writer.WriteVarint(accept.server_set_size);
+  writer.WriteBit(accept.will_send_result_set);
+  return transport::MakeMessage(kAcceptLabel, std::move(writer));
+}
+
+bool DecodeAccept(const transport::Message& message, AcceptFrame* out) {
+  if (message.label != kAcceptLabel) return false;
+  BitReader reader(message.payload);
+  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
+         reader.ReadVarint(&out->server_set_size) &&
+         reader.ReadBit(&out->will_send_result_set);
+}
+
+transport::Message EncodeReject(const RejectFrame& reject) {
+  BitWriter writer;
+  WriteString(reject.reason, &writer);
+  writer.WriteVarint(reject.protocols.size());
+  for (const std::string& name : reject.protocols) WriteString(name, &writer);
+  return transport::MakeMessage(kRejectLabel, std::move(writer));
+}
+
+bool DecodeReject(const transport::Message& message, RejectFrame* out) {
+  if (message.label != kRejectLabel) return false;
+  BitReader reader(message.payload);
+  if (!ReadString(&reader, kMaxStringLen, &out->reason)) return false;
+  uint64_t count = 0;
+  if (!reader.ReadVarint(&count) || count > kMaxListedProtocols) return false;
+  out->protocols.clear();
+  out->protocols.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!ReadString(&reader, kMaxStringLen, &name)) return false;
+    out->protocols.push_back(std::move(name));
+  }
+  return true;
+}
+
+transport::Message EncodeResult(const ResultFrame& frame,
+                                const Universe& universe) {
+  const recon::ReconResult& r = frame.result;
+  BitWriter writer;
+  writer.WriteBit(r.success);
+  writer.WriteBits(static_cast<uint64_t>(r.error), 8);
+  writer.WriteSignedVarint(r.chosen_level);
+  writer.WriteVarint(r.decoded_entries);
+  writer.WriteVarint(r.attempts);
+  writer.WriteVarint(r.transmitted);
+  writer.WriteBit(frame.has_set);
+  if (frame.has_set) {
+    writer.WriteVarint(r.bob_final.size());
+    for (const Point& p : r.bob_final) PackPoint(universe, p, &writer);
+  }
+  return transport::MakeMessage(kResultLabel, std::move(writer));
+}
+
+bool DecodeResult(const transport::Message& message, const Universe& universe,
+                  ResultFrame* out) {
+  if (message.label != kResultLabel) return false;
+  BitReader reader(message.payload);
+  recon::ReconResult& r = out->result;
+  uint64_t error_code = 0;
+  int64_t chosen_level = 0;
+  uint64_t decoded_entries = 0, attempts = 0, transmitted = 0;
+  if (!reader.ReadBit(&r.success) || !reader.ReadBits(8, &error_code) ||
+      !reader.ReadSignedVarint(&chosen_level) ||
+      !reader.ReadVarint(&decoded_entries) || !reader.ReadVarint(&attempts) ||
+      !reader.ReadVarint(&transmitted) || !reader.ReadBit(&out->has_set)) {
+    return false;
+  }
+  if (error_code >
+      static_cast<uint64_t>(recon::SessionError::kProtocolRejected)) {
+    return false;
+  }
+  r.error = static_cast<recon::SessionError>(error_code);
+  r.chosen_level = static_cast<int>(chosen_level);
+  r.decoded_entries = static_cast<size_t>(decoded_entries);
+  r.attempts = static_cast<size_t>(attempts);
+  r.transmitted = static_cast<size_t>(transmitted);
+  r.bob_final.clear();
+  if (out->has_set) {
+    uint64_t count = 0;
+    if (!reader.ReadVarint(&count) || count > kMaxResultPoints) return false;
+    // A count the remaining payload cannot possibly hold is malformed;
+    // checking before the reserve keeps a hostile peer from forcing a
+    // huge allocation with a small frame. The reserve is further capped
+    // so memory grows with data actually decoded, not with the claim.
+    const uint64_t per_point_bits =
+        static_cast<uint64_t>(std::max(1, universe.BitsPerPoint()));
+    if (count > reader.bits_remaining() / per_point_bits) return false;
+    r.bob_final.reserve(std::min<uint64_t>(count, uint64_t{1} << 20));
+    for (uint64_t i = 0; i < count; ++i) {
+      Point p;
+      if (!UnpackPoint(universe, &reader, &p)) return false;
+      r.bob_final.push_back(std::move(p));
+    }
+  }
+  return true;
+}
+
+}  // namespace server
+}  // namespace rsr

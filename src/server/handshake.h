@@ -1,0 +1,85 @@
+// Control-plane frames of the sync serving layer.
+//
+// A sync session is framed protocol traffic (net/frame.h) bracketed by a
+// tiny negotiation: the client opens with "@hello" naming a registry
+// protocol, the server answers "@accept" (and both sides start their
+// PartySessions) or "@reject" (carrying the reason plus the server's
+// ListProtocols() so the error is self-describing), and after Bob's
+// endpoint finishes the server closes with "@result" carrying the
+// ReconResult — optionally including the reconciled point set so the
+// client can verify it bit-for-bit against a local run. Control labels
+// start with '@', which no protocol message label uses, so the two planes
+// cannot collide. Layout details in DESIGN.md §6.
+
+#ifndef RSR_SERVER_HANDSHAKE_H_
+#define RSR_SERVER_HANDSHAKE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "recon/protocol.h"
+#include "transport/message.h"
+
+namespace rsr {
+namespace server {
+
+/// Reserved control-plane labels. Protocol messages never start with '@'.
+inline constexpr char kHelloLabel[] = "@hello";
+inline constexpr char kAcceptLabel[] = "@accept";
+inline constexpr char kRejectLabel[] = "@reject";
+inline constexpr char kResultLabel[] = "@result";
+
+/// True for control-plane labels (reserved '@' prefix).
+bool IsControlLabel(const std::string& label);
+
+/// Client → server: request a protocol by registry name.
+struct HelloFrame {
+  std::string protocol;
+  uint64_t client_set_size = 0;  ///< Diagnostic; server metrics only.
+  bool want_result_set = true;   ///< Ship S'_B back in the result frame.
+};
+
+/// Server → client: the handshake failed.
+struct RejectFrame {
+  std::string reason;
+  std::vector<std::string> protocols;  ///< Server's ListProtocols().
+};
+
+/// Server → client: Bob's endpoint finished; its ReconResult. The point
+/// set travels only when the client asked for it (want_result_set).
+struct ResultFrame {
+  recon::ReconResult result;
+  bool has_set = false;
+};
+
+/// Server → client: handshake accepted. Echoes the agreed protocol and
+/// confirms whether the result set will be shipped; `server_set_size` is
+/// the canonical set's size (diagnostic).
+struct AcceptFrame {
+  std::string protocol;
+  uint64_t server_set_size = 0;
+  bool will_send_result_set = true;
+};
+
+transport::Message EncodeHello(const HelloFrame& hello);
+bool DecodeHello(const transport::Message& message, HelloFrame* out);
+
+transport::Message EncodeAccept(const AcceptFrame& accept);
+bool DecodeAccept(const transport::Message& message, AcceptFrame* out);
+
+transport::Message EncodeReject(const RejectFrame& reject);
+bool DecodeReject(const transport::Message& message, RejectFrame* out);
+
+/// `universe` fixes the exact per-coordinate bit width of the shipped set;
+/// both sides construct it from the shared ProtocolContext.
+transport::Message EncodeResult(const ResultFrame& frame,
+                                const Universe& universe);
+bool DecodeResult(const transport::Message& message, const Universe& universe,
+                  ResultFrame* out);
+
+}  // namespace server
+}  // namespace rsr
+
+#endif  // RSR_SERVER_HANDSHAKE_H_

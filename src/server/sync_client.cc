@@ -1,0 +1,134 @@
+#include "server/sync_client.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "recon/session.h"
+#include "server/handshake.h"
+
+namespace rsr {
+namespace server {
+
+namespace {
+
+using recon::SessionError;
+
+void FailOutcome(SyncOutcome* outcome, SessionError error) {
+  outcome->result.success = false;
+  if (outcome->result.error == SessionError::kNone) {
+    outcome->result.error = error;
+  }
+}
+
+}  // namespace
+
+SyncClient::SyncClient(SyncClientOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry != nullptr
+                    ? options_.registry
+                    : &recon::ProtocolRegistry::Global()) {}
+
+SyncOutcome SyncClient::Sync(net::ByteStream* stream,
+                             const std::string& protocol,
+                             const PointSet& local_points) const {
+  const auto start_time = std::chrono::steady_clock::now();
+  SyncOutcome outcome;
+  net::FramedStream framed(stream, options_.limits);
+
+  const auto finish = [&](SyncOutcome&& done) {
+    stream->Close();
+    done.bytes_sent = framed.bytes_sent();
+    done.bytes_received = framed.bytes_received();
+    done.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_time)
+                            .count();
+    return std::move(done);
+  };
+
+  // The client needs the protocol locally to build Alice's endpoint, so an
+  // unknown name fails before any traffic.
+  const std::unique_ptr<recon::Reconciler> reconciler =
+      registry_->Create(protocol, options_.context, options_.params);
+  if (reconciler == nullptr) {
+    outcome.reject_reason = "protocol \"" + protocol + "\" not in the local registry";
+    FailOutcome(&outcome, SessionError::kProtocolRejected);
+    return finish(std::move(outcome));
+  }
+
+  // --------------------------------------------------------- handshake
+  HelloFrame hello;
+  hello.protocol = protocol;
+  hello.client_set_size = local_points.size();
+  hello.want_result_set = options_.want_result_set;
+  if (!framed.Send(EncodeHello(hello))) {
+    FailOutcome(&outcome, SessionError::kTransportClosed);
+    return finish(std::move(outcome));
+  }
+
+  transport::Message incoming;
+  if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+    FailOutcome(&outcome, framed.error());
+    return finish(std::move(outcome));
+  }
+  if (incoming.label == kRejectLabel) {
+    RejectFrame reject;
+    if (DecodeReject(incoming, &reject)) {
+      outcome.reject_reason = std::move(reject.reason);
+      outcome.server_protocols = std::move(reject.protocols);
+    }
+    FailOutcome(&outcome, SessionError::kProtocolRejected);
+    return finish(std::move(outcome));
+  }
+  AcceptFrame accept;
+  if (!DecodeAccept(incoming, &accept) || accept.protocol != protocol) {
+    FailOutcome(&outcome, SessionError::kUnexpectedMessage);
+    return finish(std::move(outcome));
+  }
+  outcome.handshake_ok = true;
+
+  // -------------------------------------------------------- session pump
+  const std::unique_ptr<recon::PartySession> alice =
+      reconciler->MakeAliceSession(local_points);
+  for (transport::Message& opening : alice->Start()) {
+    if (!framed.Send(opening)) {
+      FailOutcome(&outcome, SessionError::kTransportClosed);
+      return finish(std::move(outcome));
+    }
+  }
+  size_t deliveries = 0;
+  for (;;) {
+    if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+      FailOutcome(&outcome, framed.error());
+      return finish(std::move(outcome));
+    }
+    if (incoming.label == kResultLabel) {
+      ResultFrame result_frame;
+      if (!DecodeResult(incoming, options_.context.universe, &result_frame)) {
+        FailOutcome(&outcome, SessionError::kMalformedMessage);
+        return finish(std::move(outcome));
+      }
+      outcome.result = std::move(result_frame.result);
+      return finish(std::move(outcome));
+    }
+    if (IsControlLabel(incoming.label) || alice->IsDone()) {
+      // Only "@result" may follow once Alice has finished, and no other
+      // control frame belongs in the protocol phase.
+      FailOutcome(&outcome, SessionError::kUnexpectedMessage);
+      return finish(std::move(outcome));
+    }
+    if (++deliveries > options_.max_deliveries) {
+      FailOutcome(&outcome, SessionError::kStalled);
+      return finish(std::move(outcome));
+    }
+    for (transport::Message& reply : alice->OnMessage(std::move(incoming))) {
+      if (!framed.Send(reply)) {
+        FailOutcome(&outcome, SessionError::kTransportClosed);
+        return finish(std::move(outcome));
+      }
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace rsr

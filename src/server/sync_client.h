@@ -1,0 +1,69 @@
+// Alice-side client of the sync serving layer.
+//
+// SyncClient::Sync drives one full sync over any net::ByteStream: it sends
+// "@hello" naming a registry protocol, waits for "@accept" (or surfaces the
+// server's "@reject" — reason and available protocols — as
+// SessionError::kProtocolRejected), runs the protocol's Alice-side
+// PartySession over framed messages against its local point set, and
+// returns the ReconResult the server shipped back in "@result". With
+// want_result_set the result carries S'_B, the server's reconciled set for
+// this client, which equals the in-process driver's output bit for bit.
+
+#ifndef RSR_SERVER_SYNC_CLIENT_H_
+#define RSR_SERVER_SYNC_CLIENT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/byte_stream.h"
+#include "net/frame.h"
+#include "recon/registry.h"
+
+namespace rsr {
+namespace server {
+
+struct SyncClientOptions {
+  /// Must match the server's context (shared public coins).
+  recon::ProtocolContext context;
+  recon::ProtocolParams params;
+  net::FrameLimits limits;
+  size_t max_deliveries = 1 << 16;
+  /// Ask the server to ship the reconciled set back in "@result".
+  bool want_result_set = true;
+  /// Registry used to build the Alice session; nullptr = the global one.
+  const recon::ProtocolRegistry* registry = nullptr;
+};
+
+/// Everything one Sync call produced.
+struct SyncOutcome {
+  bool handshake_ok = false;
+  /// Server-computed result (from "@result"); on a local/transport failure
+  /// before "@result" arrived, a synthesized failure with the right error.
+  recon::ReconResult result;
+  /// Populated when the server rejected the handshake.
+  std::string reject_reason;
+  std::vector<std::string> server_protocols;
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  double wall_seconds = 0.0;
+};
+
+class SyncClient {
+ public:
+  explicit SyncClient(SyncClientOptions options);
+
+  /// Runs one sync of `local_points` against the server behind `stream`,
+  /// negotiating `protocol`. Blocking; `stream` is closed on return.
+  SyncOutcome Sync(net::ByteStream* stream, const std::string& protocol,
+                   const PointSet& local_points) const;
+
+ private:
+  SyncClientOptions options_;
+  const recon::ProtocolRegistry* registry_;
+};
+
+}  // namespace server
+}  // namespace rsr
+
+#endif  // RSR_SERVER_SYNC_CLIENT_H_

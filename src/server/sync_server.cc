@@ -1,0 +1,257 @@
+#include "server/sync_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "recon/session.h"
+#include "server/handshake.h"
+
+namespace rsr {
+namespace server {
+
+namespace {
+
+using recon::SessionError;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+SyncServer::SyncServer(PointSet canonical, SyncServerOptions options)
+    : canonical_(std::move(canonical)),
+      options_(std::move(options)),
+      registry_(options_.registry != nullptr
+                    ? options_.registry
+                    : &recon::ProtocolRegistry::Global()) {}
+
+SyncServer::~SyncServer() { Stop(); }
+
+void SyncServer::ServeConnection(net::ByteStream* stream) {
+  net::FramedStream framed(stream, options_.limits);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++metrics_.connections_accepted;
+    ++metrics_.active_sessions;
+  }
+
+  // --------------------------------------------------------- handshake
+  HelloFrame hello;
+  std::string reject_reason;
+  transport::Message incoming;
+  if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+    // Nothing usable arrived (silent peer, garbage, or shutdown closed the
+    // stream); there is no one to send a reject to, and no handshake was
+    // rejected — the connection just never got off the ground.
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    --metrics_.active_sessions;
+    metrics_.bytes_in += framed.bytes_received();
+    return;
+  }
+  std::unique_ptr<recon::Reconciler> protocol;
+  if (!DecodeHello(incoming, &hello)) {
+    reject_reason = "expected a well-formed " + std::string(kHelloLabel) +
+                    " frame, got \"" + incoming.label + "\"";
+  } else if (!registry_->Contains(hello.protocol) ||
+             (protocol = registry_->Create(hello.protocol, options_.context,
+                                           options_.params)) == nullptr) {
+    reject_reason = "unknown protocol \"" + hello.protocol + "\"";
+  }
+  if (!reject_reason.empty()) {
+    RejectFrame reject;
+    reject.reason = reject_reason;
+    reject.protocols = registry_->ListProtocols();
+    framed.Send(EncodeReject(reject));
+    stream->Close();
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++metrics_.handshakes_rejected;
+    --metrics_.active_sessions;
+    metrics_.bytes_in += framed.bytes_received();
+    metrics_.bytes_out += framed.bytes_sent();
+    return;
+  }
+
+  const auto start_time = std::chrono::steady_clock::now();
+  const std::unique_ptr<recon::PartySession> bob =
+      protocol->MakeBobSession(canonical_);
+
+  {
+    AcceptFrame ack;
+    ack.protocol = hello.protocol;
+    ack.server_set_size = canonical_.size();
+    ack.will_send_result_set = hello.want_result_set;
+    framed.Send(EncodeAccept(ack));
+  }
+
+  // -------------------------------------------------------- session pump
+  recon::ReconResult result;
+  bool pumped_ok = true;
+  SessionError pump_error = SessionError::kNone;
+  for (transport::Message& opening : bob->Start()) {
+    if (!framed.Send(opening)) {
+      pumped_ok = false;
+      pump_error = SessionError::kTransportClosed;
+      break;
+    }
+  }
+  size_t deliveries = 0;
+  while (pumped_ok && !bob->IsDone()) {
+    const auto status = framed.Receive(&incoming);
+    if (status != net::FramedStream::RecvStatus::kMessage) {
+      pumped_ok = false;
+      pump_error = framed.error();
+      break;
+    }
+    if (IsControlLabel(incoming.label)) {
+      // The control plane is quiet during the protocol phase.
+      pumped_ok = false;
+      pump_error = SessionError::kUnexpectedMessage;
+      break;
+    }
+    if (++deliveries > options_.max_deliveries) {
+      pumped_ok = false;
+      pump_error = SessionError::kStalled;
+      break;
+    }
+    for (transport::Message& reply : bob->OnMessage(std::move(incoming))) {
+      if (!framed.Send(reply)) {
+        pumped_ok = false;
+        pump_error = SessionError::kTransportClosed;
+        break;
+      }
+    }
+  }
+
+  result = bob->TakeResult();
+  if (!pumped_ok) {
+    result.success = false;
+    if (result.error == SessionError::kNone) result.error = pump_error;
+  }
+
+  // ------------------------------------------------------------- result
+  ResultFrame result_frame;
+  result_frame.result = result;
+  result_frame.has_set = hello.want_result_set && result.success;
+  if (!result_frame.has_set) result_frame.result.bob_final.clear();
+  framed.Send(EncodeResult(result_frame, options_.context.universe));
+  // Drain until the client closes: closing with unread bytes queued would
+  // reset the connection and could discard the result frame in flight.
+  size_t drained = 0;
+  while (drained++ < options_.max_deliveries &&
+         framed.Receive(&incoming) ==
+             net::FramedStream::RecvStatus::kMessage) {
+  }
+  stream->Close();
+
+  const double wall = SecondsSince(start_time);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    --metrics_.active_sessions;
+    if (result.success) {
+      ++metrics_.syncs_completed;
+    } else {
+      ++metrics_.syncs_failed;
+    }
+    metrics_.bytes_in += framed.bytes_received();
+    metrics_.bytes_out += framed.bytes_sent();
+    ProtocolStats& stats = metrics_.per_protocol[hello.protocol];
+    if (result.success) {
+      ++stats.syncs;
+    } else {
+      ++stats.failures;
+    }
+    stats.bytes_in += framed.bytes_received();
+    stats.bytes_out += framed.bytes_sent();
+    stats.wall_seconds += wall;
+  }
+}
+
+bool SyncServer::Start(std::unique_ptr<net::TcpListener> listener) {
+  if (listener == nullptr || accept_thread_.joinable()) return false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = false;
+  }
+  listener_ = std::move(listener);
+  const size_t worker_count =
+      options_.worker_threads > 0 ? options_.worker_threads : 1;
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void SyncServer::Stop() {
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Close queued connections so draining them fails fast instead of
+    // blocking a worker on a client that never speaks.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    for (const auto& stream : pending_) stream->Close();
+    queue_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(active_mu_);
+    for (net::ByteStream* stream : active_) stream->Close();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  listener_.reset();
+}
+
+uint16_t SyncServer::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+SyncServerMetrics SyncServer::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  return metrics_;
+}
+
+void SyncServer::AcceptLoop() {
+  for (;;) {
+    std::unique_ptr<net::TcpStream> conn = listener_->Accept();
+    if (conn == nullptr) return;  // listener closed
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    pending_.push_back(std::move(conn));
+    queue_cv_.notify_one();
+  }
+}
+
+void SyncServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<net::ByteStream> conn;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      // Drain queued connections even when stopping, so accepted clients
+      // are served (their streams are already closed, so it fails fast).
+      if (pending_.empty()) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      // Register in active_ while still holding queue_mu_: Stop() flips
+      // stopping_ under queue_mu_ before sweeping active_, so a stream is
+      // either closed by the sweep or closed here — no unclosable window.
+      std::lock_guard<std::mutex> active_lock(active_mu_);
+      if (stopping_) conn->Close();
+      active_.insert(conn.get());
+    }
+    ServeConnection(conn.get());
+    {
+      std::lock_guard<std::mutex> active_lock(active_mu_);
+      active_.erase(conn.get());
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace rsr

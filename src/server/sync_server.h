@@ -1,0 +1,133 @@
+// Many-client sync server over the protocol registry.
+//
+// One SyncServer owns a canonical point set and reconciles it concurrently
+// against any number of connecting replicas. Per connection it performs the
+// "@hello"/"@accept" handshake (server/handshake.h), instantiates the
+// negotiated protocol's Bob-side PartySession against the canonical set,
+// pumps it over framed messages (net/frame.h) until it finishes, and ships
+// the ReconResult back in an "@result" frame — exactly the computation
+// recon::DrivePair performs in-process, so a served sync is bit-identical
+// to the two-party driver on the same inputs.
+//
+// Threading model: Start() spawns one accept thread plus a fixed pool of
+// worker threads; accepted connections go through a queue and each worker
+// serves one connection at a time, blocking on its socket. Sessions are
+// single-threaded end to end — only the queue and the metrics are shared,
+// each behind its own mutex — which is what keeps the protocol code
+// (written for the in-process driver) safe to host unchanged. See
+// DESIGN.md §6.
+
+#ifndef RSR_SERVER_SYNC_SERVER_H_
+#define RSR_SERVER_SYNC_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/byte_stream.h"
+#include "net/frame.h"
+#include "net/tcp.h"
+#include "recon/registry.h"
+
+namespace rsr {
+namespace server {
+
+struct SyncServerOptions {
+  /// Shared public coins; clients must be constructed with the same
+  /// context or the hash-based sketches will not line up.
+  recon::ProtocolContext context;
+  recon::ProtocolParams params;
+  size_t worker_threads = 4;
+  net::FrameLimits limits;
+  /// Runaway-protocol safeguard, as in recon::DrivePair.
+  size_t max_deliveries = 1 << 16;
+  /// Protocol registry to negotiate against; nullptr = the global one.
+  const recon::ProtocolRegistry* registry = nullptr;
+};
+
+/// Accounting for one negotiated protocol.
+struct ProtocolStats {
+  size_t syncs = 0;      ///< Completed successfully.
+  size_t failures = 0;   ///< Finished with an error.
+  size_t bytes_in = 0;   ///< Framed bytes received from clients.
+  size_t bytes_out = 0;  ///< Framed bytes sent to clients.
+  double wall_seconds = 0.0;  ///< Summed session wall time (mean = /syncs).
+};
+
+/// Snapshot of the server's counters.
+struct SyncServerMetrics {
+  size_t connections_accepted = 0;
+  size_t active_sessions = 0;
+  size_t syncs_completed = 0;
+  size_t syncs_failed = 0;
+  size_t handshakes_rejected = 0;
+  size_t bytes_in = 0;
+  size_t bytes_out = 0;
+  std::map<std::string, ProtocolStats> per_protocol;
+};
+
+class SyncServer {
+ public:
+  SyncServer(PointSet canonical, SyncServerOptions options);
+  ~SyncServer();
+
+  SyncServer(const SyncServer&) = delete;
+  SyncServer& operator=(const SyncServer&) = delete;
+
+  /// Serves exactly one connection to completion on the calling thread.
+  /// This is the whole per-session logic; Start()'s workers call it, and
+  /// tests drive it directly over a PipeStream.
+  void ServeConnection(net::ByteStream* stream);
+
+  /// Spawns the accept thread and worker pool over `listener`. Returns
+  /// false if already started or `listener` is null.
+  bool Start(std::unique_ptr<net::TcpListener> listener);
+
+  /// Closes the listener plus every queued and in-flight connection
+  /// stream (so shutdown never waits on a silent client), then joins all
+  /// threads. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// Bound TCP port (0 unless Start()ed).
+  uint16_t port() const;
+
+  SyncServerMetrics metrics() const;
+  const PointSet& canonical() const { return canonical_; }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+
+  const PointSet canonical_;
+  const SyncServerOptions options_;
+  const recon::ProtocolRegistry* const registry_;
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<net::ByteStream>> pending_;
+  bool stopping_ = false;
+
+  /// Streams currently inside a worker's ServeConnection; Stop() closes
+  /// them to unblock sessions stuck on a silent or slow client.
+  std::mutex active_mu_;
+  std::set<net::ByteStream*> active_;
+
+  mutable std::mutex metrics_mu_;
+  SyncServerMetrics metrics_;
+};
+
+}  // namespace server
+}  // namespace rsr
+
+#endif  // RSR_SERVER_SYNC_SERVER_H_

@@ -2,14 +2,22 @@
 
 #include <utility>
 
+#include "util/check.h"
+
 namespace rsr {
 namespace transport {
+
+bool IsWellFormed(const Message& message) {
+  return message.payload_bits <= message.payload.size() * 8;
+}
 
 Message MakeMessage(std::string label, BitWriter&& writer) {
   Message msg;
   msg.label = std::move(label);
   msg.payload_bits = writer.bit_count();
   msg.payload = std::move(writer).TakeBytes();
+  RSR_CHECK_MSG(IsWellFormed(msg),
+                "BitWriter bit count exceeds its buffer: corrupt accounting");
   return msg;
 }
 

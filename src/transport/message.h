@@ -26,7 +26,15 @@ struct Message {
   size_t bits() const { return payload_bits; }
 };
 
+/// True iff the bit accounting is consistent: payload_bits fits in the
+/// payload buffer. Every message built by MakeMessage satisfies this; the
+/// wire-frame decoder (net/frame.h) re-checks it on untrusted input so a
+/// corrupt peer cannot inflate or deflate communication accounting.
+bool IsWellFormed(const Message& message);
+
 /// Builds a Message from a finished BitWriter (moves the buffer out).
+/// Aborts if the writer's bit count does not fit its buffer (a BitWriter
+/// invariant violation, i.e. a programming error upstream).
 Message MakeMessage(std::string label, BitWriter&& writer);
 
 }  // namespace transport

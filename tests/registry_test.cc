@@ -62,6 +62,19 @@ TEST(RegistryTest, SharedKOverridesFamilyBudgets) {
   EXPECT_EQ(untouched.quadtree.k, QuadtreeParams{}.k);
 }
 
+TEST(RegistryTest, ListProtocolsIsSortedAndMatchesContains) {
+  const ProtocolRegistry& registry = ProtocolRegistry::Global();
+  const std::vector<std::string> names = registry.ListProtocols();
+  ASSERT_GE(names.size(), 8u);
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);  // strictly sorted: no duplicates
+  }
+  for (const std::string& name : names) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_EQ(names, registry.Names());  // legacy alias agrees
+}
+
 TEST(RegistryTest, DuplicateRegistrationIsRejected) {
   ProtocolRegistry registry;
   auto factory = [](const ProtocolContext& ctx, const ProtocolParams& p) {

@@ -1,0 +1,299 @@
+// Serving-layer integration tests: the sync server + client over both
+// transports (pipe pair and loopback TCP), asserting that a served sync's
+// result — including the reconciled point set — is bit-for-bit identical
+// to the in-process two-party driver on the same inputs, that the
+// handshake rejects unknown protocols with a self-describing error, and
+// that 8 concurrent clients with mixed protocols are all served correctly.
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/pipe_stream.h"
+#include "net/tcp.h"
+#include "recon/registry.h"
+#include "server/sync_client.h"
+#include "server/sync_server.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace rsr {
+namespace server {
+namespace {
+
+using recon::ProtocolContext;
+using recon::ProtocolParams;
+using recon::ReconResult;
+using recon::SessionError;
+
+const char* kAllProtocols[] = {
+    "exact-iblt",   "full-transfer", "gap-lattice",   "mlsh-riblt",
+    "quadtree",     "quadtree-adaptive", "riblt-oneshot", "single-grid",
+};
+
+ProtocolContext Ctx() {
+  ProtocolContext ctx;
+  ctx.universe = MakeUniverse(1 << 14, 2);
+  ctx.seed = 77;
+  return ctx;
+}
+
+ProtocolParams Params() {
+  ProtocolParams params;
+  params.k = 8;
+  return params;
+}
+
+/// The server's canonical set: a clustered cloud in Ctx()'s universe.
+PointSet Canonical(size_t n) {
+  workload::CloudSpec spec;
+  spec.universe = Ctx().universe;
+  spec.n = n;
+  spec.shape = workload::CloudShape::kClusters;
+  Rng rng(4242);
+  return workload::GenerateCloud(spec, &rng);
+}
+
+/// A drifted replica of `base`: per-point Gaussian noise plus `outliers`
+/// points replaced by fresh uniform ones. Same size as the base, so the
+/// equal-size contract of the EMD-model protocols holds.
+PointSet DriftedReplica(const PointSet& base, uint64_t seed,
+                        size_t outliers = 4, double noise = 1.0) {
+  const Universe universe = Ctx().universe;
+  Rng rng(seed);
+  PointSet replica;
+  replica.reserve(base.size());
+  for (const Point& p : base) {
+    replica.push_back(workload::PerturbPoint(
+        p, universe, workload::NoiseKind::kGaussian, noise, &rng));
+  }
+  for (size_t i = 0; i < outliers && !replica.empty(); ++i) {
+    Point fresh(universe.d);
+    for (int j = 0; j < universe.d; ++j) {
+      fresh[j] = static_cast<int64_t>(rng.Below(universe.delta));
+    }
+    replica[rng.Below(replica.size())] = std::move(fresh);
+  }
+  return replica;
+}
+
+/// The reference: the same sync through recon::DrivePair (via Run).
+ReconResult InProcessResult(const std::string& protocol,
+                            const PointSet& client_points,
+                            const PointSet& canonical) {
+  const auto reconciler =
+      recon::MakeReconciler(protocol, Ctx(), Params());
+  transport::Channel channel;
+  return reconciler->Run(client_points, canonical, &channel);
+}
+
+void ExpectMatchesInProcess(const std::string& protocol,
+                            const SyncOutcome& outcome,
+                            const ReconResult& expected) {
+  EXPECT_TRUE(outcome.handshake_ok) << protocol;
+  EXPECT_EQ(outcome.result.success, expected.success) << protocol;
+  EXPECT_EQ(outcome.result.error, expected.error) << protocol;
+  EXPECT_EQ(outcome.result.chosen_level, expected.chosen_level) << protocol;
+  EXPECT_EQ(outcome.result.decoded_entries, expected.decoded_entries)
+      << protocol;
+  EXPECT_EQ(outcome.result.attempts, expected.attempts) << protocol;
+  EXPECT_EQ(outcome.result.transmitted, expected.transmitted) << protocol;
+  if (expected.success) {
+    // The recovered set must match the driver's bit for bit, order
+    // included: both sides ran the identical deterministic computation.
+    EXPECT_EQ(outcome.result.bob_final, expected.bob_final) << protocol;
+  }
+}
+
+TEST(SyncServerPipeTest, EveryProtocolMatchesInProcessDriver) {
+  const PointSet canonical = Canonical(128);
+  SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  SyncServer server(canonical, server_options);
+
+  SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const SyncClient client(client_options);
+
+  uint64_t seed = 1000;
+  for (const char* protocol : kAllProtocols) {
+    const PointSet client_points = DriftedReplica(canonical, ++seed);
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    std::thread server_thread(
+        [&server, stream = std::move(server_end)] {
+          server.ServeConnection(stream.get());
+        });
+    const SyncOutcome outcome =
+        client.Sync(client_end.get(), protocol, client_points);
+    server_thread.join();
+    ExpectMatchesInProcess(protocol, outcome,
+                           InProcessResult(protocol, client_points, canonical));
+    EXPECT_GT(outcome.bytes_sent, 0u) << protocol;
+    EXPECT_GT(outcome.bytes_received, 0u) << protocol;
+  }
+
+  const SyncServerMetrics metrics = server.metrics();
+  EXPECT_EQ(metrics.connections_accepted, std::size(kAllProtocols));
+  EXPECT_EQ(metrics.active_sessions, 0u);
+  EXPECT_EQ(metrics.syncs_completed + metrics.syncs_failed,
+            std::size(kAllProtocols));
+  EXPECT_GT(metrics.bytes_in, 0u);
+  EXPECT_GT(metrics.bytes_out, 0u);
+}
+
+TEST(SyncServerTcpTest, EightConcurrentClientsWithMixedProtocols) {
+  const PointSet canonical = Canonical(128);
+  SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  server_options.worker_threads = 4;
+  SyncServer server(canonical, server_options);
+  ASSERT_TRUE(server.Start(net::TcpListener::Listen("127.0.0.1", 0)));
+  ASSERT_GT(server.port(), 0);
+
+  constexpr size_t kClients = 8;
+  std::vector<PointSet> client_points(kClients);
+  std::vector<SyncOutcome> outcomes(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    client_points[i] = DriftedReplica(canonical, 9000 + i);
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      SyncClientOptions options;
+      options.context = Ctx();
+      options.params = Params();
+      const SyncClient client(options);
+      auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+      ASSERT_NE(stream, nullptr);
+      outcomes[i] = client.Sync(stream.get(), kAllProtocols[i],
+                                client_points[i]);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+
+  size_t expected_successes = 0;
+  for (size_t i = 0; i < kClients; ++i) {
+    const ReconResult expected =
+        InProcessResult(kAllProtocols[i], client_points[i], canonical);
+    ExpectMatchesInProcess(kAllProtocols[i], outcomes[i], expected);
+    if (expected.success) ++expected_successes;
+  }
+
+  const SyncServerMetrics metrics = server.metrics();
+  EXPECT_EQ(metrics.connections_accepted, kClients);
+  EXPECT_EQ(metrics.active_sessions, 0u);
+  EXPECT_EQ(metrics.syncs_completed, expected_successes);
+  EXPECT_EQ(metrics.syncs_completed + metrics.syncs_failed, kClients);
+  EXPECT_EQ(metrics.per_protocol.size(), std::size(kAllProtocols));
+  for (const auto& [name, stats] : metrics.per_protocol) {
+    EXPECT_EQ(stats.syncs + stats.failures, 1u) << name;
+    EXPECT_GT(stats.bytes_in, 0u) << name;
+    EXPECT_GT(stats.bytes_out, 0u) << name;
+    EXPECT_GE(stats.wall_seconds, 0.0) << name;
+  }
+}
+
+TEST(SyncServerTcpTest, StopUnblocksSilentClients) {
+  SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.worker_threads = 2;
+  SyncServer server(Canonical(16), server_options);
+  ASSERT_TRUE(server.Start(net::TcpListener::Listen("127.0.0.1", 0)));
+
+  // Three clients connect and then never speak: two pin the workers in
+  // their handshake read, one sits in the queue. Stop() must close all of
+  // them and return rather than wait forever.
+  std::vector<std::unique_ptr<net::TcpStream>> silent;
+  for (int i = 0; i < 3; ++i) {
+    auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+    ASSERT_NE(stream, nullptr);
+    silent.push_back(std::move(stream));
+  }
+  // Wait until the accept thread has seen them (bounded poll).
+  for (int spin = 0; spin < 200; ++spin) {
+    if (server.metrics().connections_accepted == 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();  // would hang before streams were closed on shutdown
+
+  const SyncServerMetrics metrics = server.metrics();
+  EXPECT_EQ(metrics.active_sessions, 0u);
+  EXPECT_EQ(metrics.syncs_completed, 0u);
+}
+
+TEST(SyncServerHandshakeTest, UnknownProtocolIsRejectedWithProtocolList) {
+  // Give the server a registry with a single protocol, so a registry-valid
+  // client request is still unknown server-side.
+  recon::ProtocolRegistry restricted;
+  restricted.Register("full-transfer", "only offering",
+                      [](const ProtocolContext& ctx, const ProtocolParams&) {
+                        return recon::ProtocolRegistry::Global().Create(
+                            "full-transfer", ctx, ProtocolParams{});
+                      });
+
+  const PointSet canonical = Canonical(32);
+  SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.registry = &restricted;
+  SyncServer server(canonical, server_options);
+
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  std::thread server_thread([&server, stream = std::move(server_end)] {
+    server.ServeConnection(stream.get());
+  });
+
+  SyncClientOptions options;
+  options.context = Ctx();
+  const SyncClient client(options);
+  const SyncOutcome outcome =
+      client.Sync(client_end.get(), "quadtree", Canonical(32));
+  server_thread.join();
+
+  EXPECT_FALSE(outcome.handshake_ok);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, SessionError::kProtocolRejected);
+  EXPECT_NE(outcome.reject_reason.find("unknown protocol"), std::string::npos);
+  EXPECT_EQ(outcome.server_protocols,
+            std::vector<std::string>{"full-transfer"});
+  EXPECT_EQ(server.metrics().handshakes_rejected, 1u);
+  EXPECT_EQ(server.metrics().active_sessions, 0u);
+}
+
+TEST(SyncServerHandshakeTest, UnknownLocalProtocolFailsBeforeAnyTraffic) {
+  SyncClientOptions options;
+  options.context = Ctx();
+  const SyncClient client(options);
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  const SyncOutcome outcome =
+      client.Sync(client_end.get(), "no-such-protocol", PointSet{});
+  EXPECT_FALSE(outcome.handshake_ok);
+  EXPECT_EQ(outcome.result.error, SessionError::kProtocolRejected);
+  EXPECT_EQ(outcome.bytes_sent, 0u);
+}
+
+TEST(SyncServerHandshakeTest, PeerVanishingMidHandshakeIsTransportClosed) {
+  SyncClientOptions options;
+  options.context = Ctx();
+  const SyncClient client(options);
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  server_end->Close();  // server hangs up before answering
+  const SyncOutcome outcome =
+      client.Sync(client_end.get(), "full-transfer", Canonical(16));
+  EXPECT_FALSE(outcome.handshake_ok);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, SessionError::kTransportClosed);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace rsr
