@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "geometry/emd.h"
 #include "geometry/grid.h"
 #include "iblt/iblt.h"
@@ -138,7 +141,56 @@ void BM_QuadtreeProtocol(benchmark::State& state) {
 }
 BENCHMARK(BM_QuadtreeProtocol)->Arg(1024)->Arg(8192);
 
+/// End-to-end sync throughput summary, emitted as BENCH_E12.json with the
+/// standard "wall_ms" / "syncs_per_sec" fields so E12 rows are
+/// machine-comparable with the serving-layer load benches (E16/E17)
+/// across PRs. The google-benchmark microbenches below keep their own
+/// reporter.
+void EmitSyncThroughputSummary() {
+  bench::Banner("E12", "end-to-end sync throughput (in-process driver)",
+                "syncs/sec per protocol on the standard n=1024 scenario");
+  bench::Row({"protocol", "syncs", "syncs_per_sec", "wall_ms"});
+
+  const workload::Scenario scenario =
+      workload::StandardScenario(1024, 2, int64_t{1} << 20, 16, 2.0, 12);
+  const workload::ReplicaPair pair = scenario.Materialize();
+  recon::ProtocolContext ctx;
+  ctx.universe = scenario.universe;
+  ctx.seed = 13;
+  recon::ProtocolParams params;
+  params.k = 16;
+
+  constexpr size_t kSyncs = 24;
+  for (const char* name :
+       {"quadtree", "exact-iblt", "full-transfer", "riblt-oneshot"}) {
+    const std::unique_ptr<recon::Reconciler> protocol =
+        recon::MakeReconciler(name, ctx, params);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kSyncs; ++i) {
+      transport::Channel channel;
+      protocol->Run(pair.alice, pair.bob, &channel);
+    }
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // "syncs_per_sec" / "wall_ms" are table columns here, so the JSON
+    // rows already carry the standard field names — no RowExtras needed.
+    bench::Row({name, std::to_string(kSyncs),
+                bench::Num(static_cast<double>(kSyncs) / wall_seconds),
+                bench::Num(1e3 * wall_seconds)});
+  }
+}
+
 }  // namespace
 }  // namespace rsr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Parse flags first: --help or a bad flag should exit before the
+  // summary does real protocol work and rewrites BENCH_E12.json.
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  rsr::EmitSyncThroughputSummary();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -152,6 +152,10 @@ void RunBurst(const PointSet& canonical, const std::string& label,
                      ? 1e3 * mean_wall_ms / total_sessions
                      : 0.0;
 
+  // Standard machine-comparable wall-clock field (shared with E12/E17;
+  // "syncs_per_sec" is already a table column here, so only "wall_ms"
+  // needs the extras path).
+  bench::RowExtras({{"wall_ms", bench::Num(1e3 * burst_seconds)}});
   bench::Row({label, std::to_string(clients), std::to_string(succeeded),
               bench::Num(static_cast<double>(clients) / burst_seconds),
               bench::Num(static_cast<double>(metrics.bytes_in) /

@@ -16,9 +16,11 @@
 #ifndef RSR_BENCH_BENCH_UTIL_H_
 #define RSR_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "recon/evaluate.h"
@@ -57,10 +59,21 @@ class JsonSink {
     if (path_.empty()) return;  // no Banner yet
     if (columns_.empty()) {
       columns_ = cells;  // header row
+      pending_extras_.clear();
     } else {
-      rows_.push_back(cells);
+      rows_.push_back({cells, std::move(pending_extras_)});
+      pending_extras_.clear();
     }
     Flush();
+  }
+
+  /// JSON-only key/value pairs attached to the NEXT data row, on top of
+  /// its table cells. Harnesses use this for the standard throughput
+  /// fields ("wall_ms", "syncs_per_sec") so BENCH_*.json rows stay
+  /// machine-comparable across experiments and PRs even where the printed
+  /// tables differ.
+  void Extras(std::vector<std::pair<std::string, std::string>> extras) {
+    pending_extras_ = std::move(extras);
   }
 
  private:
@@ -103,11 +116,22 @@ class JsonSink {
     for (size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "    {");
       const auto& row = rows_[r];
-      for (size_t i = 0; i < row.size(); ++i) {
+      size_t emitted = 0;
+      for (size_t i = 0; i < row.cells.size(); ++i) {
         const std::string key =
             i < columns_.size() ? columns_[i] : "col" + std::to_string(i);
-        std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
-                     Escape(key).c_str(), Cell(row[i]).c_str());
+        std::fprintf(f, "%s\"%s\": %s", emitted++ ? ", " : "",
+                     Escape(key).c_str(), Cell(row.cells[i]).c_str());
+      }
+      for (const auto& [key, value] : row.extras) {
+        // A table column of the same name already carries the value;
+        // emitting the extra too would duplicate the JSON key.
+        if (std::find(columns_.begin(), columns_.end(), key) !=
+            columns_.end()) {
+          continue;
+        }
+        std::fprintf(f, "%s\"%s\": %s", emitted++ ? ", " : "",
+                     Escape(key).c_str(), Cell(value).c_str());
       }
       std::fprintf(f, "}%s\n", r + 1 < rows_.size() ? "," : "");
     }
@@ -115,9 +139,15 @@ class JsonSink {
     std::fclose(f);
   }
 
+  struct StoredRow {
+    std::vector<std::string> cells;
+    std::vector<std::pair<std::string, std::string>> extras;
+  };
+
   std::string id_, title_, shape_, path_;
   std::vector<std::string> columns_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<StoredRow> rows_;
+  std::vector<std::pair<std::string, std::string>> pending_extras_;
 };
 
 /// Prints the experiment banner and opens BENCH_<id>.json.
@@ -137,6 +167,15 @@ inline void Row(const std::vector<std::string>& cells) {
   }
   std::printf("\n");
   JsonSink::Instance().Row(cells);
+}
+
+/// Attaches JSON-only key/value pairs to the next data row. The standard
+/// throughput fields every load harness should attach are "wall_ms" (the
+/// configuration's total wall clock) and "syncs_per_sec"; E12/E16/E17 use
+/// them so throughput is machine-comparable across PRs.
+inline void RowExtras(
+    std::vector<std::pair<std::string, std::string>> extras) {
+  JsonSink::Instance().Extras(std::move(extras));
 }
 
 /// Redirects the JSON sink to a fresh BENCH_<id>.json without printing a

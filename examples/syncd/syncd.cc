@@ -1,18 +1,23 @@
 // syncd — many-client sync server demo over real loopback sockets.
 //
-// Starts a SyncServer holding a canonical clustered point cloud, then
+// Starts a sync server holding a canonical clustered point cloud, then
 // simulates a fleet of drifting replicas: each client thread connects over
 // TCP, negotiates a protocol from the registry, and reconciles its replica
 // against the canonical set. Prints one line per client and the server's
 // aggregate metrics. Usage:
 //
-//   syncd [num_clients] [worker_threads]
+//   syncd [num_clients] [worker_threads] [--async] [--shards N]
 //
-// See examples/syncd/README.md for a walkthrough of the wire format and
-// the handshake this exercises.
+// By default the threaded SyncServer hosts the fleet (one blocked worker
+// per in-flight client); --async selects the epoll-sharded AsyncSyncServer
+// instead, with --shards N event-loop shards (default 2). The served
+// results are identical either way — compare the metrics line to watch
+// peak_active change from the worker count to the whole fleet. See
+// examples/syncd/README.md for a walkthrough.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -21,6 +26,7 @@
 
 #include "net/tcp.h"
 #include "recon/driver.h"
+#include "server/async_sync_server.h"
 #include "server/sync_client.h"
 #include "server/sync_server.h"
 #include "workload/generator.h"
@@ -75,22 +81,67 @@ PointSet Drift(const PointSet& base, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const size_t num_clients = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
-  const size_t workers = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  size_t num_clients = 12;
+  size_t workers = 4;
+  size_t shards = 2;
+  bool use_async = false;
+  size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--async") == 0) {
+      use_async = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "syncd: --shards needs a value\n");
+        return 1;
+      }
+      shards = std::strtoul(argv[++i], nullptr, 10);
+      use_async = true;
+    } else if (argv[i][0] == '-' || positional >= 2) {
+      std::fprintf(stderr,
+                   "usage: syncd [num_clients] [worker_threads] [--async] "
+                   "[--shards N]\n");
+      return 1;
+    } else if (positional++ == 0) {
+      num_clients = std::strtoul(argv[i], nullptr, 10);
+    } else {
+      workers = std::strtoul(argv[i], nullptr, 10);
+    }
+  }
 
   const PointSet canonical = CanonicalCloud();
-  server::SyncServerOptions server_options;
-  server_options.context = Context();
-  server_options.params = Params();
-  server_options.worker_threads = workers;
-  server::SyncServer server(canonical, server_options);
-  if (!server.Start(net::TcpListener::Listen("127.0.0.1", 0))) {
+  // Both hosts serve the identical wire protocol; pick one.
+  std::unique_ptr<server::SyncServer> threaded;
+  std::unique_ptr<server::AsyncSyncServer> async;
+  if (use_async) {
+    server::AsyncSyncServerOptions options;
+    options.context = Context();
+    options.params = Params();
+    options.shards = shards;
+    async = std::make_unique<server::AsyncSyncServer>(canonical, options);
+  } else {
+    server::SyncServerOptions options;
+    options.context = Context();
+    options.params = Params();
+    options.worker_threads = workers;
+    threaded = std::make_unique<server::SyncServer>(canonical, options);
+  }
+  const bool started =
+      use_async ? async->Start(net::TcpListener::Listen("127.0.0.1", 0))
+                : threaded->Start(net::TcpListener::Listen("127.0.0.1", 0));
+  if (!started) {
     std::fprintf(stderr, "syncd: could not bind a loopback listener\n");
     return 1;
   }
-  std::printf("syncd: serving %zu canonical points on 127.0.0.1:%u with %zu "
-              "workers\n\n",
-              canonical.size(), server.port(), workers);
+  const uint16_t port = use_async ? async->port() : threaded->port();
+  if (use_async) {
+    std::printf("syncd: serving %zu canonical points on 127.0.0.1:%u with "
+                "%zu async shards\n\n",
+                canonical.size(), port, shards);
+  } else {
+    std::printf("syncd: serving %zu canonical points on 127.0.0.1:%u with "
+                "%zu workers\n\n",
+                canonical.size(), port, workers);
+  }
 
   const std::vector<std::string> protocols = {
       "quadtree", "exact-iblt", "full-transfer", "riblt-oneshot"};
@@ -104,7 +155,7 @@ int main(int argc, char** argv) {
       options.context = Context();
       options.params = Params();
       const server::SyncClient client(options);
-      auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+      auto stream = net::TcpStream::Connect("127.0.0.1", port);
       if (stream == nullptr) {
         std::fprintf(stderr, "client %zu: connect failed\n", i);
         return;
@@ -129,14 +180,20 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
-  server.Stop();
+  if (use_async) {
+    async->Stop();
+  } else {
+    threaded->Stop();
+  }
 
-  const server::SyncServerMetrics metrics = server.metrics();
+  const server::SyncServerMetrics metrics =
+      use_async ? async->metrics() : threaded->metrics();
   std::printf("\nserver: %zu accepted, %zu ok, %zu failed, %zu rejected, "
-              "%zu B in, %zu B out\n",
+              "peak %zu concurrent, %zu B in, %zu B out\n",
               metrics.connections_accepted, metrics.syncs_completed,
               metrics.syncs_failed, metrics.handshakes_rejected,
-              metrics.bytes_in, metrics.bytes_out);
+              metrics.peak_active_sessions, metrics.bytes_in,
+              metrics.bytes_out);
   for (const auto& [name, stats] : metrics.per_protocol) {
     std::printf("  %-15s %zu syncs, %zu failures, mean %.1f ms, "
                 "%zu B in, %zu B out\n",

@@ -35,6 +35,34 @@ class ByteStream {
   virtual void Close() = 0;
 };
 
+/// Sentinel returned by NonBlockingStream::ReadSome / WriteSome when the
+/// operation cannot make progress right now (the async reactor re-arms the
+/// fd and retries on the next readiness event).
+inline constexpr ptrdiff_t kWouldBlock = -2;
+
+/// Non-blocking byte-stream seam used by the async serving layer
+/// (net/event_loop.h + net/async_frame.h). Unlike ByteStream, both
+/// directions are partial: a read may return fewer bytes than asked, a
+/// write may accept only a prefix, and either may report kWouldBlock
+/// instead of blocking. TcpStream implements this in non-blocking mode;
+/// tests use scripted doubles that dribble one byte at a time.
+class NonBlockingStream {
+ public:
+  virtual ~NonBlockingStream() = default;
+
+  /// Reads up to `n` bytes. Returns the (positive) count read, 0 on clean
+  /// EOF, kWouldBlock if no byte is available, or -1 on a transport error.
+  virtual ptrdiff_t ReadSome(uint8_t* buf, size_t n) = 0;
+
+  /// Writes up to `n` bytes. Returns the count accepted (possibly short of
+  /// `n`), kWouldBlock if not even one byte could be queued, or -1 on a
+  /// transport error.
+  virtual ptrdiff_t WriteSome(const uint8_t* data, size_t n) = 0;
+
+  /// Shuts the stream down in both directions. Idempotent.
+  virtual void Close() = 0;
+};
+
 /// Outcome of ReadFull: distinguishes a clean EOF *before* any byte (the
 /// peer hung up between frames) from one *inside* the requested span (a
 /// truncated frame).

@@ -1,0 +1,255 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace net {
+
+namespace {
+
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & Ready::kReadable) events |= EPOLLIN | EPOLLRDHUP;
+  if (interest & Ready::kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t ready = 0;
+  // Hangup and error are folded into readable so a handler discovers the
+  // condition from its next read (EOF or -1) even if it only asked for
+  // kReadable; the explicit kHangup bit is advisory on top.
+  if (events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR)) {
+    ready |= Ready::kReadable;
+  }
+  if (events & EPOLLOUT) ready |= Ready::kWritable;
+  if (events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) ready |= Ready::kHangup;
+  return ready;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(std::chrono::milliseconds tick)
+    : tick_(tick.count() > 0 ? tick : std::chrono::milliseconds(1)),
+      epoch_(std::chrono::steady_clock::now()),
+      wheel_(kWheelSlots) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  RSR_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  RSR_CHECK_MSG(wake_fd_ >= 0, "eventfd failed");
+  struct epoll_event ev;
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // generation 0 marks the wakeup fd
+  RSR_CHECK_MSG(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0,
+                "epoll_ctl(wakeup) failed");
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+bool EventLoop::Add(int fd, uint32_t interest, IoCallback callback) {
+  // fds are packed into 20 bits of the epoll tag alongside the
+  // generation stamp; 1M fds is far beyond any rlimit this serves.
+  if (fd < 0 || fd > 0xFFFFF || handlers_.count(fd) != 0) return false;
+  Handler handler;
+  handler.interest = interest;
+  handler.generation = next_generation_++;
+  handler.callback = std::make_shared<IoCallback>(std::move(callback));
+  struct epoll_event ev;
+  ev.events = ToEpoll(interest);
+  // Pack fd + a generation stamp so events harvested before a Remove (and
+  // a possible fd-number reuse by a subsequent Add) are not misdelivered.
+  ev.data.u64 = (handler.generation << 20) | static_cast<uint32_t>(fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  handlers_.emplace(fd, std::move(handler));
+  return true;
+}
+
+bool EventLoop::Modify(int fd, uint32_t interest) {
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) return false;
+  if (it->second.interest == interest) return true;
+  struct epoll_event ev;
+  ev.events = ToEpoll(interest);
+  ev.data.u64 =
+      (it->second.generation << 20) | static_cast<uint32_t>(fd);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+  it->second.interest = interest;
+  return true;
+}
+
+void EventLoop::Remove(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+uint64_t EventLoop::NowTick() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count() /
+      tick_.count());
+}
+
+EventLoop::TimerId EventLoop::AddTimer(std::chrono::milliseconds delay,
+                                       std::function<void()> fn) {
+  const uint64_t ticks =
+      static_cast<uint64_t>((delay.count() + tick_.count() - 1) /
+                            tick_.count());
+  // +1: the current tick is already partially elapsed, so rounding up and
+  // skipping it guarantees the timer never fires early.
+  const uint64_t deadline = NowTick() + ticks + 1;
+  TimerEntry entry;
+  entry.id = next_timer_id_++;
+  entry.deadline_tick = deadline;
+  entry.fn = std::move(fn);
+  const TimerId id = entry.id;
+  armed_.emplace(id, deadline);
+  wheel_[deadline % kWheelSlots].push_back(std::move(entry));
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) { armed_.erase(id); }
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  // The counter saturating (EAGAIN) still leaves it readable: good enough.
+  [[maybe_unused]] const ssize_t r =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWakeupFd() {
+  uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+int EventLoop::EpollTimeoutMs() {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    if (!tasks_.empty()) return 0;
+  }
+  if (armed_.empty()) return -1;  // a Wakeup interrupts the wait
+  // With timers armed the loop advances the wheel once per tick; the
+  // wakeup fd still interrupts the sleep for cross-thread work.
+  return static_cast<int>(tick_.count());
+}
+
+void EventLoop::AdvanceWheel() {
+  const uint64_t now = NowTick();
+  if (armed_.empty()) {
+    // Nothing live: snap the cursor instead of walking every elapsed
+    // tick (after a long timerless idle that walk would be millions of
+    // empty iterations). Cancelled husks still parked in slots are
+    // purged lazily whenever their slot next gets processed.
+    wheel_cursor_ = now + 1;
+    return;
+  }
+  if (wheel_cursor_ == 0) wheel_cursor_ = now;
+  // The cursor can lag arbitrarily after an idle stretch that ended with
+  // a timer armed in this very dispatch round. One full revolution visits
+  // every slot, and firing is by deadline (<= now), not cursor equality —
+  // so clamping the walk to the last kWheelSlots ticks skips nothing due.
+  if (wheel_cursor_ + kWheelSlots < now) wheel_cursor_ = now - kWheelSlots;
+  while (wheel_cursor_ <= now) {
+    std::vector<TimerEntry>& slot = wheel_[wheel_cursor_ % kWheelSlots];
+    size_t kept = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      TimerEntry& entry = slot[i];
+      if (entry.deadline_tick > now) {
+        // A future round of the wheel; keep it — unless it was cancelled,
+        // in which case dropping it now stops churny cancel-and-rearm
+        // users (per-event idle refresh) accreting dead entries for a
+        // whole timeout.
+        if (armed_.count(entry.id) != 0) slot[kept++] = std::move(entry);
+        continue;
+      }
+      auto armed = armed_.find(entry.id);
+      if (armed == armed_.end()) continue;  // cancelled
+      armed_.erase(armed);
+      const std::function<void()> fn = std::move(entry.fn);
+      fn();  // may add or cancel timers; slot mutation is index-safe
+    }
+    slot.resize(kept);
+    ++wheel_cursor_;
+  }
+}
+
+void EventLoop::RunPendingTasks() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (std::function<void()>& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  loop_thread_.store(std::this_thread::get_id());
+  std::vector<struct epoll_event> events(128);
+  while (!stop_.load()) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()),
+                               EpollTimeoutMs());
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        DrainWakeupFd();
+        continue;
+      }
+      const int fd = static_cast<int>(tag & 0xFFFFF);
+      const uint64_t generation = tag >> 20;
+      auto it = handlers_.find(fd);
+      // Stale events: the handler was Removed (possibly by an earlier
+      // callback in this very batch), or the fd number was recycled for a
+      // new registration since the event was harvested.
+      if (it == handlers_.end() || it->second.generation != generation) {
+        continue;
+      }
+      // Hold the callback across the call so a handler that Removes
+      // itself keeps its own frame alive.
+      const std::shared_ptr<IoCallback> callback = it->second.callback;
+      (*callback)(FromEpoll(events[i].events));
+    }
+    AdvanceWheel();
+    RunPendingTasks();
+  }
+  // Tasks posted between the last dispatch round and Stop() still run:
+  // RunInLoop promises eventual execution (shard shutdown hands
+  // connection cleanup over this path). Loop until quiescent — a drained
+  // task may itself RunInLoop a follow-up carrying a move-only resource,
+  // and dropping that one would leak it.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      if (tasks_.empty()) break;
+    }
+    RunPendingTasks();
+  }
+  loop_thread_.store(std::thread::id());
+}
+
+void EventLoop::Stop() {
+  stop_.store(true);
+  Wakeup();
+}
+
+}  // namespace net
+}  // namespace rsr

@@ -1,0 +1,150 @@
+// Single-threaded epoll reactor with a coarse timer wheel.
+//
+// One EventLoop owns one epoll instance and runs on exactly one thread
+// (Run()'s caller). Fd handlers, timers, and all per-connection state it
+// drives are therefore single-threaded by construction — the property the
+// async serving layer (server/async_sync_server.h) relies on to host
+// PartySessions with no locks on the hot path. The only cross-thread
+// doors are RunInLoop(fn) (queue a task, wake the loop via eventfd) and
+// Stop().
+//
+// Interest is level-triggered readable/writable; hangup (EPOLLHUP /
+// EPOLLERR / EPOLLRDHUP) is always delivered, folded into kReadable so a
+// handler discovers EOF or the error from its next read, plus the kHangup
+// bit for handlers that care. Timers live on a hashed wheel advanced at a
+// fixed tick (default 5 ms): deadlines are coarse by design — they exist
+// for idle timeouts, not for precise scheduling — and never fire early.
+// See DESIGN.md §8.
+
+#ifndef RSR_NET_EVENT_LOOP_H_
+#define RSR_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace rsr {
+namespace net {
+
+/// Readiness bits delivered to fd handlers (and accepted as interest;
+/// kHangup is implicit interest — epoll always reports it).
+struct Ready {
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kHangup = 1u << 2;
+};
+
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t ready)>;
+  using TimerId = uint64_t;
+  static constexpr TimerId kNoTimer = 0;
+
+  explicit EventLoop(
+      std::chrono::milliseconds tick = std::chrono::milliseconds(5));
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- fd interest (loop thread only, or before Run() starts) ---
+
+  /// Registers `fd` with the given interest. The callback is invoked from
+  /// Run() with the ready bits. False if `fd` is already registered or
+  /// epoll refuses it. The loop never closes `fd`; ownership stays with
+  /// the caller.
+  bool Add(int fd, uint32_t interest, IoCallback callback);
+
+  /// Updates the interest set of a registered fd.
+  bool Modify(int fd, uint32_t interest);
+
+  /// Deregisters `fd`. Safe to call from inside its own callback: the
+  /// handler is dropped and no further events are delivered to it, even
+  /// ones already harvested in the current epoll batch.
+  void Remove(int fd);
+
+  // --- timers (loop thread only) ---
+
+  /// Arms a one-shot timer. Fires no earlier than `delay` from now, at
+  /// tick granularity. Returns an id for CancelTimer.
+  TimerId AddTimer(std::chrono::milliseconds delay, std::function<void()> fn);
+
+  /// Disarms a timer; a no-op if it already fired or never existed.
+  void CancelTimer(TimerId id);
+
+  // --- cross-thread ---
+
+  /// Queues `fn` to run on the loop thread after the current dispatch
+  /// round and wakes the loop. Thread-safe. Every queued task is
+  /// eventually invoked — tasks still pending when Run() exits are drained
+  /// before it returns, so move-only resources handed to a task are never
+  /// silently dropped.
+  void RunInLoop(std::function<void()> fn);
+
+  /// Forces an idle epoll_wait to return. Thread-safe.
+  void Wakeup();
+
+  /// Dispatches events until Stop(). Must be called from exactly one
+  /// thread; fd/timer methods above belong to that thread.
+  void Run();
+
+  /// Makes Run() return after the dispatch round in flight. Thread-safe
+  /// and idempotent.
+  void Stop();
+
+  bool IsInLoopThread() const {
+    return loop_thread_.load() == std::this_thread::get_id();
+  }
+
+ private:
+  struct Handler {
+    uint32_t interest = 0;
+    uint64_t generation = 0;
+    std::shared_ptr<IoCallback> callback;
+  };
+
+  struct TimerEntry {
+    TimerId id = kNoTimer;
+    uint64_t deadline_tick = 0;
+    std::function<void()> fn;
+  };
+
+  uint64_t NowTick() const;
+  int EpollTimeoutMs();
+  void AdvanceWheel();
+  void RunPendingTasks();
+  void DrainWakeupFd();
+
+  static constexpr size_t kWheelSlots = 256;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  const std::chrono::milliseconds tick_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  std::unordered_map<int, Handler> handlers_;
+  uint64_t next_generation_ = 1;
+
+  std::vector<std::vector<TimerEntry>> wheel_;
+  uint64_t wheel_cursor_ = 0;  ///< Next tick to be processed.
+  /// Timers still armed (AddTimer minus fired/cancelled); keys double as
+  /// the liveness check when a wheel entry comes up.
+  std::unordered_map<TimerId, uint64_t> armed_;
+  TimerId next_timer_id_ = 1;
+
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+};
+
+}  // namespace net
+}  // namespace rsr
+
+#endif  // RSR_NET_EVENT_LOOP_H_

@@ -108,6 +108,20 @@ FrameDecoder::Status FrameDecoder::Next(transport::Message* out) {
   return Status::kFrame;
 }
 
+bool FrameDecoder::at_frame_boundary() const {
+  size_t cursor = consumed_;
+  while (cursor < buffer_.size()) {
+    const size_t avail = buffer_.size() - cursor;
+    if (avail < kFrameHeaderBytes) return false;
+    const uint8_t* header = buffer_.data() + cursor;
+    const size_t total = kFrameHeaderBytes + GetU16(header + 5) +
+                         GetU32(header + 7);
+    if (avail < total) return false;
+    cursor += total;
+  }
+  return true;
+}
+
 bool FramedStream::Send(const transport::Message& message) {
   const std::vector<uint8_t> frame = EncodeFrame(message);
   if (!stream_->Write(frame.data(), frame.size())) return false;

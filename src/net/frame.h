@@ -83,8 +83,19 @@ class FrameDecoder {
   recon::SessionError error() const { return error_; }
 
   /// True if a partial frame is buffered — at EOF this distinguishes a
-  /// truncated frame from a clean close between frames.
+  /// truncated frame from a clean close between frames. Accurate only
+  /// once every complete frame has been popped (the blocking FramedStream
+  /// pops before reading more, so it qualifies); an async reader that
+  /// drains the socket to EOF first should use at_frame_boundary().
   bool mid_frame() const { return buffer_.size() > consumed_; }
+
+  /// True if the undecoded bytes end exactly on a frame boundary: zero or
+  /// more complete frames and no partial tail. At EOF this is the
+  /// accurate clean-close test even while complete frames are still
+  /// queued for Next(). Walks the claimed header lengths only — a frame
+  /// with a corrupt header fails in Next() regardless of how the stream
+  /// ended.
+  bool at_frame_boundary() const;
 
  private:
   FrameLimits limits_;

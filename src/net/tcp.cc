@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -36,6 +37,14 @@ void ShutdownAndRelease(std::atomic<int>* fd_slot) {
   if (fd < 0) return;
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
+}
+
+bool SetFdNonBlocking(int fd, bool enabled) {
+  if (fd < 0) return false;
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return flags == wanted || ::fcntl(fd, F_SETFL, wanted) == 0;
 }
 
 }  // namespace
@@ -101,6 +110,34 @@ bool TcpStream::Write(const uint8_t* data, size_t n) {
 
 void TcpStream::Close() { ShutdownOnly(fd_); }
 
+ptrdiff_t TcpStream::ReadSome(uint8_t* buf, size_t n) {
+  for (;;) {
+    const int fd = fd_.load();
+    if (fd < 0) return 0;  // locally closed: report EOF
+    const ssize_t r = ::recv(fd, buf, n, 0);
+    if (r >= 0) return static_cast<ptrdiff_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+ptrdiff_t TcpStream::WriteSome(const uint8_t* data, size_t n) {
+  for (;;) {
+    const int fd = fd_.load();
+    if (fd < 0) return -1;
+    const ssize_t r = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (r >= 0) return static_cast<ptrdiff_t>(r);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+bool TcpStream::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(fd_.load(), enabled);
+}
+
 // --------------------------------------------------------------- listener
 
 TcpListener::~TcpListener() { ShutdownAndRelease(&fd_); }
@@ -146,10 +183,44 @@ std::unique_ptr<TcpStream> TcpListener::Accept() {
     const int conn = ::accept(fd, nullptr, nullptr);
     if (conn >= 0) return std::make_unique<TcpStream>(conn);
     if (errno == EINTR) continue;
+    // A connection that RSTed while still in the backlog kills itself,
+    // not the listener.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
     // Close() shut the listening socket down: accept fails with EINVAL
     // (Linux) or EBADF; either way the accept loop is over.
     return nullptr;
   }
+}
+
+TcpListener::AcceptStatus TcpListener::TryAccept(
+    std::unique_ptr<TcpStream>* out) {
+  for (;;) {
+    const int fd = fd_.load();
+    if (fd < 0) return AcceptStatus::kClosed;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) {
+      *out = std::make_unique<TcpStream>(conn);
+      return AcceptStatus::kAccepted;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return AcceptStatus::kWouldBlock;
+    }
+    // Transient per-connection failure: the peer RSTed while queued.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
+    // Transient resource exhaustion (fd limits, socket buffers) must not
+    // read as "listener closed" — the reactor would deregister the
+    // listener and never accept again.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return AcceptStatus::kRetryLater;
+    }
+    return AcceptStatus::kClosed;
+  }
+}
+
+bool TcpListener::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(fd_.load(), enabled);
 }
 
 void TcpListener::Close() { ShutdownOnly(fd_); }

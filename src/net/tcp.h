@@ -5,6 +5,14 @@
 // support for tests (port 0, then port()), TCP_NODELAY on connections (the
 // protocols exchange many small frames), EINTR-safe read/write loops, and a
 // Close that unblocks a pending Accept.
+//
+// Both classes also support non-blocking mode for the async serving layer:
+// SetNonBlocking(true) flips O_NONBLOCK, TcpStream additionally implements
+// net::NonBlockingStream (partial reads/writes reporting kWouldBlock), and
+// TcpListener::TryAccept distinguishes would-block from a closed listener
+// so it can sit behind an epoll readable callback. An object is used in
+// one mode for its whole life: the blocking ByteStream contract does not
+// hold on a non-blocking fd.
 
 #ifndef RSR_NET_TCP_H_
 #define RSR_NET_TCP_H_
@@ -19,7 +27,7 @@
 namespace rsr {
 namespace net {
 
-class TcpStream : public ByteStream {
+class TcpStream : public ByteStream, public NonBlockingStream {
  public:
   /// Connects to host:port ("127.0.0.1" style dotted quad or a hostname
   /// resolvable by getaddrinfo). Returns nullptr on failure.
@@ -35,7 +43,19 @@ class TcpStream : public ByteStream {
 
   ptrdiff_t Read(uint8_t* buf, size_t n) override;
   bool Write(const uint8_t* data, size_t n) override;
+  /// Satisfies both ByteStream and NonBlockingStream.
   void Close() override;
+
+  /// NonBlockingStream (meaningful after SetNonBlocking(true)).
+  ptrdiff_t ReadSome(uint8_t* buf, size_t n) override;
+  ptrdiff_t WriteSome(const uint8_t* data, size_t n) override;
+
+  /// Flips O_NONBLOCK. False if fcntl fails or the stream is closed.
+  bool SetNonBlocking(bool enabled);
+
+  /// The underlying socket (for event-loop registration); -1 once the
+  /// destructor ran.
+  int fd() const { return fd_.load(); }
 
  private:
   std::atomic<int> fd_;
@@ -58,6 +78,25 @@ class TcpListener {
   /// Blocks for the next connection. Returns nullptr once the listener is
   /// closed (or on a non-transient accept failure).
   std::unique_ptr<TcpStream> Accept();
+
+  enum class AcceptStatus {
+    kAccepted,    ///< *out holds the new connection.
+    kWouldBlock,  ///< Non-blocking listener with an empty backlog.
+    kRetryLater,  ///< Resource exhaustion (fd limit, buffers). The backlog
+                  ///< is NOT empty — a level-triggered reactor must back
+                  ///< off (timer) instead of re-polling immediately.
+    kClosed,      ///< Listener closed (or a non-transient failure).
+  };
+
+  /// Non-blocking accept for the event-loop path; pair with
+  /// SetNonBlocking(true) and an epoll readable callback.
+  AcceptStatus TryAccept(std::unique_ptr<TcpStream>* out);
+
+  /// Flips O_NONBLOCK on the listening socket.
+  bool SetNonBlocking(bool enabled);
+
+  /// The listening socket (for event-loop registration).
+  int fd() const { return fd_.load(); }
 
   /// Unblocks pending Accept calls; idempotent.
   void Close();

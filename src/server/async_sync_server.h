@@ -1,0 +1,136 @@
+// Event-driven many-client sync server: N epoll shards, zero blocked
+// threads per connection.
+//
+// AsyncSyncServer serves the exact protocol SyncServer serves — the
+// "@hello"/"@accept"/"@reject"/"@result" handshake over the
+// ProtocolRegistry, one Bob-side PartySession per client, results
+// bit-identical to recon::DrivePair — but hosts it on a reactor instead of
+// a worker pool. Start() spawns `shards` threads, each running one
+// net::EventLoop; the listener is accepted on shard 0 and every new
+// connection is pinned to a shard round-robin at accept time. A pinned
+// connection's whole life — frame decode, handshake, PartySession pump,
+// result, drain — happens on that one shard thread, so sessions stay
+// single-threaded with no locks on the hot path; only the metrics
+// aggregate is shared (one mutex, touched at connection open/close).
+//
+// Because no thread ever blocks on a socket, concurrency is bounded by fd
+// limits rather than thread count: two shards sustain hundreds of
+// mostly-idle replicas where a two-worker SyncServer serializes them
+// (bench/bench_e17_async_load.cc measures exactly this).
+//
+// Idle connections are bounded: a connection with no traffic for
+// `idle_timeout` is failed with SessionError::kTransportClosed (a
+// best-effort failure "@result" is flushed first if a session was live).
+// Stop() drains deterministically — it closes the listener, then posts one
+// shutdown task per shard that fails all of the shard's open connections
+// and stops its loop, then joins the shard threads in index order.
+// See DESIGN.md §8.
+
+#ifndef RSR_SERVER_ASYNC_SYNC_SERVER_H_
+#define RSR_SERVER_ASYNC_SYNC_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/async_frame.h"
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/tcp.h"
+#include "recon/registry.h"
+#include "server/server_stats.h"
+
+namespace rsr {
+namespace server {
+
+struct AsyncSyncServerOptions {
+  /// Shared public coins; clients must be constructed with the same
+  /// context or the hash-based sketches will not line up.
+  recon::ProtocolContext context;
+  recon::ProtocolParams params;
+  /// Event-loop shards (threads). Each connection is pinned to one.
+  size_t shards = 2;
+  net::FrameLimits limits;
+  /// Runaway-protocol safeguard, as in recon::DrivePair.
+  size_t max_deliveries = 1 << 16;
+  /// Per-connection idle deadline (coarse, event-loop tick granularity);
+  /// zero disables. Expiry surfaces as SessionError::kTransportClosed.
+  std::chrono::milliseconds idle_timeout{0};
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel default.
+  /// Small values bound per-connection kernel memory under huge fan-out —
+  /// and force the partial-write flush paths the tests pin down.
+  int so_sndbuf = 0;
+  /// Protocol registry to negotiate against; nullptr = the global one.
+  const recon::ProtocolRegistry* registry = nullptr;
+};
+
+class AsyncSyncServer {
+ public:
+  AsyncSyncServer(PointSet canonical, AsyncSyncServerOptions options);
+  ~AsyncSyncServer();
+
+  AsyncSyncServer(const AsyncSyncServer&) = delete;
+  AsyncSyncServer& operator=(const AsyncSyncServer&) = delete;
+
+  /// Spawns the shard threads and starts accepting on `listener` (flipped
+  /// to non-blocking). Returns false if already started or null.
+  bool Start(std::unique_ptr<net::TcpListener> listener);
+
+  /// Closes the listener, fails every open connection, stops each shard
+  /// loop and joins its thread, in shard order. Idempotent; also called
+  /// by the destructor.
+  void Stop();
+
+  /// Bound TCP port (0 unless Start()ed).
+  uint16_t port() const;
+
+  SyncServerMetrics metrics() const;
+  const PointSet& canonical() const { return canonical_; }
+
+ private:
+  struct Shard;
+  struct Conn;
+
+  void AcceptReady();
+  /// Registers `stream` with `shard` (runs on the shard's loop thread).
+  void AdoptConn(Shard* shard, std::unique_ptr<net::TcpStream> stream);
+  void OnConnEvent(Conn* conn, uint32_t ready);
+  void ProcessInbox(Conn* conn);
+  void HandleHello(Conn* conn, transport::Message message);
+  void HandleSessionMessage(Conn* conn, transport::Message message);
+  /// Ends the protocol phase: takes Bob's result, applies `pump_error`,
+  /// ships "@result", and moves the conn to the drain phase.
+  void FinishSession(Conn* conn, recon::SessionError pump_error);
+  /// Transport died: settles a live session as failed (no result frame —
+  /// there is no one to ship it to) and closes.
+  void FailConn(Conn* conn, recon::SessionError error);
+  /// Reacts to the read side ending (clean EOF or error) once all frames
+  /// decoded before the end have been processed.
+  void HandleStreamEnd(Conn* conn, net::AsyncFramedConn::IoStatus status);
+  void OnIdleTimeout(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void TouchIdleTimer(Conn* conn);
+  /// Deregisters, settles metrics, and schedules destruction.
+  void CloseConn(Conn* conn);
+
+  const PointSet canonical_;
+  const AsyncSyncServerOptions options_;
+  const recon::ProtocolRegistry* const registry_;
+
+  std::unique_ptr<net::TcpListener> listener_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t next_shard_ = 0;  ///< Round-robin cursor (accept path only).
+
+  mutable std::mutex metrics_mu_;
+  SyncServerMetrics metrics_;
+};
+
+}  // namespace server
+}  // namespace rsr
+
+#endif  // RSR_SERVER_ASYNC_SYNC_SERVER_H_

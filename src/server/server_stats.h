@@ -1,0 +1,47 @@
+// Metrics shared by both sync-serving hosts.
+//
+// The thread-per-connection SyncServer (server/sync_server.h) and the
+// epoll-sharded AsyncSyncServer (server/async_sync_server.h) report the
+// same counters, so benches and tests compare the two hosts row for row.
+// `peak_active_sessions` is the high-water mark of concurrently open
+// sessions — the number that separates the hosts: a threaded host can
+// never exceed its worker count, the async host sustains every connected
+// client at once.
+
+#ifndef RSR_SERVER_SERVER_STATS_H_
+#define RSR_SERVER_SERVER_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace rsr {
+namespace server {
+
+/// Accounting for one negotiated protocol.
+struct ProtocolStats {
+  size_t syncs = 0;      ///< Completed successfully.
+  size_t failures = 0;   ///< Finished with an error.
+  size_t bytes_in = 0;   ///< Framed bytes received from clients.
+  size_t bytes_out = 0;  ///< Framed bytes sent to clients.
+  double wall_seconds = 0.0;  ///< Summed session wall time (mean = /syncs).
+};
+
+/// Snapshot of a server's counters.
+struct SyncServerMetrics {
+  size_t connections_accepted = 0;
+  size_t active_sessions = 0;
+  size_t peak_active_sessions = 0;
+  size_t syncs_completed = 0;
+  size_t syncs_failed = 0;
+  size_t handshakes_rejected = 0;
+  size_t idle_timeouts = 0;  ///< Async host only (no deadline elsewhere).
+  size_t bytes_in = 0;
+  size_t bytes_out = 0;
+  std::map<std::string, ProtocolStats> per_protocol;
+};
+
+}  // namespace server
+}  // namespace rsr
+
+#endif  // RSR_SERVER_SERVER_STATS_H_

@@ -62,13 +62,30 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   hello.client_set_size = local_points.size();
   hello.want_result_set = options_.want_result_set;
   if (!framed.Send(EncodeHello(hello))) {
+    outcome.error_detail = "handshake: transport failed sending " +
+                           std::string(kHelloLabel);
     FailOutcome(&outcome, SessionError::kTransportClosed);
     return finish(std::move(outcome));
   }
 
   transport::Message incoming;
-  if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
-    FailOutcome(&outcome, framed.error());
+  const auto accept_status = framed.Receive(&incoming);
+  if (accept_status != net::FramedStream::RecvStatus::kMessage) {
+    // EOF while the handshake is outstanding is its own diagnosis: the
+    // server went away before ever answering, as opposed to a protocol
+    // failing mid-session. kClosed is the clean between-frames EOF;
+    // a truncated @accept (EOF mid-frame) surfaces as kError with
+    // kMalformedMessage and keeps that more specific error.
+    if (accept_status == net::FramedStream::RecvStatus::kClosed) {
+      outcome.error_detail = "handshake: stream ended awaiting " +
+                             std::string(kAcceptLabel);
+      FailOutcome(&outcome, SessionError::kTransportClosed);
+    } else {
+      outcome.error_detail = "handshake: receive failed awaiting " +
+                             std::string(kAcceptLabel) + " (" +
+                             recon::SessionErrorName(framed.error()) + ")";
+      FailOutcome(&outcome, framed.error());
+    }
     return finish(std::move(outcome));
   }
   if (incoming.label == kRejectLabel) {
@@ -82,6 +99,9 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   }
   AcceptFrame accept;
   if (!DecodeAccept(incoming, &accept) || accept.protocol != protocol) {
+    outcome.error_detail = "handshake: expected " +
+                           std::string(kAcceptLabel) + " for \"" + protocol +
+                           "\", got \"" + incoming.label + "\"";
     FailOutcome(&outcome, SessionError::kUnexpectedMessage);
     return finish(std::move(outcome));
   }
@@ -92,6 +112,8 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
       reconciler->MakeAliceSession(local_points);
   for (transport::Message& opening : alice->Start()) {
     if (!framed.Send(opening)) {
+      outcome.error_detail =
+          "session: transport failed sending opening frames";
       FailOutcome(&outcome, SessionError::kTransportClosed);
       return finish(std::move(outcome));
     }
@@ -99,6 +121,9 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   size_t deliveries = 0;
   for (;;) {
     if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+      outcome.error_detail = "session: receive failed awaiting protocol or " +
+                             std::string(kResultLabel) + " frames (" +
+                             recon::SessionErrorName(framed.error()) + ")";
       FailOutcome(&outcome, framed.error());
       return finish(std::move(outcome));
     }
@@ -123,6 +148,7 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
     }
     for (transport::Message& reply : alice->OnMessage(std::move(incoming))) {
       if (!framed.Send(reply)) {
+        outcome.error_detail = "session: transport failed sending replies";
         FailOutcome(&outcome, SessionError::kTransportClosed);
         return finish(std::move(outcome));
       }

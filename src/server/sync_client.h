@@ -44,6 +44,11 @@ struct SyncOutcome {
   /// Populated when the server rejected the handshake.
   std::string reject_reason;
   std::vector<std::string> server_protocols;
+  /// Human-readable failure location ("" on success). A server that hangs
+  /// up during the handshake is a different operational problem from one
+  /// that dies mid-protocol; the stage names which ("handshake: stream
+  /// ended awaiting @accept" vs "session: ...").
+  std::string error_detail;
   size_t bytes_sent = 0;
   size_t bytes_received = 0;
   double wall_seconds = 0.0;

@@ -1,5 +1,6 @@
 #include "server/sync_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -36,6 +37,8 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
     std::lock_guard<std::mutex> lock(metrics_mu_);
     ++metrics_.connections_accepted;
     ++metrics_.active_sessions;
+    metrics_.peak_active_sessions =
+        std::max(metrics_.peak_active_sessions, metrics_.active_sessions);
   }
 
   // --------------------------------------------------------- handshake

@@ -35,6 +35,7 @@
 #include "net/frame.h"
 #include "net/tcp.h"
 #include "recon/registry.h"
+#include "server/server_stats.h"
 
 namespace rsr {
 namespace server {
@@ -52,26 +53,8 @@ struct SyncServerOptions {
   const recon::ProtocolRegistry* registry = nullptr;
 };
 
-/// Accounting for one negotiated protocol.
-struct ProtocolStats {
-  size_t syncs = 0;      ///< Completed successfully.
-  size_t failures = 0;   ///< Finished with an error.
-  size_t bytes_in = 0;   ///< Framed bytes received from clients.
-  size_t bytes_out = 0;  ///< Framed bytes sent to clients.
-  double wall_seconds = 0.0;  ///< Summed session wall time (mean = /syncs).
-};
-
-/// Snapshot of the server's counters.
-struct SyncServerMetrics {
-  size_t connections_accepted = 0;
-  size_t active_sessions = 0;
-  size_t syncs_completed = 0;
-  size_t syncs_failed = 0;
-  size_t handshakes_rejected = 0;
-  size_t bytes_in = 0;
-  size_t bytes_out = 0;
-  std::map<std::string, ProtocolStats> per_protocol;
-};
+// ProtocolStats and SyncServerMetrics moved to server/server_stats.h so
+// the async host (server/async_sync_server.h) reports identical counters.
 
 class SyncServer {
  public:

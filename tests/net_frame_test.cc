@@ -1,15 +1,20 @@
 // Wire-framing tests: round-trip property over random labels / payload
-// sizes, incremental (byte-dribbled) decoding, and decode failures —
+// sizes, incremental (byte-dribbled) decoding, decode failures —
 // truncated, oversized, garbage, wrong version, and corrupt bit accounting
-// — each asserting the mapped SessionError.
+// — each asserting the mapped SessionError, plus DribbleStream torture of
+// the partial-I/O paths of both FramedStream (blocking) and
+// AsyncFramedConn (non-blocking).
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "net/async_frame.h"
 #include "net/byte_stream.h"
 #include "net/frame.h"
 #include "net/pipe_stream.h"
@@ -216,6 +221,246 @@ TEST(FramedStream, EofMidFrameMapsToMalformed) {
   Message out;
   EXPECT_EQ(b.Receive(&out), FramedStream::RecvStatus::kError);
   EXPECT_EQ(b.error(), SessionError::kMalformedMessage);
+}
+
+// ------------------------------------------------- dribble-stream torture
+
+/// Worst-legal-peer test double over in-memory queues. As a blocking
+/// ByteStream, Read returns exactly one byte per call and Write is split
+/// into 1..3-byte chunks whose boundaries are recorded; as a
+/// NonBlockingStream, ReadSome additionally interleaves kWouldBlock and
+/// WriteSome accepts at most a few bytes per call. Both sides of the
+/// framing stack must reassemble identical messages from this.
+class DribbleStream : public ByteStream, public NonBlockingStream {
+ public:
+  explicit DribbleStream(uint64_t seed) : rng_(seed) {}
+
+  void FeedInput(const std::vector<uint8_t>& bytes) {
+    input_.insert(input_.end(), bytes.begin(), bytes.end());
+  }
+  void CloseInput() { input_closed_ = true; }
+
+  // Blocking side. The test pre-feeds all input, so an empty un-closed
+  // queue is a harness bug — fail loudly instead of blocking.
+  ptrdiff_t Read(uint8_t* buf, size_t n) override {
+    if (n == 0 || input_.empty()) return input_closed_ ? 0 : -1;
+    buf[0] = input_.front();
+    input_.pop_front();
+    return 1;
+  }
+  bool Write(const uint8_t* data, size_t n) override {
+    size_t offset = 0;
+    while (offset < n) {
+      const size_t chunk = std::min<size_t>(1 + rng_.Below(3), n - offset);
+      chunks_.emplace_back(data + offset, data + offset + chunk);
+      offset += chunk;
+    }
+    return true;
+  }
+  void Close() override { input_closed_ = true; }
+
+  // Non-blocking side.
+  ptrdiff_t ReadSome(uint8_t* buf, size_t n) override {
+    if (rng_.Below(2) == 0) return kWouldBlock;
+    if (n == 0 || input_.empty()) return input_closed_ ? 0 : kWouldBlock;
+    buf[0] = input_.front();
+    input_.pop_front();
+    return 1;
+  }
+  ptrdiff_t WriteSome(const uint8_t* data, size_t n) override {
+    if (n == 0 || rng_.Below(3) == 0) return kWouldBlock;
+    const size_t chunk = std::min<size_t>(1 + rng_.Below(3), n);
+    chunks_.emplace_back(data, data + chunk);
+    return static_cast<ptrdiff_t>(chunk);
+  }
+
+  const std::vector<std::vector<uint8_t>>& chunks() const { return chunks_; }
+  std::vector<uint8_t> FlattenedOutput() const {
+    std::vector<uint8_t> out;
+    for (const auto& chunk : chunks_) {
+      out.insert(out.end(), chunk.begin(), chunk.end());
+    }
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  std::deque<uint8_t> input_;
+  bool input_closed_ = false;
+  std::vector<std::vector<uint8_t>> chunks_;
+};
+
+TEST(DribbleStreamTest, FramedStreamReceivesAcrossSingleByteReads) {
+  Rng rng(31);
+  DribbleStream dribble(32);
+  std::vector<Message> sent;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(RandomMessage(&rng));
+    dribble.FeedInput(EncodeFrame(sent.back()));
+  }
+  dribble.CloseInput();
+  FramedStream framed(&dribble);
+  for (const Message& want : sent) {
+    Message got;
+    ASSERT_EQ(framed.Receive(&got), FramedStream::RecvStatus::kMessage);
+    ExpectSameMessage(want, got);
+  }
+  Message got;
+  EXPECT_EQ(framed.Receive(&got), FramedStream::RecvStatus::kClosed);
+  EXPECT_EQ(framed.error(), SessionError::kTransportClosed);
+}
+
+TEST(DribbleStreamTest, FramedStreamSendSurvivesChunkedWrites) {
+  Rng rng(41);
+  DribbleStream dribble(42);
+  FramedStream framed(&dribble);
+  std::vector<Message> sent;
+  for (int i = 0; i < 10; ++i) {
+    sent.push_back(RandomMessage(&rng));
+    ASSERT_TRUE(framed.Send(sent.back()));
+  }
+  // The writes really were split: far more chunks than messages.
+  EXPECT_GT(dribble.chunks().size(), sent.size());
+  // Feeding the recorded chunks one by one into a fresh decoder
+  // reproduces the exact message sequence.
+  FrameDecoder decoder;
+  std::vector<Message> received;
+  for (const auto& chunk : dribble.chunks()) {
+    decoder.Feed(chunk.data(), chunk.size());
+    Message out;
+    while (decoder.Next(&out) == FrameDecoder::Status::kFrame) {
+      received.push_back(out);
+    }
+    ASSERT_EQ(decoder.error(), SessionError::kNone);
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectSameMessage(sent[i], received[i]);
+  }
+}
+
+TEST(DribbleStreamTest, AsyncFramedConnDecodesOneByteAtATime) {
+  Rng rng(51);
+  DribbleStream dribble(52);
+  std::vector<Message> sent;
+  for (int i = 0; i < 20; ++i) {
+    sent.push_back(RandomMessage(&rng));
+    dribble.FeedInput(EncodeFrame(sent.back()));
+  }
+  dribble.CloseInput();
+  AsyncFramedConn conn(&dribble);
+  std::vector<Message> received;
+  AsyncFramedConn::IoStatus status = AsyncFramedConn::IoStatus::kOk;
+  for (int spin = 0;
+       spin < 1000000 && status == AsyncFramedConn::IoStatus::kOk; ++spin) {
+    status = conn.OnReadable();
+    Message out;
+    while (conn.Next(&out) == AsyncFramedConn::NextStatus::kMessage) {
+      received.push_back(out);
+    }
+  }
+  // The stream ends cleanly between frames after the last message.
+  EXPECT_EQ(status, AsyncFramedConn::IoStatus::kClosed);
+  EXPECT_EQ(conn.error(), SessionError::kTransportClosed);
+  ASSERT_EQ(received.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectSameMessage(sent[i], received[i]);
+  }
+}
+
+TEST(DribbleStreamTest, AsyncFramedConnBuffersPartialWrites) {
+  Rng rng(61);
+  DribbleStream dribble(62);
+  AsyncFramedConn conn(&dribble);
+  std::vector<uint8_t> want_wire;
+  for (int i = 0; i < 10; ++i) {
+    const Message msg = RandomMessage(&rng);
+    EncodeFrame(msg, &want_wire);
+    ASSERT_TRUE(conn.Send(msg));
+  }
+  // Sends flushed only as far as the stream allowed; drain the rest.
+  int spins = 0;
+  while (conn.wants_write()) {
+    ASSERT_EQ(conn.Flush(), AsyncFramedConn::IoStatus::kOk);
+    ASSERT_LT(++spins, 1000000);
+  }
+  EXPECT_EQ(conn.bytes_sent(), want_wire.size());
+  EXPECT_EQ(dribble.FlattenedOutput(), want_wire);
+}
+
+/// Regression: the whole stream — final frame included — plus EOF arrives
+/// in ONE readable event, with no would-block in between (a peer that
+/// writes its last frame and closes immediately). The EOF lands while
+/// complete frames are still queued for Next(); it must still classify as
+/// a clean close, not a truncated frame.
+struct EagerStream : public NonBlockingStream {
+  std::deque<uint8_t> input;
+
+  ptrdiff_t ReadSome(uint8_t* buf, size_t n) override {
+    if (input.empty()) return 0;  // immediate EOF after the data
+    size_t count = 0;
+    while (count < n && !input.empty()) {
+      buf[count++] = input.front();
+      input.pop_front();
+    }
+    return static_cast<ptrdiff_t>(count);
+  }
+  ptrdiff_t WriteSome(const uint8_t* data, size_t n) override {
+    (void)data;
+    return static_cast<ptrdiff_t>(n);
+  }
+  void Close() override {}
+};
+
+TEST(DribbleStreamTest, AsyncFramedConnFinalFrameAndEofTogetherIsCleanClose) {
+  Rng rng(91);
+  EagerStream stream;
+  std::vector<Message> sent;
+  for (int i = 0; i < 3; ++i) {
+    sent.push_back(RandomMessage(&rng));
+    const std::vector<uint8_t> wire = EncodeFrame(sent.back());
+    stream.input.insert(stream.input.end(), wire.begin(), wire.end());
+  }
+  AsyncFramedConn conn(&stream);
+  // One OnReadable drains the frames AND sees the EOF.
+  EXPECT_EQ(conn.OnReadable(), AsyncFramedConn::IoStatus::kClosed);
+  EXPECT_EQ(conn.error(), SessionError::kTransportClosed);
+  // The queued complete frames are all still deliverable.
+  for (const Message& want : sent) {
+    Message got;
+    ASSERT_EQ(conn.Next(&got), AsyncFramedConn::NextStatus::kMessage);
+    ExpectSameMessage(want, got);
+  }
+  Message got;
+  EXPECT_EQ(conn.Next(&got), AsyncFramedConn::NextStatus::kIdle);
+}
+
+TEST(DribbleStreamTest, AsyncFramedConnEofMidFrameIsMalformed) {
+  DribbleStream dribble(72);
+  const std::vector<uint8_t> wire =
+      EncodeFrame(Message{"half", {9, 9, 9, 9}, 32});
+  dribble.FeedInput(
+      std::vector<uint8_t>(wire.begin(), wire.begin() + wire.size() / 2));
+  dribble.CloseInput();
+  AsyncFramedConn conn(&dribble);
+  AsyncFramedConn::IoStatus status;
+  while ((status = conn.OnReadable()) == AsyncFramedConn::IoStatus::kOk) {
+  }
+  EXPECT_EQ(status, AsyncFramedConn::IoStatus::kError);
+  EXPECT_EQ(conn.error(), SessionError::kMalformedMessage);
+}
+
+TEST(DribbleStreamTest, AsyncFramedConnCorruptFrameFailsPermanently) {
+  DribbleStream dribble(82);
+  dribble.FeedInput(std::vector<uint8_t>(64, 0xAB));
+  dribble.CloseInput();
+  AsyncFramedConn conn(&dribble);
+  while (conn.OnReadable() == AsyncFramedConn::IoStatus::kOk) {
+  }
+  Message out;
+  EXPECT_EQ(conn.Next(&out), AsyncFramedConn::NextStatus::kError);
+  EXPECT_EQ(conn.error(), SessionError::kMalformedMessage);
+  EXPECT_EQ(conn.Next(&out), AsyncFramedConn::NextStatus::kError);
 }
 
 TEST(PipeStreamTest, BlocksUntilDataArrives) {

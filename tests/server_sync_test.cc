@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include "net/frame.h"
 #include "net/pipe_stream.h"
 #include "net/tcp.h"
 #include "recon/registry.h"
+#include "server/handshake.h"
 #include "server/sync_client.h"
 #include "server/sync_server.h"
 #include "workload/generator.h"
@@ -292,6 +294,62 @@ TEST(SyncServerHandshakeTest, PeerVanishingMidHandshakeIsTransportClosed) {
   EXPECT_FALSE(outcome.handshake_ok);
   EXPECT_FALSE(outcome.result.success);
   EXPECT_EQ(outcome.result.error, SessionError::kTransportClosed);
+  // The stage is named: with the pipe already closed the failure lands on
+  // sending "@hello" — still the handshake, not a mid-session death.
+  EXPECT_NE(outcome.error_detail.find("handshake"), std::string::npos);
+  EXPECT_NE(outcome.error_detail.find("@hello"), std::string::npos);
+}
+
+TEST(SyncServerHandshakeTest, EofAfterHelloIsTransportClosedWithStage) {
+  // The server reads the "@hello" and then dies without answering: the
+  // client must report kTransportClosed pinned to the handshake stage,
+  // not a generic failure.
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  std::thread server_thread([stream = std::move(server_end)] {
+    net::FramedStream framed(stream.get());
+    transport::Message hello;
+    ASSERT_EQ(framed.Receive(&hello), net::FramedStream::RecvStatus::kMessage);
+    EXPECT_EQ(hello.label, kHelloLabel);
+    stream->Close();
+  });
+  SyncClientOptions options;
+  options.context = Ctx();
+  const SyncClient client(options);
+  const SyncOutcome outcome =
+      client.Sync(client_end.get(), "quadtree", Canonical(16));
+  server_thread.join();
+  EXPECT_FALSE(outcome.handshake_ok);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, SessionError::kTransportClosed);
+  EXPECT_NE(outcome.error_detail.find("handshake"), std::string::npos);
+  EXPECT_NE(outcome.error_detail.find("@accept"), std::string::npos);
+}
+
+TEST(SyncServerHandshakeTest, MidSessionDeathNamesTheSessionStage) {
+  // The server completes the handshake and then vanishes: the detail must
+  // name the session stage, distinguishing it from a handshake failure.
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  std::thread server_thread([stream = std::move(server_end)] {
+    net::FramedStream framed(stream.get());
+    transport::Message incoming;
+    ASSERT_EQ(framed.Receive(&incoming),
+              net::FramedStream::RecvStatus::kMessage);
+    AcceptFrame ack;
+    ack.protocol = "quadtree";
+    framed.Send(EncodeAccept(ack));
+    stream->Close();
+  });
+  SyncClientOptions options;
+  options.context = Ctx();
+  options.params = Params();
+  const SyncClient client(options);
+  const SyncOutcome outcome =
+      client.Sync(client_end.get(), "quadtree", Canonical(16));
+  server_thread.join();
+  EXPECT_TRUE(outcome.handshake_ok);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, SessionError::kTransportClosed);
+  EXPECT_NE(outcome.error_detail.find("session"), std::string::npos);
 }
 
 }  // namespace
