@@ -24,11 +24,33 @@
 #include <vector>
 
 #include "recon/evaluate.h"
+#include "server/sync_client.h"
 #include "util/stats.h"
 #include "workload/scenario.h"
 
 namespace rsr {
 namespace bench {
+
+/// True when a served sync is bit-identical to the in-process driver's
+/// result on the same inputs — the definition every load harness's
+/// `match_driver` column uses. Every ReconResult field must agree
+/// (`bob_final` included when the driver succeeded), and the outcome's
+/// error_detail must be empty: the in-process driver has no transport, so
+/// a served session that failed at some transport stage is NOT a match
+/// even if its synthesized result happens to mirror a driver-side protocol
+/// failure. (Shared by E16/E17/E18 — two harnesses previously carried
+/// diverging private copies that ignored error_detail.)
+inline bool MatchesDriver(const server::SyncOutcome& outcome,
+                          const recon::ReconResult& expected) {
+  const recon::ReconResult& got = outcome.result;
+  return outcome.handshake_ok && outcome.error_detail.empty() &&
+         got.success == expected.success && got.error == expected.error &&
+         got.chosen_level == expected.chosen_level &&
+         got.decoded_entries == expected.decoded_entries &&
+         got.attempts == expected.attempts &&
+         got.transmitted == expected.transmitted &&
+         (!expected.success || got.bob_final == expected.bob_final);
+}
 
 /// Incremental writer for BENCH_<id>.json. The whole (tiny) document is
 /// rewritten after every row, so the file is always valid JSON even if the

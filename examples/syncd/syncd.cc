@@ -46,7 +46,12 @@ recon::ProtocolContext Context() {
 
 recon::ProtocolParams Params() {
   recon::ProtocolParams params;
-  params.k = 8;
+  // The EMD-model sketches budget for the k planted outliers; the
+  // exact-key one-shot RIBLT must budget for the exact-key delta, which
+  // per-point noise drives toward both whole sets (see bench_e16).
+  params.quadtree.k = 8;
+  params.mlsh.k = 8;
+  params.riblt.k = 2 * kSetSize;
   return params;
 }
 

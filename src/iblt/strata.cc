@@ -50,6 +50,10 @@ void StrataEstimator::Insert(uint64_t key) {
   strata_[static_cast<size_t>(StratumOf(key))].Insert(key, {});
 }
 
+void StrataEstimator::Erase(uint64_t key) {
+  strata_[static_cast<size_t>(StratumOf(key))].Erase(key, {});
+}
+
 uint64_t StrataEstimator::EstimateDifference(
     const StrataEstimator& other) const {
   RSR_CHECK(config_.num_strata == other.config_.num_strata);

@@ -44,6 +44,13 @@ class StrataEstimator {
   /// Adds a key to its stratum.
   void Insert(uint64_t key);
 
+  /// Removes a key from its stratum (inverse of Insert; valid even if the
+  /// key was never inserted, like Iblt::Erase). This is what makes the
+  /// estimator maintainable under churn: a canonical-side sketch store can
+  /// keep one estimator current with Insert/Erase instead of rebuilding it
+  /// from the whole set (DESIGN.md §9).
+  void Erase(uint64_t key);
+
   /// Estimates |difference| between the key sets underlying `*this` and
   /// `other`. Returns 0 when the sketches are identical. The estimate is
   /// within a small constant factor of the truth w.h.p.; callers should

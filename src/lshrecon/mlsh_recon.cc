@@ -13,10 +13,8 @@
 namespace rsr {
 namespace lshrecon {
 
-namespace {
-
 // Prefix lengths double from 1 up to s (the level ladder).
-std::vector<size_t> PrefixLadder(size_t s) {
+std::vector<size_t> MlshPrefixLadder(size_t s) {
   std::vector<size_t> prefixes;
   for (size_t p = 1; p < s; p <<= 1) prefixes.push_back(p);
   prefixes.push_back(s);
@@ -25,8 +23,8 @@ std::vector<size_t> PrefixLadder(size_t s) {
 
 // Per-point running hash chain over its LSH values; entry j is the key for
 // prefix length j+1.
-std::vector<uint64_t> KeyChain(const MlshFamily& family, const Point& p,
-                               uint64_t seed) {
+std::vector<uint64_t> MlshKeyChain(const MlshFamily& family, const Point& p,
+                                   uint64_t seed) {
   std::vector<uint64_t> chain(family.size());
   uint64_t h = Hash64(0x6d6c7368ULL, seed);  // "mlsh" tag
   for (size_t j = 0; j < family.size(); ++j) {
@@ -36,8 +34,8 @@ std::vector<uint64_t> KeyChain(const MlshFamily& family, const Point& p,
   return chain;
 }
 
-RibltConfig LevelConfig(const Universe& universe, const MlshParams& params,
-                        size_t n, size_t level_index, uint64_t seed) {
+RibltConfig MlshLevelConfig(const Universe& universe, const MlshParams& params,
+                            size_t n, size_t level_index, uint64_t seed) {
   RibltConfig config;
   config.cells = static_cast<size_t>(
       params.cells_factor * params.q * params.q *
@@ -50,6 +48,15 @@ RibltConfig LevelConfig(const Universe& universe, const MlshParams& params,
   return config;
 }
 
+double MlshEffectiveWidth(const Universe& universe,
+                          const MlshParams& params) {
+  return params.width > 0.0
+             ? params.width
+             : static_cast<double>(universe.delta) / 8.0;
+}
+
+namespace {
+
 // Per-point key chains for a party's own points.
 std::vector<std::vector<uint64_t>> ChainsFor(const MlshFamily& family,
                                              const PointSet& points,
@@ -57,15 +64,9 @@ std::vector<std::vector<uint64_t>> ChainsFor(const MlshFamily& family,
   std::vector<std::vector<uint64_t>> chains;
   chains.reserve(points.size());
   for (const Point& p : points) {
-    chains.push_back(KeyChain(family, p, seed));
+    chains.push_back(MlshKeyChain(family, p, seed));
   }
   return chains;
-}
-
-double EffectiveWidth(const Universe& universe, const MlshParams& params) {
-  return params.width > 0.0
-             ? params.width
-             : static_cast<double>(universe.delta) / 8.0;
 }
 
 class MlshAlice : public recon::PartySessionBase {
@@ -78,16 +79,16 @@ class MlshAlice : public recon::PartySessionBase {
     const Universe& universe = context_.universe;
     const size_t n = points_.size();
     const size_t s = params_.NumFunctions();
-    const std::vector<size_t> prefixes = PrefixLadder(s);
+    const std::vector<size_t> prefixes = MlshPrefixLadder(s);
     const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
-        params_.family, universe, EffectiveWidth(universe, params_), s,
+        params_.family, universe, MlshEffectiveWidth(universe, params_), s,
         context_.seed);
     const auto chains = ChainsFor(*family, points_, context_.seed);
 
     // One RIBLT per level, all in one message.
     BitWriter w;
     for (size_t li = 0; li < prefixes.size(); ++li) {
-      Riblt table(LevelConfig(universe, params_, n, li, context_.seed));
+      Riblt table(MlshLevelConfig(universe, params_, n, li, context_.seed));
       const size_t prefix = prefixes[li];
       for (size_t i = 0; i < points_.size(); ++i) {
         table.Insert(chains[i][prefix - 1], points_[i]);
@@ -113,8 +114,11 @@ class MlshAlice : public recon::PartySessionBase {
 class MlshBob : public recon::PartySessionBase {
  public:
   MlshBob(const recon::ProtocolContext& context, const MlshParams& params,
-          PointSet points)
-      : context_(context), params_(params), points_(std::move(points)) {
+          PointSet points, const recon::CanonicalSketchProvider* sketches)
+      : context_(context),
+        params_(params),
+        points_(std::move(points)),
+        sketches_(sketches) {
     result_.bob_final = points_;
   }
 
@@ -130,11 +134,7 @@ class MlshBob : public recon::PartySessionBase {
     const PointSet& bob = points_;
     const size_t n = bob.size();
     const size_t s = params_.NumFunctions();
-    const std::vector<size_t> prefixes = PrefixLadder(s);
-    const std::unique_ptr<MlshFamily> family = MakeMlshFamily(
-        params_.family, universe, EffectiveWidth(universe, params_), s,
-        context_.seed);
-    const auto bob_chains = ChainsFor(*family, bob, context_.seed);
+    const std::vector<size_t> prefixes = MlshPrefixLadder(s);
 
     BitReader r(message.payload);
     // Deserialize every level first (stream order), then scan finest-first.
@@ -142,7 +142,7 @@ class MlshBob : public recon::PartySessionBase {
     alice_tables.reserve(prefixes.size());
     for (size_t li = 0; li < prefixes.size(); ++li) {
       std::optional<Riblt> table = Riblt::Deserialize(
-          LevelConfig(universe, params_, n, li, context_.seed), &r);
+          MlshLevelConfig(universe, params_, n, li, context_.seed), &r);
       if (!table.has_value()) {  // truncated mlsh-levels message
         FailWith(recon::SessionError::kMalformedMessage);
         return NoMessages();
@@ -150,13 +150,38 @@ class MlshBob : public recon::PartySessionBase {
       alice_tables.push_back(std::move(*table));
     }
 
+    // The hash chains are only needed to erase Bob's pairs by hand; with a
+    // sketch cache the per-level erase loop collapses into one linear
+    // Subtract of the cached table (identical cell arithmetic), so the
+    // chains are built lazily, on the first level the cache declines.
+    std::unique_ptr<MlshFamily> family;
+    std::vector<std::vector<uint64_t>> bob_chains;
+    const auto ensure_chains = [&] {
+      if (family != nullptr) return;
+      family = MakeMlshFamily(params_.family, universe,
+                              MlshEffectiveWidth(universe, params_), s,
+                              context_.seed);
+      bob_chains = ChainsFor(*family, bob, context_.seed);
+    };
+
     const size_t budget = params_.DecodeBudget();
     Rng rounding_rng(context_.seed ^ 0x726f756e64ULL);  // "round" tag
     for (size_t li = prefixes.size(); li-- > 0;) {
       Riblt diff = alice_tables[li];
       const size_t prefix = prefixes[li];
-      for (size_t i = 0; i < bob.size(); ++i) {
-        diff.Erase(bob_chains[i][prefix - 1], bob[i]);
+      std::optional<Riblt> cached =
+          sketches_ != nullptr
+              ? sketches_->MlshLevelRiblt(
+                    MlshLevelConfig(universe, params_, n, li, context_.seed),
+                    li)
+              : std::nullopt;
+      if (cached.has_value()) {
+        diff.Subtract(*cached);
+      } else {
+        ensure_chains();
+        for (size_t i = 0; i < bob.size(); ++i) {
+          diff.Erase(bob_chains[i][prefix - 1], bob[i]);
+        }
       }
       const RibltDecodeResult decoded = diff.Decode(&rounding_rng, budget);
       if (!decoded.success) continue;
@@ -210,6 +235,7 @@ class MlshBob : public recon::PartySessionBase {
   recon::ProtocolContext context_;
   MlshParams params_;
   PointSet points_;
+  const recon::CanonicalSketchProvider* sketches_;
 };
 
 }  // namespace
@@ -221,7 +247,13 @@ std::unique_ptr<recon::PartySession> MlshReconciler::MakeAliceSession(
 
 std::unique_ptr<recon::PartySession> MlshReconciler::MakeBobSession(
     const PointSet& points) const {
-  return std::make_unique<MlshBob>(context_, params_, points);
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<recon::PartySession> MlshReconciler::MakeBobSession(
+    const PointSet& points,
+    const recon::CanonicalSketchProvider* sketches) const {
+  return std::make_unique<MlshBob>(context_, params_, points, sketches);
 }
 
 }  // namespace lshrecon

@@ -21,10 +21,14 @@
 #define RSR_LSHRECON_MLSH_RECON_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "geometry/metric.h"
 #include "lshrecon/lsh.h"
 #include "recon/protocol.h"
+#include "recon/sketch_provider.h"
+#include "riblt/riblt.h"
 
 namespace rsr {
 namespace lshrecon {
@@ -55,6 +59,27 @@ struct MlshParams {
   }
 };
 
+// Public derivations of the protocol's per-level sketch structure,
+// exported so a canonical sketch store (server/sketch_store.h) can build
+// and maintain exactly the RIBLTs a Bob session expects. All are pure
+// functions of public parameters.
+
+/// Prefix lengths of the level ladder: 1, 2, 4, …, s.
+std::vector<size_t> MlshPrefixLadder(size_t s);
+
+/// Per-point running hash chain over its LSH values; entry j is the RIBLT
+/// key for prefix length j + 1.
+std::vector<uint64_t> MlshKeyChain(const MlshFamily& family, const Point& p,
+                                   uint64_t seed);
+
+/// RIBLT configuration of ladder level `level_index` for a party of size n
+/// (n only fixes the serialized sum-field widths via max_entries).
+RibltConfig MlshLevelConfig(const Universe& universe, const MlshParams& params,
+                            size_t n, size_t level_index, uint64_t seed);
+
+/// The protocol's effective MLSH width (params.width, or Δ/8 when unset).
+double MlshEffectiveWidth(const Universe& universe, const MlshParams& params);
+
 class MlshReconciler : public recon::Reconciler {
  public:
   MlshReconciler(const recon::ProtocolContext& context,
@@ -66,6 +91,9 @@ class MlshReconciler : public recon::Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<recon::PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<recon::PartySession> MakeBobSession(
+      const PointSet& points,
+      const recon::CanonicalSketchProvider* sketches) const override;
   bool RequiresEqualSizes() const override { return true; }
 
  private:

@@ -81,6 +81,12 @@ ReconResult DrivePair(PartySession* alice, PartySession* bob,
   return bob->TakeResult();
 }
 
+std::unique_ptr<PartySession> Reconciler::MakeBobSession(
+    const PointSet& points, const CanonicalSketchProvider* sketches) const {
+  (void)sketches;  // protocols without cacheable canonical state
+  return MakeBobSession(points);
+}
+
 ReconResult Reconciler::Run(const PointSet& alice, const PointSet& bob,
                             transport::Channel* channel) const {
   if (RequiresEqualSizes()) {

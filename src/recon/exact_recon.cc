@@ -1,6 +1,8 @@
 #include "recon/exact_recon.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,16 +16,13 @@
 namespace rsr {
 namespace recon {
 
-namespace {
-
 // Occurrence-indexed keys make duplicate points in one party's multiset
 // distinct sketch elements (plain IBLTs cannot hold duplicate keys), while
 // the i-th copy of a shared point still cancels across parties.
-std::vector<std::pair<uint64_t, Point>> CanonicalKeyedPoints(
-    const PointSet& points, uint64_t seed) {
+KeyedPointList ExactKeyedPoints(const PointSet& points, uint64_t seed) {
   PointSet sorted = points;
   std::sort(sorted.begin(), sorted.end(), PointLess);
-  std::vector<std::pair<uint64_t, Point>> keyed;
+  KeyedPointList keyed;
   keyed.reserve(sorted.size());
   size_t occurrence = 0;
   for (size_t i = 0; i < sorted.size(); ++i) {
@@ -31,14 +30,18 @@ std::vector<std::pair<uint64_t, Point>> CanonicalKeyedPoints(
     // must not be used after it was moved out of.
     occurrence =
         (i > 0 && sorted[i] == keyed[i - 1].second) ? occurrence + 1 : 0;
-    const uint64_t key =
-        HashCombine(PointKey(sorted[i], seed), occurrence);
+    const uint64_t key = ExactOccurrenceKey(sorted[i], occurrence, seed);
     keyed.emplace_back(key, std::move(sorted[i]));
   }
   return keyed;
 }
 
-StrataConfig ExactStrataConfig(uint64_t seed) {
+uint64_t ExactOccurrenceKey(const Point& p, size_t occurrence,
+                            uint64_t seed) {
+  return HashCombine(PointKey(p, seed), occurrence);
+}
+
+StrataConfig ExactReconStrataConfig(uint64_t seed) {
   StrataConfig config;
   config.num_strata = 20;
   config.cells_per_stratum = 32;
@@ -48,6 +51,8 @@ StrataConfig ExactStrataConfig(uint64_t seed) {
   config.seed = seed ^ 0x657874737472ULL;  // "extstr" tag
   return config;
 }
+
+namespace {
 
 // IBLT configuration of attempt `attempt` (shared derivation; only the
 // cell count travels on the wire).
@@ -74,7 +79,7 @@ class ExactAlice : public PartySessionBase {
              PointSet points)
       : context_(context),
         params_(params),
-        keyed_(CanonicalKeyedPoints(points, context.seed)) {}
+        keyed_(ExactKeyedPoints(points, context.seed)) {}
 
   std::vector<transport::Message> Start() override { return NoMessages(); }
 
@@ -86,7 +91,8 @@ class ExactAlice : public PartySessionBase {
     }
     if (state_ == State::kAwaitStrata) {
       // --- Estimate the difference from Bob's estimator. ---
-      const StrataConfig strata_config = ExactStrataConfig(context_.seed);
+      const StrataConfig strata_config =
+          ExactReconStrataConfig(context_.seed);
       BitReader r(message.payload);
       std::optional<StrataEstimator> bob_est =
           StrataEstimator::Deserialize(strata_config, &r);
@@ -143,7 +149,7 @@ class ExactAlice : public PartySessionBase {
 
   ProtocolContext context_;
   ExactReconParams params_;
-  std::vector<std::pair<uint64_t, Point>> keyed_;
+  KeyedPointList keyed_;
   State state_ = State::kAwaitStrata;
   uint64_t target_ = 0;
 };
@@ -153,23 +159,37 @@ class ExactAlice : public PartySessionBase {
 class ExactBob : public PartySessionBase {
  public:
   ExactBob(const ProtocolContext& context, const ExactReconParams& params,
-           PointSet points)
-      : context_(context),
-        params_(params),
-        points_(std::move(points)),
-        keyed_(CanonicalKeyedPoints(points_, context.seed)) {
+           PointSet points, const CanonicalSketchProvider* sketches)
+      : context_(context), params_(params), points_(std::move(points)) {
+    // The keyed list itself is shareable canonical state (the sort is the
+    // per-session cost worth skipping); the difference-sized IBLT below is
+    // not — its size comes from the client's estimate.
+    if (sketches != nullptr) {
+      keyed_ = sketches->ExactKeyedPoints(context_.seed);
+    }
+    if (keyed_ == nullptr) {
+      keyed_ = std::make_shared<const KeyedPointList>(
+          ExactKeyedPoints(points_, context_.seed));
+    }
+    if (sketches != nullptr) {
+      cached_strata_ =
+          sketches->ExactStrata(ExactReconStrataConfig(context_.seed));
+    }
     result_.bob_final = points_;
   }
 
   std::vector<transport::Message> Start() override {
     // --- Message 1 (B->A): strata estimator of Bob's keys. ---
-    StrataEstimator est(ExactStrataConfig(context_.seed));
-    for (const auto& [key, point] : keyed_) {
-      (void)point;
-      est.Insert(key);
+    std::optional<StrataEstimator> est = std::move(cached_strata_);
+    if (!est.has_value()) {
+      est.emplace(ExactReconStrataConfig(context_.seed));
+      for (const auto& [key, point] : *keyed_) {
+        (void)point;
+        est->Insert(key);
+      }
     }
     BitWriter w;
-    est.Serialize(&w);
+    est->Serialize(&w);
     return OneMessage(transport::MakeMessage("exact-strata", std::move(w)));
   }
 
@@ -197,7 +217,7 @@ class ExactBob : public PartySessionBase {
       FailWith(SessionError::kMalformedMessage);
       return NoMessages();
     }
-    for (const auto& [key, point] : keyed_) {
+    for (const auto& [key, point] : *keyed_) {
       BitWriter vw;
       PackPoint(context_.universe, point, &vw);
       table->Erase(key, std::move(vw).TakeBytes());
@@ -255,7 +275,8 @@ class ExactBob : public PartySessionBase {
   ProtocolContext context_;
   ExactReconParams params_;
   PointSet points_;
-  std::vector<std::pair<uint64_t, Point>> keyed_;
+  std::shared_ptr<const KeyedPointList> keyed_;
+  std::optional<StrataEstimator> cached_strata_;
   size_t attempt_ = 0;
 };
 
@@ -268,7 +289,12 @@ std::unique_ptr<PartySession> ExactReconciler::MakeAliceSession(
 
 std::unique_ptr<PartySession> ExactReconciler::MakeBobSession(
     const PointSet& points) const {
-  return std::make_unique<ExactBob>(context_, params_, points);
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<PartySession> ExactReconciler::MakeBobSession(
+    const PointSet& points, const CanonicalSketchProvider* sketches) const {
+  return std::make_unique<ExactBob>(context_, params_, points, sketches);
 }
 
 }  // namespace recon

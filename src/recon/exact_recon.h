@@ -22,11 +22,32 @@
 #define RSR_RECON_EXACT_RECON_H_
 
 #include <cstddef>
+#include <cstdint>
 
+#include "iblt/strata.h"
 #include "recon/protocol.h"
+#include "recon/sketch_provider.h"
 
 namespace rsr {
 namespace recon {
+
+/// Canonical occurrence-indexed keying of a point multiset: points sorted
+/// by PointLess, the i-th copy of a duplicate keyed by
+/// HashCombine(PointKey(p, seed), i) so duplicates are distinct sketch
+/// elements while the i-th copy of a shared point still cancels across
+/// parties. Exported (alongside ExactReconStrataConfig) so a canonical
+/// sketch store can maintain the same estimator and keyed list the Bob
+/// session expects (server/sketch_store.h, DESIGN.md §9).
+KeyedPointList ExactKeyedPoints(const PointSet& points, uint64_t seed);
+
+/// The key of the `occurrence`-th copy of `p` (the single formula behind
+/// ExactKeyedPoints; exported so the sketch store's incremental
+/// maintenance can never drift from the session-side keying).
+uint64_t ExactOccurrenceKey(const Point& p, size_t occurrence, uint64_t seed);
+
+/// Strata-estimator configuration of the exact baseline (derived from the
+/// public seed).
+StrataConfig ExactReconStrataConfig(uint64_t seed);
 
 /// Tunables of the exact baseline.
 struct ExactReconParams {
@@ -49,6 +70,9 @@ class ExactReconciler : public Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points,
+      const CanonicalSketchProvider* sketches) const override;
 
  private:
   ProtocolContext context_;

@@ -63,7 +63,8 @@ struct ProtocolContext {
   uint64_t seed = 0;
 };
 
-class PartySession;  // recon/session.h
+class PartySession;            // recon/session.h
+class CanonicalSketchProvider; // recon/sketch_provider.h
 
 /// Abstract reconciliation protocol: a named factory for the two endpoint
 /// state machines.
@@ -83,6 +84,17 @@ class Reconciler {
   /// deliverable result.
   virtual std::unique_ptr<PartySession> MakeBobSession(
       const PointSet& points) const = 0;
+
+  /// Creates Bob's endpoint with an optional canonical sketch cache
+  /// (recon/sketch_provider.h). `sketches` must describe exactly `points`;
+  /// a session consults it instead of rebuilding the canonical-side
+  /// sketches from the set, and falls back to build-from-set whenever the
+  /// provider declines. The default ignores the provider, so protocols
+  /// without cacheable state (full transfer, gap lattice) need no changes
+  /// and every existing caller keeps its behaviour.
+  virtual std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points,
+      const CanonicalSketchProvider* sketches) const;  // recon/driver.cc
 
   /// True for the EMD-model protocols, whose analysis (and sketch sizing)
   /// assumes |S_A| == |S_B|. The in-process driver enforces it with a

@@ -143,14 +143,13 @@ PointSet RepairBob(const ShiftedGrid& grid, const PointSet& bob, int level,
   return result;
 }
 
-namespace {
-
-// Strata configuration of the adaptive variant's level-`level` probe.
-StrataConfig LevelProbeConfig(int level, uint64_t seed) {
+StrataConfig AdaptiveLevelProbeConfig(int level, uint64_t seed) {
   StrataConfig config = LevelStrataConfig(seed);
   config.seed = Hash64(static_cast<uint64_t>(level), config.seed);
   return config;
 }
+
+namespace {
 
 void FillLevelEstimator(const ShiftedGrid& grid, const PointSet& points,
                         int level, StrataEstimator* est) {
@@ -160,6 +159,18 @@ void FillLevelEstimator(const ShiftedGrid& grid, const PointSet& points,
     est->Insert(HistogramEntryKey(grid, cc.cell, level, cc.count));
   }
 }
+
+}  // namespace
+
+StrataEstimator BuildLevelProbe(const ShiftedGrid& grid,
+                                const PointSet& points, int level,
+                                uint64_t seed) {
+  StrataEstimator est(AdaptiveLevelProbeConfig(level, seed));
+  FillLevelEstimator(grid, points, level, &est);
+  return est;
+}
+
+namespace {
 
 // --- One-shot sessions. ---
 
@@ -197,8 +208,11 @@ class QuadtreeAlice : public PartySessionBase {
 class QuadtreeBob : public PartySessionBase {
  public:
   QuadtreeBob(const ProtocolContext& context, const QuadtreeParams& params,
-              PointSet points)
-      : context_(context), params_(params), points_(std::move(points)) {
+              PointSet points, const CanonicalSketchProvider* sketches)
+      : context_(context),
+        params_(params),
+        points_(std::move(points)),
+        sketches_(sketches) {
     result_.bob_final = points_;
   }
 
@@ -224,10 +238,15 @@ class QuadtreeBob : public PartySessionBase {
         return NoMessages();
       }
       if (result_.success) continue;  // already repaired; drain the stream
-      const Iblt bob_iblt =
-          BuildLevelIblt(grid, points_, level, n, params_, context_.seed);
+      std::optional<Iblt> bob_iblt =
+          sketches_ != nullptr ? sketches_->QuadtreeLevelIblt(config, level)
+                               : std::nullopt;
+      if (!bob_iblt.has_value()) {
+        bob_iblt =
+            BuildLevelIblt(grid, points_, level, n, params_, context_.seed);
+      }
       std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
-          grid, level, n, *alice_iblt, bob_iblt, budget);
+          grid, level, n, *alice_iblt, *bob_iblt, budget);
       if (diff.has_value()) {
         result_.success = true;
         result_.chosen_level = level;
@@ -243,6 +262,7 @@ class QuadtreeBob : public PartySessionBase {
   ProtocolContext context_;
   QuadtreeParams params_;
   PointSet points_;
+  const CanonicalSketchProvider* sketches_;
 };
 
 // --- Adaptive sessions. ---
@@ -261,7 +281,7 @@ class AdaptiveQuadtreeAlice : public PartySessionBase {
     const std::vector<int> levels = ProtocolLevels(grid, params_);
     BitWriter w;
     for (int level : levels) {
-      StrataEstimator est(LevelProbeConfig(level, context_.seed));
+      StrataEstimator est(AdaptiveLevelProbeConfig(level, context_.seed));
       FillLevelEstimator(grid, points_, level, &est);
       est.Serialize(&w);
     }
@@ -312,11 +332,12 @@ class AdaptiveQuadtreeBob : public PartySessionBase {
  public:
   AdaptiveQuadtreeBob(const ProtocolContext& context,
                       const QuadtreeParams& params, size_t max_attempts,
-                      PointSet points)
+                      PointSet points, const CanonicalSketchProvider* sketches)
       : context_(context),
         params_(params),
         max_attempts_(max_attempts),
-        points_(std::move(points)) {
+        points_(std::move(points)),
+        sketches_(sketches) {
     result_.bob_final = points_;
   }
 
@@ -350,16 +371,23 @@ class AdaptiveQuadtreeBob : public PartySessionBase {
     uint64_t chosen_estimate = 0;
     bool have_choice = false;
     for (int level : levels) {
-      std::optional<StrataEstimator> alice_est = StrataEstimator::Deserialize(
-          LevelProbeConfig(level, context_.seed), &pr);
+      const StrataConfig probe_config =
+          AdaptiveLevelProbeConfig(level, context_.seed);
+      std::optional<StrataEstimator> alice_est =
+          StrataEstimator::Deserialize(probe_config, &pr);
       if (!alice_est.has_value()) {  // truncated qt-strata message
         FailWith(SessionError::kMalformedMessage);
         return NoMessages();
       }
       if (have_choice) continue;  // drain remaining probes
-      StrataEstimator bob_est(LevelProbeConfig(level, context_.seed));
-      FillLevelEstimator(grid, points_, level, &bob_est);
-      const uint64_t estimate = alice_est->EstimateDifference(bob_est);
+      std::optional<StrataEstimator> bob_est =
+          sketches_ != nullptr
+              ? sketches_->QuadtreeLevelProbe(probe_config, level)
+              : std::nullopt;
+      if (!bob_est.has_value()) {
+        bob_est = BuildLevelProbe(grid, points_, level, context_.seed);
+      }
+      const uint64_t estimate = alice_est->EstimateDifference(*bob_est);
       if (estimate <= budget || level == levels.back()) {
         chosen = level;
         chosen_estimate = estimate;
@@ -432,6 +460,7 @@ class AdaptiveQuadtreeBob : public PartySessionBase {
   QuadtreeParams params_;
   size_t max_attempts_;
   PointSet points_;
+  const CanonicalSketchProvider* sketches_;
   State state_ = State::kAwaitProbes;
   int chosen_ = -1;
   uint64_t target_entries_ = 0;
@@ -448,7 +477,12 @@ std::unique_ptr<PartySession> QuadtreeReconciler::MakeAliceSession(
 
 std::unique_ptr<PartySession> QuadtreeReconciler::MakeBobSession(
     const PointSet& points) const {
-  return std::make_unique<QuadtreeBob>(context_, params_, points);
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<PartySession> QuadtreeReconciler::MakeBobSession(
+    const PointSet& points, const CanonicalSketchProvider* sketches) const {
+  return std::make_unique<QuadtreeBob>(context_, params_, points, sketches);
 }
 
 std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeAliceSession(
@@ -458,8 +492,14 @@ std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeAliceSession(
 
 std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeBobSession(
     const PointSet& points) const {
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<PartySession> AdaptiveQuadtreeReconciler::MakeBobSession(
+    const PointSet& points, const CanonicalSketchProvider* sketches) const {
   return std::make_unique<AdaptiveQuadtreeBob>(context_, params_,
-                                               max_attempts_, points);
+                                               max_attempts_, points,
+                                               sketches);
 }
 
 }  // namespace recon

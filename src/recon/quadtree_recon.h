@@ -27,8 +27,10 @@
 
 #include "geometry/grid.h"
 #include "iblt/iblt.h"
+#include "iblt/strata.h"
 #include "recon/params.h"
 #include "recon/protocol.h"
+#include "recon/sketch_provider.h"
 
 namespace rsr {
 namespace recon {
@@ -61,6 +63,18 @@ Iblt BuildLevelIblt(const ShiftedGrid& grid, const PointSet& points,
                     int level, size_t n, const QuadtreeParams& params,
                     uint64_t seed);
 
+/// Strata configuration of the adaptive variant's level-`level` probe
+/// (LevelStrataConfig with the level folded into the seed). Exported so a
+/// canonical sketch store can maintain the same probes the sessions expect
+/// (server/sketch_store.h).
+StrataConfig AdaptiveLevelProbeConfig(int level, uint64_t seed);
+
+/// Builds a party's level-`level` probe: the level's histogram entry keys
+/// inserted into a fresh estimator with AdaptiveLevelProbeConfig.
+StrataEstimator BuildLevelProbe(const ShiftedGrid& grid,
+                                const PointSet& points, int level,
+                                uint64_t seed);
+
 /// Bob's repair step: applies the decoded occupancy differences to his set.
 /// Preserves |bob| exactly (the deltas sum to zero when |alice| == |bob|).
 PointSet RepairBob(const ShiftedGrid& grid, const PointSet& bob, int level,
@@ -88,6 +102,9 @@ class QuadtreeReconciler : public Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points,
+      const CanonicalSketchProvider* sketches) const override;
   bool RequiresEqualSizes() const override { return true; }
 
  private:
@@ -115,6 +132,9 @@ class AdaptiveQuadtreeReconciler : public Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points,
+      const CanonicalSketchProvider* sketches) const override;
   bool RequiresEqualSizes() const override { return true; }
 
  private:

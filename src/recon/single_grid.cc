@@ -48,11 +48,13 @@ class SingleGridAlice : public PartySessionBase {
 class SingleGridBob : public PartySessionBase {
  public:
   SingleGridBob(const ProtocolContext& context, const QuadtreeParams& params,
-                int level, PointSet points)
+                int level, PointSet points,
+                const CanonicalSketchProvider* sketches)
       : context_(context),
         params_(params),
         level_(level),
-        points_(std::move(points)) {
+        points_(std::move(points)),
+        sketches_(sketches) {
     result_.bob_final = points_;
     result_.chosen_level = level_;
   }
@@ -76,10 +78,15 @@ class SingleGridBob : public PartySessionBase {
       FailWith(SessionError::kMalformedMessage);
       return NoMessages();
     }
-    const Iblt bob_iblt =
-        BuildLevelIblt(grid, points_, level_, n, params_, context_.seed);
+    std::optional<Iblt> bob_iblt =
+        sketches_ != nullptr ? sketches_->QuadtreeLevelIblt(config, level_)
+                             : std::nullopt;
+    if (!bob_iblt.has_value()) {
+      bob_iblt =
+          BuildLevelIblt(grid, points_, level_, n, params_, context_.seed);
+    }
     std::optional<std::vector<LevelDiffEntry>> diff = TryDecodeLevelDiff(
-        grid, level_, n, *alice_iblt, bob_iblt, params_.DecodeBudget());
+        grid, level_, n, *alice_iblt, *bob_iblt, params_.DecodeBudget());
     if (diff.has_value()) {
       result_.success = true;
       result_.decoded_entries = diff->size();
@@ -94,6 +101,7 @@ class SingleGridBob : public PartySessionBase {
   QuadtreeParams params_;
   int level_;
   PointSet points_;
+  const CanonicalSketchProvider* sketches_;
 };
 
 }  // namespace
@@ -105,7 +113,13 @@ std::unique_ptr<PartySession> SingleGridReconciler::MakeAliceSession(
 
 std::unique_ptr<PartySession> SingleGridReconciler::MakeBobSession(
     const PointSet& points) const {
-  return std::make_unique<SingleGridBob>(context_, params_, level_, points);
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<PartySession> SingleGridReconciler::MakeBobSession(
+    const PointSet& points, const CanonicalSketchProvider* sketches) const {
+  return std::make_unique<SingleGridBob>(context_, params_, level_, points,
+                                         sketches);
 }
 
 }  // namespace recon

@@ -34,6 +34,9 @@ class SingleGridReconciler : public Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<PartySession> MakeBobSession(
+      const PointSet& points,
+      const CanonicalSketchProvider* sketches) const override;
   bool RequiresEqualSizes() const override { return true; }
 
  private:

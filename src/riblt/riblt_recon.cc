@@ -11,11 +11,9 @@
 
 namespace rsr {
 
-namespace {
-
-RibltConfig OneShotConfig(const Universe& universe,
-                          const RibltReconParams& params, size_t n,
-                          uint64_t seed) {
+RibltConfig RibltOneShotConfig(const Universe& universe,
+                               const RibltReconParams& params, size_t n,
+                               uint64_t seed) {
   RibltConfig config;
   config.cells = static_cast<size_t>(
       params.cells_factor * params.q * params.q *
@@ -28,6 +26,8 @@ RibltConfig OneShotConfig(const Universe& universe,
   return config;
 }
 
+namespace {
+
 class RibltOneShotAlice : public recon::PartySessionBase {
  public:
   RibltOneShotAlice(const recon::ProtocolContext& context,
@@ -35,8 +35,8 @@ class RibltOneShotAlice : public recon::PartySessionBase {
       : context_(context), params_(params), points_(std::move(points)) {}
 
   std::vector<transport::Message> Start() override {
-    Riblt table(OneShotConfig(context_.universe, params_, points_.size(),
-                              context_.seed));
+    Riblt table(RibltOneShotConfig(context_.universe, params_,
+                                   points_.size(), context_.seed));
     for (const Point& p : points_) {
       table.Insert(PointKey(p, context_.seed), p);
     }
@@ -62,8 +62,12 @@ class RibltOneShotAlice : public recon::PartySessionBase {
 class RibltOneShotBob : public recon::PartySessionBase {
  public:
   RibltOneShotBob(const recon::ProtocolContext& context,
-                  const RibltReconParams& params, PointSet points)
-      : context_(context), params_(params), points_(std::move(points)) {
+                  const RibltReconParams& params, PointSet points,
+                  const recon::CanonicalSketchProvider* sketches)
+      : context_(context),
+        params_(params),
+        points_(std::move(points)),
+        sketches_(sketches) {
     result_.bob_final = points_;
   }
 
@@ -84,16 +88,25 @@ class RibltOneShotBob : public recon::PartySessionBase {
       FailWith(recon::SessionError::kMalformedMessage);
       return NoMessages();
     }
-    std::optional<Riblt> diff = Riblt::Deserialize(
-        OneShotConfig(context_.universe, params_,
-                      static_cast<size_t>(alice_n), context_.seed),
-        &r);
+    const RibltConfig config =
+        RibltOneShotConfig(context_.universe, params_,
+                           static_cast<size_t>(alice_n), context_.seed);
+    std::optional<Riblt> diff = Riblt::Deserialize(config, &r);
     if (!diff.has_value()) {
       FailWith(recon::SessionError::kMalformedMessage);
       return NoMessages();
     }
-    for (const Point& p : bob) {
-      diff->Erase(PointKey(p, context_.seed), p);
+    // Erasing Bob's pairs one by one and subtracting a cached table of the
+    // same pairs are the same linear operation on the cells; the cache
+    // makes this step difference-independent of |S_B|.
+    std::optional<Riblt> cached =
+        sketches_ != nullptr ? sketches_->OneShotRiblt(config) : std::nullopt;
+    if (cached.has_value()) {
+      diff->Subtract(*cached);
+    } else {
+      for (const Point& p : bob) {
+        diff->Erase(PointKey(p, context_.seed), p);
+      }
     }
     Rng rounding_rng(context_.seed ^ 0x726c7472ULL);  // "rltr" tag
     const RibltDecodeResult decoded =
@@ -140,6 +153,7 @@ class RibltOneShotBob : public recon::PartySessionBase {
   recon::ProtocolContext context_;
   RibltReconParams params_;
   PointSet points_;
+  const recon::CanonicalSketchProvider* sketches_;
 };
 
 }  // namespace
@@ -151,7 +165,14 @@ std::unique_ptr<recon::PartySession> RibltReconciler::MakeAliceSession(
 
 std::unique_ptr<recon::PartySession> RibltReconciler::MakeBobSession(
     const PointSet& points) const {
-  return std::make_unique<RibltOneShotBob>(context_, params_, points);
+  return MakeBobSession(points, nullptr);
+}
+
+std::unique_ptr<recon::PartySession> RibltReconciler::MakeBobSession(
+    const PointSet& points,
+    const recon::CanonicalSketchProvider* sketches) const {
+  return std::make_unique<RibltOneShotBob>(context_, params_, points,
+                                           sketches);
 }
 
 }  // namespace rsr

@@ -22,9 +22,12 @@
 #define RSR_RIBLT_RIBLT_RECON_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "geometry/metric.h"
 #include "recon/protocol.h"
+#include "recon/sketch_provider.h"
+#include "riblt/riblt.h"
 
 namespace rsr {
 
@@ -43,6 +46,14 @@ struct RibltReconParams {
   }
 };
 
+/// The shared one-shot RIBLT configuration for a party of size n (n only
+/// fixes max_entries, i.e. the serialized sum-field widths). Exported so a
+/// canonical sketch store can maintain the table a Bob session expects
+/// (server/sketch_store.h).
+RibltConfig RibltOneShotConfig(const Universe& universe,
+                               const RibltReconParams& params, size_t n,
+                               uint64_t seed);
+
 class RibltReconciler : public recon::Reconciler {
  public:
   RibltReconciler(const recon::ProtocolContext& context,
@@ -54,6 +65,9 @@ class RibltReconciler : public recon::Reconciler {
       const PointSet& points) const override;
   std::unique_ptr<recon::PartySession> MakeBobSession(
       const PointSet& points) const override;
+  std::unique_ptr<recon::PartySession> MakeBobSession(
+      const PointSet& points,
+      const recon::CanonicalSketchProvider* sketches) const override;
 
  private:
   recon::ProtocolContext context_;

@@ -65,6 +65,9 @@ struct AsyncSyncServer::Conn {
 
   std::string protocol;
   bool want_result_set = true;
+  /// The canonical generation this session is pinned to (kept alive here
+  /// so the Bob session's sketch provider stays valid under ApplyUpdate).
+  std::shared_ptr<const SketchSnapshot> snapshot;
   std::unique_ptr<recon::PartySession> bob;
   size_t deliveries = 0;
   size_t drained = 0;
@@ -88,8 +91,10 @@ struct AsyncSyncServer::Conn {
 
 AsyncSyncServer::AsyncSyncServer(PointSet canonical,
                                  AsyncSyncServerOptions options)
-    : canonical_(std::move(canonical)),
-      options_(std::move(options)),
+    : options_(std::move(options)),
+      store_(std::move(canonical),
+             SketchStoreOptions{options_.context, options_.params,
+                                options_.serve_from_cache}),
       registry_(options_.registry != nullptr
                     ? options_.registry
                     : &recon::ProtocolRegistry::Global()) {}
@@ -322,13 +327,18 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   conn->want_result_set = hello.want_result_set;
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
-  conn->bob = protocol->MakeBobSession(canonical_);
+  // Pin the session to one immutable canonical generation; the snapshot
+  // stays alive on the conn for the session's lifetime.
+  conn->snapshot = store_.Snapshot();
+  conn->bob = protocol->MakeBobSession(conn->snapshot->points(),
+                                       conn->snapshot.get());
   conn->phase = Conn::Phase::kSession;
 
   AcceptFrame ack;
   ack.protocol = hello.protocol;
-  ack.server_set_size = canonical_.size();
+  ack.server_set_size = conn->snapshot->size();
   ack.will_send_result_set = hello.want_result_set;
+  ack.generation = conn->snapshot->generation();
   if (!conn->framed.Send(EncodeAccept(ack))) {
     FailConn(conn, SessionError::kTransportClosed);
     return;

@@ -44,6 +44,7 @@
 #include "net/tcp.h"
 #include "recon/registry.h"
 #include "server/server_stats.h"
+#include "server/sketch_store.h"
 
 namespace rsr {
 namespace server {
@@ -65,6 +66,10 @@ struct AsyncSyncServerOptions {
   /// Small values bound per-connection kernel memory under huge fan-out —
   /// and force the partial-write flush paths the tests pin down.
   int so_sndbuf = 0;
+  /// Serve Bob sessions from the SketchStore's cached canonical sketches
+  /// (see server/sync_server.h; same semantics, same bit-identical
+  /// results).
+  bool serve_from_cache = true;
   /// Protocol registry to negotiate against; nullptr = the global one.
   const recon::ProtocolRegistry* registry = nullptr;
 };
@@ -90,7 +95,22 @@ class AsyncSyncServer {
   uint16_t port() const;
 
   SyncServerMetrics metrics() const;
-  const PointSet& canonical() const { return canonical_; }
+
+  /// Mutates the canonical set and returns the new generation's snapshot;
+  /// in-flight sessions finish against the snapshot they were pinned to at
+  /// handshake time (server/sketch_store.h).
+  std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
+                                                    const PointSet& erases) {
+    return store_.ApplyUpdate(inserts, erases);
+  }
+
+  /// The current canonical snapshot (points + generation + sketches).
+  std::shared_ptr<const SketchSnapshot> snapshot() const {
+    return store_.Snapshot();
+  }
+
+  /// The current canonical point set (by value; see server/sync_server.h).
+  PointSet canonical() const { return store_.Snapshot()->points(); }
 
  private:
   struct Shard;
@@ -118,8 +138,8 @@ class AsyncSyncServer {
   /// Deregisters, settles metrics, and schedules destruction.
   void CloseConn(Conn* conn);
 
-  const PointSet canonical_;
   const AsyncSyncServerOptions options_;
+  SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
 
   std::unique_ptr<net::TcpListener> listener_;

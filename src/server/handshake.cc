@@ -59,15 +59,24 @@ transport::Message EncodeAccept(const AcceptFrame& accept) {
   WriteString(accept.protocol, &writer);
   writer.WriteVarint(accept.server_set_size);
   writer.WriteBit(accept.will_send_result_set);
+  writer.WriteVarint(accept.generation);
   return transport::MakeMessage(kAcceptLabel, std::move(writer));
 }
 
 bool DecodeAccept(const transport::Message& message, AcceptFrame* out) {
   if (message.label != kAcceptLabel) return false;
   BitReader reader(message.payload);
-  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
-         reader.ReadVarint(&out->server_set_size) &&
-         reader.ReadBit(&out->will_send_result_set);
+  if (!ReadString(&reader, kMaxStringLen, &out->protocol) ||
+      !reader.ReadVarint(&out->server_set_size) ||
+      !reader.ReadBit(&out->will_send_result_set)) {
+    return false;
+  }
+  // Optional trailing field: a server predating the sketch store ends the
+  // frame here, which decodes as generation 0 rather than a handshake
+  // failure — the schema change stays wire-compatible in both directions
+  // (older decoders simply ignore trailing payload bits).
+  if (!reader.ReadVarint(&out->generation)) out->generation = 0;
+  return true;
 }
 
 transport::Message EncodeReject(const RejectFrame& reject) {

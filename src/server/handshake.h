@@ -56,11 +56,15 @@ struct ResultFrame {
 
 /// Server → client: handshake accepted. Echoes the agreed protocol and
 /// confirms whether the result set will be shipped; `server_set_size` is
-/// the canonical set's size (diagnostic).
+/// the canonical set's size (diagnostic). `generation` stamps which
+/// canonical-set generation (server/sketch_store.h) the session is pinned
+/// to — under churn it is what lets a client (or a load harness asserting
+/// match_driver) name the exact set it was reconciled against.
 struct AcceptFrame {
   std::string protocol;
   uint64_t server_set_size = 0;
   bool will_send_result_set = true;
+  uint64_t generation = 0;
 };
 
 transport::Message EncodeHello(const HelloFrame& hello);

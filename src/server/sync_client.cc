@@ -106,6 +106,7 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
     return finish(std::move(outcome));
   }
   outcome.handshake_ok = true;
+  outcome.server_generation = accept.generation;
 
   // -------------------------------------------------------- session pump
   const std::unique_ptr<recon::PartySession> alice =

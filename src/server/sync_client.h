@@ -38,6 +38,10 @@ struct SyncClientOptions {
 /// Everything one Sync call produced.
 struct SyncOutcome {
   bool handshake_ok = false;
+  /// Canonical-set generation the server pinned this session to (from
+  /// "@accept"; see server/sketch_store.h). 0 until the handshake
+  /// succeeds.
+  uint64_t server_generation = 0;
   /// Server-computed result (from "@result"); on a local/transport failure
   /// before "@result" arrived, a synthesized failure with the right error.
   recon::ReconResult result;

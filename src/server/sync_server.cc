@@ -23,8 +23,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 SyncServer::SyncServer(PointSet canonical, SyncServerOptions options)
-    : canonical_(std::move(canonical)),
-      options_(std::move(options)),
+    : options_(std::move(options)),
+      store_(std::move(canonical),
+             SketchStoreOptions{options_.context, options_.params,
+                                options_.serve_from_cache}),
       registry_(options_.registry != nullptr
                     ? options_.registry
                     : &recon::ProtocolRegistry::Global()) {}
@@ -78,14 +80,19 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   }
 
   const auto start_time = std::chrono::steady_clock::now();
+  // Pin the session to one immutable canonical generation: the snapshot
+  // (kept alive by this shared_ptr for the whole connection) supplies both
+  // the point set and, when caching is on, the precomputed sketches.
+  const std::shared_ptr<const SketchSnapshot> snapshot = store_.Snapshot();
   const std::unique_ptr<recon::PartySession> bob =
-      protocol->MakeBobSession(canonical_);
+      protocol->MakeBobSession(snapshot->points(), snapshot.get());
 
   {
     AcceptFrame ack;
     ack.protocol = hello.protocol;
-    ack.server_set_size = canonical_.size();
+    ack.server_set_size = snapshot->size();
     ack.will_send_result_set = hello.want_result_set;
+    ack.generation = snapshot->generation();
     framed.Send(EncodeAccept(ack));
   }
 

@@ -9,6 +9,14 @@
 // recon::DrivePair performs in-process, so a served sync is bit-identical
 // to the two-party driver on the same inputs.
 //
+// The canonical set lives in a SketchStore (server/sketch_store.h): each
+// session is pinned to one immutable generation-stamped snapshot, and by
+// default serves from the snapshot's cached sketches instead of rebuilding
+// them from the set — the linearity of the sketches makes the two
+// bit-identical while removing the set-proportional per-connection cost.
+// ApplyUpdate mutates the canonical set between (or during) syncs;
+// in-flight sessions keep their pinned snapshot. See DESIGN.md §9.
+//
 // Threading model: Start() spawns one accept thread plus a fixed pool of
 // worker threads; accepted connections go through a queue and each worker
 // serves one connection at a time, blocking on its socket. Sessions are
@@ -36,6 +44,7 @@
 #include "net/tcp.h"
 #include "recon/registry.h"
 #include "server/server_stats.h"
+#include "server/sketch_store.h"
 
 namespace rsr {
 namespace server {
@@ -49,6 +58,12 @@ struct SyncServerOptions {
   net::FrameLimits limits;
   /// Runaway-protocol safeguard, as in recon::DrivePair.
   size_t max_deliveries = 1 << 16;
+  /// Serve Bob sessions from the SketchStore's cached canonical sketches
+  /// (computed once, maintained incrementally under ApplyUpdate) instead
+  /// of rebuilding them from the set per connection. Results are
+  /// bit-identical either way; false is the rebuild baseline measured by
+  /// bench_e18_churn.
+  bool serve_from_cache = true;
   /// Protocol registry to negotiate against; nullptr = the global one.
   const recon::ProtocolRegistry* registry = nullptr;
 };
@@ -82,14 +97,31 @@ class SyncServer {
   uint16_t port() const;
 
   SyncServerMetrics metrics() const;
-  const PointSet& canonical() const { return canonical_; }
+
+  /// Mutates the canonical set (erases first, then inserts; see
+  /// SketchStore::ApplyUpdate) and returns the new generation's snapshot.
+  /// Safe to call while connections are being served: in-flight sessions
+  /// finish against the snapshot they were accepted under.
+  std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
+                                                    const PointSet& erases) {
+    return store_.ApplyUpdate(inserts, erases);
+  }
+
+  /// The current canonical snapshot (points + generation + sketches).
+  std::shared_ptr<const SketchSnapshot> snapshot() const {
+    return store_.Snapshot();
+  }
+
+  /// The current canonical point set (by value: the set mutates under
+  /// ApplyUpdate while the snapshot it came from stays frozen).
+  PointSet canonical() const { return store_.Snapshot()->points(); }
 
  private:
   void AcceptLoop();
   void WorkerLoop();
 
-  const PointSet canonical_;
   const SyncServerOptions options_;
+  SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
 
   std::unique_ptr<net::TcpListener> listener_;

@@ -1,0 +1,61 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace rsr {
+namespace workload {
+
+ChurnBatch MakeChurnBatch(const PointSet& current, const Universe& universe,
+                          const ChurnSpec& spec, Rng* rng) {
+  ChurnBatch batch;
+  const size_t n = current.size();
+  if (n == 0) return batch;
+  size_t updates =
+      static_cast<size_t>(spec.fraction * static_cast<double>(n));
+  if (updates < spec.min_updates) updates = spec.min_updates;
+  if (updates > n) updates = n;
+
+  // Distinct victim indices: a partial Fisher–Yates shuffle.
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  batch.erases.reserve(updates);
+  batch.inserts.reserve(updates);
+  for (size_t i = 0; i < updates; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng->Below(static_cast<uint64_t>(n - i)));
+    std::swap(indices[i], indices[j]);
+    const Point& victim = current[indices[i]];
+    batch.erases.push_back(victim);
+    if (rng->NextDouble() < spec.fresh_fraction) {
+      Point fresh(static_cast<size_t>(universe.d));
+      for (int c = 0; c < universe.d; ++c) {
+        fresh[static_cast<size_t>(c)] =
+            static_cast<int64_t>(rng->Below(static_cast<uint64_t>(
+                universe.delta)));
+      }
+      batch.inserts.push_back(std::move(fresh));
+    } else {
+      batch.inserts.push_back(
+          PerturbPoint(victim, universe, spec.noise, spec.noise_scale, rng));
+    }
+  }
+  return batch;
+}
+
+size_t ApplyChurnBatch(const ChurnBatch& batch, PointSet* points) {
+  size_t applied = 0;
+  for (const Point& e : batch.erases) {
+    const auto it = std::find(points->begin(), points->end(), e);
+    if (it == points->end()) continue;
+    points->erase(it);
+    ++applied;
+  }
+  points->insert(points->end(), batch.inserts.begin(), batch.inserts.end());
+  return applied;
+}
+
+}  // namespace workload
+}  // namespace rsr

@@ -1,0 +1,373 @@
+// SketchStore invariants.
+//
+// 1. Incremental equivalence (the linearity property the whole design
+//    rests on): building each serving sketch from scratch over the final
+//    set S and mutating a store from S0 through a random insert/erase
+//    trace to S must produce bit-identical serializations, for every
+//    cached sketch kind — quadtree level IBLTs, adaptive probes, the
+//    exact strata estimator and keyed list, MLSH ladder RIBLTs, the
+//    one-shot RIBLT.
+// 2. Width-boundary rebuild: an unbalanced trace that crosses a histogram
+//    count-width boundary (|S| passing a power of two) must also end
+//    bit-identical (the store takes the from-scratch path there).
+// 3. Snapshot pinning under concurrency (run under TSan in CI): sessions
+//    pinned to an old generation finish bit-identical to the driver on
+//    that generation's set while ApplyUpdate churns the store.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lshrecon/mlsh_recon.h"
+#include "net/tcp.h"
+#include "recon/exact_recon.h"
+#include "recon/params.h"
+#include "recon/quadtree_recon.h"
+#include "recon/registry.h"
+#include "riblt/riblt_recon.h"
+#include "server/sketch_store.h"
+#include "server/sync_client.h"
+#include "server/sync_server.h"
+#include "util/bitio.h"
+#include "workload/churn.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace server {
+namespace {
+
+recon::ProtocolContext Ctx() {
+  recon::ProtocolContext ctx;
+  ctx.universe = MakeUniverse(1 << 12, 2);
+  ctx.seed = 99;
+  return ctx;
+}
+
+recon::ProtocolParams Params() {
+  recon::ProtocolParams params;
+  params.k = 8;
+  return params;
+}
+
+PointSet Cloud(size_t n, uint64_t seed) {
+  workload::CloudSpec spec;
+  spec.universe = Ctx().universe;
+  spec.n = n;
+  spec.shape = workload::CloudShape::kClusters;
+  Rng rng(seed);
+  return workload::GenerateCloud(spec, &rng);
+}
+
+std::vector<uint8_t> Bits(const Iblt& table) {
+  BitWriter w;
+  table.Serialize(&w);
+  return std::move(w).TakeBytes();
+}
+
+std::vector<uint8_t> Bits(const StrataEstimator& est) {
+  BitWriter w;
+  est.Serialize(&w);
+  return std::move(w).TakeBytes();
+}
+
+std::vector<uint8_t> Bits(const Riblt& table) {
+  BitWriter w;
+  table.Serialize(&w);
+  return std::move(w).TakeBytes();
+}
+
+/// Asserts that every sketch the snapshot serves is bit-identical to a
+/// from-scratch build over `expected` (which must equal snapshot->points()
+/// as a multiset — in fact, by ApplyUpdate's first-equal erase semantics,
+/// as an ordered sequence too).
+void ExpectSnapshotMatchesScratch(const SketchSnapshot& snapshot,
+                                  const PointSet& expected) {
+  ASSERT_EQ(snapshot.points(), expected);
+  const recon::ProtocolContext ctx = Ctx();
+  const recon::ProtocolParams params = Params().Resolved();
+  const size_t n = expected.size();
+  const ShiftedGrid grid(ctx.universe, ctx.seed);
+
+  // Quadtree level IBLTs + adaptive probes, over the one-shot ladder and
+  // the single-grid forced level.
+  std::vector<int> levels = recon::ProtocolLevels(grid, params.quadtree);
+  if (std::find(levels.begin(), levels.end(), params.single_grid_level) ==
+      levels.end()) {
+    levels.push_back(params.single_grid_level);
+  }
+  for (int level : levels) {
+    const IbltConfig config =
+        recon::LevelIbltConfig(grid, level, n, params.quadtree, ctx.seed);
+    const auto cached = snapshot.QuadtreeLevelIblt(config, level);
+    ASSERT_TRUE(cached.has_value()) << "level " << level;
+    EXPECT_EQ(Bits(*cached),
+              Bits(recon::BuildLevelIblt(grid, expected, level, n,
+                                         params.quadtree, ctx.seed)))
+        << "level " << level;
+
+    const StrataConfig probe_config =
+        recon::AdaptiveLevelProbeConfig(level, ctx.seed);
+    const auto probe = snapshot.QuadtreeLevelProbe(probe_config, level);
+    ASSERT_TRUE(probe.has_value()) << "level " << level;
+    EXPECT_EQ(Bits(*probe),
+              Bits(recon::BuildLevelProbe(grid, expected, level, ctx.seed)))
+        << "level " << level;
+  }
+
+  // Exact baseline: strata estimator + keyed list.
+  const StrataConfig exact_config = recon::ExactReconStrataConfig(ctx.seed);
+  const auto exact = snapshot.ExactStrata(exact_config);
+  ASSERT_TRUE(exact.has_value());
+  const recon::KeyedPointList keyed =
+      recon::ExactKeyedPoints(expected, ctx.seed);
+  StrataEstimator scratch_exact(exact_config);
+  for (const auto& [key, point] : keyed) {
+    (void)point;
+    scratch_exact.Insert(key);
+  }
+  EXPECT_EQ(Bits(*exact), Bits(scratch_exact));
+  const auto cached_keyed = snapshot.ExactKeyedPoints(ctx.seed);
+  ASSERT_NE(cached_keyed, nullptr);
+  EXPECT_EQ(*cached_keyed, keyed);
+
+  // MLSH ladder RIBLTs.
+  const auto prefixes =
+      lshrecon::MlshPrefixLadder(params.mlsh.NumFunctions());
+  const auto family = lshrecon::MakeMlshFamily(
+      params.mlsh.family, ctx.universe,
+      lshrecon::MlshEffectiveWidth(ctx.universe, params.mlsh),
+      params.mlsh.NumFunctions(), ctx.seed);
+  for (size_t li = 0; li < prefixes.size(); ++li) {
+    const RibltConfig config = lshrecon::MlshLevelConfig(
+        ctx.universe, params.mlsh, n, li, ctx.seed);
+    const auto cached = snapshot.MlshLevelRiblt(config, li);
+    ASSERT_TRUE(cached.has_value()) << "mlsh level " << li;
+    Riblt scratch(config);
+    for (const Point& p : expected) {
+      scratch.Insert(
+          lshrecon::MlshKeyChain(*family, p, ctx.seed)[prefixes[li] - 1], p);
+    }
+    EXPECT_EQ(Bits(*cached), Bits(scratch)) << "mlsh level " << li;
+  }
+
+  // One-shot RIBLT.
+  const RibltConfig oneshot_config =
+      RibltOneShotConfig(ctx.universe, params.riblt, n, ctx.seed);
+  const auto oneshot = snapshot.OneShotRiblt(oneshot_config);
+  ASSERT_TRUE(oneshot.has_value());
+  Riblt scratch_oneshot(oneshot_config);
+  for (const Point& p : expected) {
+    scratch_oneshot.Insert(PointKey(p, ctx.seed), p);
+  }
+  EXPECT_EQ(Bits(*oneshot), Bits(scratch_oneshot));
+}
+
+TEST(SketchStoreTest, IncrementalTraceMatchesFromScratchBitForBit) {
+  PointSet mirror = Cloud(96, 31337);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+
+  workload::ChurnSpec spec;
+  spec.fraction = 0.08;
+  spec.fresh_fraction = 0.3;
+  Rng rng(555);
+  for (int step = 0; step < 12; ++step) {
+    const workload::ChurnBatch batch =
+        workload::MakeChurnBatch(mirror, Ctx().universe, spec, &rng);
+    workload::ApplyChurnBatch(batch, &mirror);
+    const auto snapshot = store.ApplyUpdate(batch.inserts, batch.erases);
+    EXPECT_EQ(snapshot->generation(), static_cast<uint64_t>(step + 1));
+    ExpectSnapshotMatchesScratch(*snapshot, mirror);
+  }
+}
+
+TEST(SketchStoreTest, DuplicatePointsKeepOccurrenceKeysConsistent) {
+  // Duplicates exercise the occurrence-indexed exact keys: insert the same
+  // point several times, erase some copies, and the keyed list / strata
+  // must match a from-scratch canonicalisation throughout.
+  PointSet mirror = Cloud(16, 42);
+  const Point dup = mirror.front();
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  const PointSet three_copies = {dup, dup, dup};
+  store.ApplyUpdate(three_copies, {});
+  mirror.insert(mirror.end(), three_copies.begin(), three_copies.end());
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+
+  store.ApplyUpdate({}, {dup, dup});
+  workload::ChurnBatch erase_two;
+  erase_two.erases = {dup, dup};
+  workload::ApplyChurnBatch(erase_two, &mirror);
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+}
+
+TEST(SketchStoreTest, WidthBoundaryCrossingRebuilds) {
+  // 120 -> 140 inserts crosses the HistogramCountBits boundary at 127
+  // (bits of n + 1), forcing the from-scratch path; then an unbalanced
+  // erase-only batch shrinks back across it.
+  PointSet mirror = Cloud(120, 77);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  const PointSet grow = Cloud(20, 78);
+  store.ApplyUpdate(grow, {});
+  mirror.insert(mirror.end(), grow.begin(), grow.end());
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+
+  workload::ChurnBatch shrink;
+  shrink.erases = PointSet(mirror.begin(), mirror.begin() + 20);
+  store.ApplyUpdate({}, shrink.erases);
+  workload::ApplyChurnBatch(shrink, &mirror);
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+}
+
+TEST(SketchStoreTest, ErasingAbsentPointsIsIgnoredConsistently) {
+  PointSet mirror = Cloud(32, 9);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  // A corner point, verified absent from the generated cloud.
+  Point absent(static_cast<size_t>(Ctx().universe.d),
+               Ctx().universe.delta - 1);
+  ASSERT_EQ(std::find(mirror.begin(), mirror.end(), absent), mirror.end());
+  const PointSet erases = {absent, mirror.front()};
+  store.ApplyUpdate({}, erases);
+  workload::ChurnBatch batch;
+  batch.erases = erases;
+  workload::ApplyChurnBatch(batch, &mirror);
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+}
+
+TEST(SketchStoreTest, UnmaterializedStoreDeclinesButTracksPoints) {
+  PointSet mirror = Cloud(48, 12);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), false});
+  const auto snapshot = store.Snapshot();
+  EXPECT_EQ(snapshot->points(), mirror);
+  const ShiftedGrid grid(Ctx().universe, Ctx().seed);
+  const IbltConfig config = recon::LevelIbltConfig(
+      grid, 3, mirror.size(), Params().Resolved().quadtree, Ctx().seed);
+  EXPECT_FALSE(snapshot->QuadtreeLevelIblt(config, 3).has_value());
+  EXPECT_EQ(snapshot->ExactKeyedPoints(Ctx().seed), nullptr);
+}
+
+TEST(SketchStoreTest, ConfigMismatchDeclines) {
+  const PointSet points = Cloud(32, 5);
+  SketchStore store(points, SketchStoreOptions{Ctx(), Params(), true});
+  const auto snapshot = store.Snapshot();
+  const ShiftedGrid grid(Ctx().universe, Ctx().seed);
+  IbltConfig config = recon::LevelIbltConfig(
+      grid, 3, points.size(), Params().Resolved().quadtree, Ctx().seed);
+  EXPECT_TRUE(snapshot->QuadtreeLevelIblt(config, 3).has_value());
+  config.seed ^= 1;  // different public coins -> must decline, not serve
+  EXPECT_FALSE(snapshot->QuadtreeLevelIblt(config, 3).has_value());
+}
+
+// --- Concurrency: sessions pinned to old snapshots vs ApplyUpdate. ---
+
+TEST(SketchStoreConcurrencyTest, PinnedSessionsFinishCorrectlyUnderChurn) {
+  const PointSet canonical = Cloud(128, 2024);
+  SyncServerOptions options;
+  options.context = Ctx();
+  options.params = Params();
+  options.worker_threads = 4;
+  SyncServer server(canonical, options);
+  ASSERT_TRUE(server.Start(net::TcpListener::Listen("127.0.0.1", 0)));
+
+  // Record every generation's point set so each outcome can be verified
+  // against the exact canonical set its session was pinned to.
+  std::mutex gens_mu;
+  std::map<uint64_t, std::shared_ptr<const SketchSnapshot>> gens;
+  {
+    std::lock_guard<std::mutex> lock(gens_mu);
+    const auto snapshot = server.snapshot();
+    gens[snapshot->generation()] = snapshot;
+  }
+
+  constexpr size_t kClients = 6;
+  constexpr size_t kRounds = 4;
+  const char* kProtocols[kClients] = {"quadtree",      "exact-iblt",
+                                      "mlsh-riblt",    "riblt-oneshot",
+                                      "quadtree-adaptive", "quadtree"};
+  std::vector<PointSet> replicas(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    const Universe universe = Ctx().universe;
+    Rng rng(600 + i);
+    replicas[i].reserve(canonical.size());
+    for (const Point& p : canonical) {
+      replicas[i].push_back(workload::PerturbPoint(
+          p, universe, workload::NoiseKind::kGaussian, 0.5, &rng));
+    }
+  }
+
+  std::vector<std::vector<SyncOutcome>> outcomes(
+      kClients, std::vector<SyncOutcome>(kRounds));
+  std::vector<std::thread> threads;
+  // One mutator thread churns the canonical set the whole time.
+  std::atomic<bool> stop{false};
+  threads.emplace_back([&] {
+    workload::ChurnSpec spec;
+    spec.fraction = 0.05;
+    Rng rng(888);
+    while (!stop.load()) {
+      {
+        std::lock_guard<std::mutex> lock(gens_mu);
+        const auto latest = gens.rbegin()->second;
+        const workload::ChurnBatch batch = workload::MakeChurnBatch(
+            latest->points(), Ctx().universe, spec, &rng);
+        const auto snapshot =
+            server.ApplyUpdate(batch.inserts, batch.erases);
+        gens[snapshot->generation()] = snapshot;
+      }
+      // Yield so the worker threads make progress on small machines.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (size_t i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      SyncClientOptions client_options;
+      client_options.context = Ctx();
+      client_options.params = Params();
+      const SyncClient client(client_options);
+      for (size_t round = 0; round < kRounds; ++round) {
+        auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+        ASSERT_NE(stream, nullptr);
+        outcomes[i][round] =
+            client.Sync(stream.get(), kProtocols[i], replicas[i]);
+      }
+    });
+  }
+  for (size_t i = 1; i < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads[0].join();
+  server.Stop();
+
+  for (size_t i = 0; i < kClients; ++i) {
+    for (size_t round = 0; round < kRounds; ++round) {
+      const SyncOutcome& outcome = outcomes[i][round];
+      ASSERT_TRUE(outcome.handshake_ok) << kProtocols[i];
+      const auto it = gens.find(outcome.server_generation);
+      ASSERT_NE(it, gens.end()) << kProtocols[i];
+      const auto reconciler =
+          recon::MakeReconciler(kProtocols[i], Ctx(), Params());
+      transport::Channel channel;
+      const recon::ReconResult expected =
+          reconciler->Run(replicas[i], it->second->points(), &channel);
+      EXPECT_EQ(outcome.result.success, expected.success) << kProtocols[i];
+      EXPECT_EQ(outcome.result.error, expected.error) << kProtocols[i];
+      EXPECT_EQ(outcome.result.chosen_level, expected.chosen_level)
+          << kProtocols[i];
+      EXPECT_EQ(outcome.result.decoded_entries, expected.decoded_entries)
+          << kProtocols[i];
+      if (expected.success) {
+        EXPECT_EQ(outcome.result.bob_final, expected.bob_final)
+            << kProtocols[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace rsr
