@@ -1,0 +1,74 @@
+#include "replica/anti_entropy.h"
+
+#include <utility>
+
+namespace rsr {
+namespace replica {
+
+AntiEntropyScheduler::AntiEntropyScheduler(ReplicaNode* node,
+                                           std::vector<StreamFactory> peers,
+                                           AntiEntropyOptions options)
+    : node_(node),
+      peers_(std::move(peers)),
+      options_(options),
+      rng_(options_.seed) {}
+
+AntiEntropyScheduler::~AntiEntropyScheduler() { Stop(); }
+
+bool AntiEntropyScheduler::Start() {
+  if (thread_.joinable() || peers_.empty()) return false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void AntiEntropyScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+RoundRecord AntiEntropyScheduler::RunOnce() {
+  std::lock_guard<std::mutex> round_lock(round_mu_);
+  size_t peer_index = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    peer_index = static_cast<size_t>(rng_.Below(peers_.size()));
+  }
+  RoundRecord record = node_->SyncWithPeer(peers_[peer_index]);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rounds_.push_back(record);
+  }
+  return record;
+}
+
+std::vector<RoundRecord> AntiEntropyScheduler::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
+}
+
+size_t AntiEntropyScheduler::rounds_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_.size();
+}
+
+void AntiEntropyScheduler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, options_.period, [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace replica
+}  // namespace rsr

@@ -1,0 +1,82 @@
+// Anti-entropy scheduler: periodic randomized pull rounds for one replica.
+//
+// The classic anti-entropy loop (Demers et al.'s epidemic repair, the
+// shape Dynamo/Cassandra use with Merkle trees): every `period` the node
+// picks a uniformly random peer and runs one ReplicaNode::SyncWithPeer
+// round against it — changelog tail-replay when it can, sketch-protocol
+// repair when it must. Randomized peer choice is what spreads an update
+// through an N-node mesh in O(log N) expected rounds without any
+// coordination. Every round's RoundRecord is retained for the benches'
+// divergence-over-time accounting.
+//
+// Threading: Start() spawns one loop thread; RunOnce() can also be called
+// directly (the benches drive rounds deterministically that way). Rounds
+// are serialized through one mutex, so a manual RunOnce never overlaps the
+// loop's round on the same node.
+
+#ifndef RSR_REPLICA_ANTI_ENTROPY_H_
+#define RSR_REPLICA_ANTI_ENTROPY_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "replica/replica_node.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace replica {
+
+struct AntiEntropyOptions {
+  std::chrono::milliseconds period{50};
+  uint64_t seed = 1;  ///< Peer-choice RNG seed.
+};
+
+class AntiEntropyScheduler {
+ public:
+  /// `node` must outlive the scheduler; `peers` are dialers for the other
+  /// replicas (one round uses one of them).
+  AntiEntropyScheduler(ReplicaNode* node, std::vector<StreamFactory> peers,
+                       AntiEntropyOptions options = {});
+  ~AntiEntropyScheduler();
+
+  AntiEntropyScheduler(const AntiEntropyScheduler&) = delete;
+  AntiEntropyScheduler& operator=(const AntiEntropyScheduler&) = delete;
+
+  /// Spawns the loop thread. False if already started or no peers.
+  bool Start();
+  /// Stops and joins the loop thread. Idempotent; also run by the dtor.
+  void Stop();
+
+  /// One round against a random peer, on the calling thread. Returns the
+  /// record (also retained in rounds()).
+  RoundRecord RunOnce();
+
+  std::vector<RoundRecord> rounds() const;
+  size_t rounds_run() const;
+
+ private:
+  void Loop();
+
+  ReplicaNode* const node_;
+  const std::vector<StreamFactory> peers_;
+  const AntiEntropyOptions options_;
+
+  /// Serializes rounds (loop vs manual RunOnce) on this node.
+  std::mutex round_mu_;
+
+  mutable std::mutex mu_;  ///< Guards rng_, rounds_, stopping_.
+  Rng rng_;
+  std::vector<RoundRecord> rounds_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace replica
+}  // namespace rsr
+
+#endif  // RSR_REPLICA_ANTI_ENTROPY_H_

@@ -1,0 +1,166 @@
+#include "replica/changelog.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/serial.h"
+
+namespace rsr {
+namespace replica {
+
+namespace {
+
+// Segment record layout (one ByteWriter blob per entry, length-prefixed so
+// a torn tail write is detectable): seq, dimension, |inserts|, |erases|,
+// then each point as `dimension` varint coordinates.
+void EncodeSegmentEntry(const ChangeEntry& entry, ByteWriter* out) {
+  const size_t d = !entry.inserts.empty()   ? entry.inserts.front().size()
+                   : !entry.erases.empty() ? entry.erases.front().size()
+                                           : 0;
+  out->WriteVarint(entry.seq);
+  out->WriteVarint(d);
+  out->WriteVarint(entry.inserts.size());
+  out->WriteVarint(entry.erases.size());
+  for (const PointSet* points : {&entry.inserts, &entry.erases}) {
+    for (const Point& p : *points) {
+      RSR_CHECK(p.size() == d);
+      for (int64_t c : p) out->WriteVarint(static_cast<uint64_t>(c));
+    }
+  }
+}
+
+bool DecodeSegmentEntry(ByteReader* in, ChangeEntry* out) {
+  uint64_t d = 0, inserts = 0, erases = 0;
+  if (!in->ReadVarint(&out->seq) || !in->ReadVarint(&d) ||
+      !in->ReadVarint(&inserts) || !in->ReadVarint(&erases)) {
+    return false;
+  }
+  // A claimed count that cannot fit in the remaining bytes (>= 1 byte per
+  // coordinate) is malformed; check before reserving.
+  const uint64_t per_point = d > 0 ? d : 1;
+  if ((inserts + erases) > in->remaining() / per_point + 1) return false;
+  out->inserts.clear();
+  out->erases.clear();
+  for (PointSet* points : {&out->inserts, &out->erases}) {
+    const uint64_t count = points == &out->inserts ? inserts : erases;
+    points->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      Point p(static_cast<size_t>(d));
+      for (uint64_t c = 0; c < d; ++c) {
+        uint64_t coord = 0;
+        if (!in->ReadVarint(&coord)) return false;
+        p[static_cast<size_t>(c)] = static_cast<int64_t>(coord);
+      }
+      points->push_back(std::move(p));
+    }
+  }
+  return in->AtEnd();
+}
+
+}  // namespace
+
+Changelog::Changelog(ChangelogOptions options) : options_(std::move(options)) {
+  if (!options_.segment_path.empty()) {
+    segment_ = std::fopen(options_.segment_path.c_str(), "ab");
+    RSR_CHECK(segment_ != nullptr);
+  }
+}
+
+Changelog::~Changelog() {
+  if (segment_ != nullptr) std::fclose(segment_);
+}
+
+void Changelog::Append(ChangeEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RSR_CHECK(entry.seq == base_seq_ + entries_.size() + 1);
+  WriteSegmentLocked(entry);
+  entries_.push_back(std::move(entry));
+  while (options_.capacity > 0 && entries_.size() > options_.capacity) {
+    entries_.pop_front();
+    ++base_seq_;
+  }
+}
+
+void Changelog::MarkSnapshot(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  base_seq_ = seq;
+}
+
+FetchedEntries Changelog::Fetch(uint64_t from_seq, size_t max_entries) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FetchedEntries out;
+  out.last_seq = base_seq_ + entries_.size();
+  if (from_seq >= out.last_seq) {
+    // At (or somehow beyond) the head: nothing to ship, trivially ok.
+    out.ok = from_seq == out.last_seq || from_seq >= base_seq_;
+    out.complete = true;
+    return out;
+  }
+  if (from_seq < base_seq_) {
+    // The entries directly after from_seq fell off the ring.
+    return out;
+  }
+  const size_t first = static_cast<size_t>(from_seq - base_seq_);
+  size_t count = entries_.size() - first;
+  if (max_entries > 0 && count > max_entries) count = max_entries;
+  out.ok = true;
+  out.complete = first + count == entries_.size();
+  out.entries.assign(entries_.begin() + static_cast<ptrdiff_t>(first),
+                     entries_.begin() + static_cast<ptrdiff_t>(first + count));
+  return out;
+}
+
+uint64_t Changelog::base_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_seq_;
+}
+
+uint64_t Changelog::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_seq_ + entries_.size();
+}
+
+size_t Changelog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Changelog::WriteSegmentLocked(const ChangeEntry& entry) {
+  if (segment_ == nullptr) return;
+  ByteWriter record;
+  EncodeSegmentEntry(entry, &record);
+  ByteWriter framed;
+  framed.WriteBlob(record.bytes());
+  const std::vector<uint8_t>& bytes = framed.bytes();
+  RSR_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), segment_) ==
+            bytes.size());
+  std::fflush(segment_);
+}
+
+bool ReplaySegment(const std::string& path,
+                   const std::function<void(const ChangeEntry&)>& fn) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[4096];
+  size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  std::fclose(file);
+
+  ByteReader reader(bytes);
+  while (!reader.AtEnd()) {
+    std::vector<uint8_t> record;
+    if (!reader.ReadBlob(&record)) return false;  // torn tail write
+    ChangeEntry entry;
+    ByteReader record_reader(record);
+    if (!DecodeSegmentEntry(&record_reader, &entry)) return false;
+    fn(entry);
+  }
+  return true;
+}
+
+}  // namespace replica
+}  // namespace rsr

@@ -1,0 +1,293 @@
+#include "replica/replica_node.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "net/frame.h"
+#include "recon/exact_recon.h"
+#include "recon/session.h"
+#include "server/handshake.h"
+#include "server/replica_serving.h"
+
+namespace rsr {
+namespace replica {
+
+namespace {
+
+server::SyncServerOptions WithChangelog(server::SyncServerOptions options,
+                                        Changelog* changelog) {
+  options.changelog = changelog;
+  return options;
+}
+
+struct PointOrder {
+  bool operator()(const Point& a, const Point& b) const {
+    return PointLess(a, b);
+  }
+};
+using PointCounts = std::map<Point, int64_t, PointOrder>;
+
+}  // namespace
+
+const char* RoundPathName(RoundRecord::Path path) {
+  switch (path) {
+    case RoundRecord::Path::kInSync:
+      return "in-sync";
+    case RoundRecord::Path::kTail:
+      return "tail";
+    case RoundRecord::Path::kRepairExact:
+      return "repair-exact";
+    case RoundRecord::Path::kRepairApprox:
+      return "repair-approx";
+    case RoundRecord::Path::kRepairFull:
+      return "repair-full";
+    case RoundRecord::Path::kError:
+      return "error";
+  }
+  return "error";
+}
+
+size_t SetDivergence(const PointSet& a, const PointSet& b) {
+  PointCounts counts;
+  for (const Point& p : a) ++counts[p];
+  for (const Point& p : b) --counts[p];
+  size_t divergence = 0;
+  for (const auto& [point, count] : counts) {
+    (void)point;
+    divergence += static_cast<size_t>(count < 0 ? -count : count);
+  }
+  return divergence;
+}
+
+void MultisetDelta(const PointSet& current, const PointSet& target,
+                   PointSet* inserts, PointSet* erases) {
+  inserts->clear();
+  erases->clear();
+  PointCounts counts;
+  for (const Point& p : target) ++counts[p];
+  for (const Point& p : current) --counts[p];
+  for (const auto& [point, count] : counts) {
+    for (int64_t i = 0; i < count; ++i) inserts->push_back(point);
+    for (int64_t i = 0; i < -count; ++i) erases->push_back(point);
+  }
+}
+
+ReplicaNode::ReplicaNode(PointSet initial, ReplicaNodeOptions options)
+    : options_(std::move(options)),
+      changelog_(options_.changelog),
+      server_(std::move(initial),
+              WithChangelog(options_.server, &changelog_)) {}
+
+std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
+    const PointSet& inserts, const PointSet& erases) {
+  return server_.ApplyUpdate(inserts, erases);
+}
+
+RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
+  RoundRecord record;
+  record.seq_after = applied_seq();
+  record.dirty_after = dirty();
+
+  const auto add_bytes = [&record](const net::FramedStream& framed) {
+    record.bytes_sent += framed.bytes_sent();
+    record.bytes_received += framed.bytes_received();
+  };
+
+  // ------------------------------------------------------------- fetch
+  std::unique_ptr<net::ByteStream> stream = peer();
+  if (stream == nullptr) {
+    record.error_detail = "fetch: connect failed";
+    return record;
+  }
+  net::FramedStream framed(stream.get(), options_.server.limits);
+  const bool was_dirty = dirty();
+  server::LogFetchFrame fetch;
+  fetch.from_seq = applied_seq();
+  fetch.max_entries = options_.log_fetch_max;
+  // A dirty node cannot replay a tail; it only needs the peer's position
+  // and difference estimate, so ask for the strata up front.
+  fetch.want_strata = was_dirty;
+  transport::Message incoming;
+  server::LogBatchFrame batch;
+  bool fetched = false;
+  if (!framed.Send(server::EncodeLogFetch(fetch))) {
+    record.error_detail = "fetch: transport failed sending @log-fetch";
+  } else if (framed.Receive(&incoming) !=
+             net::FramedStream::RecvStatus::kMessage) {
+    record.error_detail = "fetch: stream ended awaiting @log-batch";
+  } else if (incoming.label == server::kRejectLabel) {
+    record.error_detail = "fetch: peer rejected @log-fetch";
+  } else if (!server::DecodeLogBatch(
+                 incoming, options_.server.context.universe,
+                 recon::ExactReconStrataConfig(options_.server.context.seed),
+                 &batch)) {
+    record.error_detail = "fetch: malformed @log-batch";
+  } else {
+    fetched = true;
+  }
+  stream->Close();
+  add_bytes(framed);
+  if (!fetched) return record;
+  record.peer_seq = batch.last_seq;
+
+  // --------------------------------------------------------- tail path
+  if (!was_dirty && batch.ok) {
+    for (const ChangeEntry& entry : batch.entries) {
+      server_.ApplyReplicated(entry);
+      ++record.entries_applied;
+    }
+    record.path = record.entries_applied > 0 ? RoundRecord::Path::kTail
+                                             : RoundRecord::Path::kInSync;
+    record.ok = true;
+    record.seq_after = applied_seq();
+    record.dirty_after = false;
+    return record;
+  }
+
+  // -------------------------------------------------------- repair path
+  uint64_t estimate = 0;
+  bool have_estimate = false;
+  if (batch.strata.has_value()) {
+    const StrataEstimator own = server::SnapshotStrata(
+        *server_.snapshot(), options_.server.context);
+    estimate = own.EstimateDifference(*batch.strata);
+    estimate = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(estimate) * options_.estimate_headroom));
+    have_estimate = true;
+  }
+  if (!have_estimate) {
+    // No estimate to size a sketch from: only the unconditional protocol
+    // is safe.
+    estimate = ~uint64_t{0};
+  }
+  return Repair(peer, estimate, std::move(record));
+}
+
+RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
+                                RoundRecord record) {
+  record.est_delta = est_delta;
+  const recon::ProtocolParams resolved = options_.server.params.Resolved();
+  const size_t exact_budget = options_.exact_budget > 0
+                                  ? options_.exact_budget
+                                  : resolved.riblt.k;
+  const bool was_dirty = dirty();
+  RoundRecord::Path path;
+  if (est_delta <= exact_budget) {
+    path = RoundRecord::Path::kRepairExact;
+    record.protocol = options_.repair_exact_protocol;
+  } else if (!was_dirty && options_.approx_budget > 0 &&
+             est_delta <= options_.approx_budget) {
+    // The approximate band is for CLEAN nodes only: a dirty node
+    // re-approximating would chase its own error instead of converging.
+    path = RoundRecord::Path::kRepairApprox;
+    record.protocol = options_.repair_approx_protocol;
+  } else {
+    path = RoundRecord::Path::kRepairFull;
+    record.protocol = options_.repair_full_protocol;
+  }
+
+  std::unique_ptr<net::ByteStream> stream = peer();
+  if (stream == nullptr) {
+    record.error_detail = "repair: connect failed";
+    return record;
+  }
+  net::FramedStream framed(stream.get(), options_.server.limits);
+  const auto fail = [&](std::string detail) {
+    stream->Close();
+    record.bytes_sent += framed.bytes_sent();
+    record.bytes_received += framed.bytes_received();
+    record.error_detail = std::move(detail);
+    record.path = RoundRecord::Path::kError;
+    return record;
+  };
+
+  const std::shared_ptr<const server::SketchSnapshot> snapshot =
+      server_.snapshot();
+  server::PullFrame pull;
+  pull.protocol = record.protocol;
+  pull.client_set_size = snapshot->size();
+  if (!framed.Send(server::EncodePull(pull))) {
+    return fail("repair: transport failed sending @pull");
+  }
+  transport::Message incoming;
+  if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+    return fail("repair: stream ended awaiting @pull-accept");
+  }
+  if (incoming.label == server::kRejectLabel) {
+    return fail("repair: peer rejected @pull (" + record.protocol + ")");
+  }
+  server::PullAcceptFrame accept;
+  if (!server::DecodePullAccept(incoming, &accept) ||
+      accept.protocol != record.protocol) {
+    return fail("repair: malformed @pull-accept");
+  }
+
+  const recon::ProtocolRegistry* registry =
+      options_.server.registry != nullptr ? options_.server.registry
+                                          : &recon::ProtocolRegistry::Global();
+  const std::unique_ptr<recon::Reconciler> reconciler = registry->Create(
+      record.protocol, options_.server.context, options_.server.params);
+  if (reconciler == nullptr) {
+    return fail("repair: protocol \"" + record.protocol +
+                "\" not in the local registry");
+  }
+  // Run BOB locally: the protocol moves Bob's set toward Alice's, and the
+  // peer is hosting Alice over its canonical set (server/handshake.h).
+  const std::unique_ptr<recon::PartySession> bob =
+      reconciler->MakeBobSession(snapshot->points(), snapshot.get());
+  for (transport::Message& opening : bob->Start()) {
+    if (!framed.Send(opening)) {
+      return fail("repair: transport failed sending opening frames");
+    }
+  }
+  size_t deliveries = 0;
+  while (!bob->IsDone()) {
+    if (framed.Receive(&incoming) !=
+        net::FramedStream::RecvStatus::kMessage) {
+      return fail("repair: stream ended mid-session");
+    }
+    if (server::IsControlLabel(incoming.label)) {
+      return fail("repair: unexpected control frame mid-session");
+    }
+    if (++deliveries > options_.server.max_deliveries) {
+      return fail("repair: session stalled");
+    }
+    for (transport::Message& reply : bob->OnMessage(std::move(incoming))) {
+      if (!framed.Send(reply)) {
+        return fail("repair: transport failed sending replies");
+      }
+    }
+  }
+  // Closing is the end-of-pull signal to the peer's Alice pump.
+  stream->Close();
+  record.bytes_sent += framed.bytes_sent();
+  record.bytes_received += framed.bytes_received();
+
+  recon::ReconResult result = bob->TakeResult();
+  if (!result.success) {
+    record.error_detail = std::string("repair: session failed (") +
+                          recon::SessionErrorName(result.error) + ")";
+    record.path = RoundRecord::Path::kError;
+    return record;
+  }
+
+  PointSet inserts, erases;
+  MultisetDelta(snapshot->points(), result.bob_final, &inserts, &erases);
+  // Exactness of the install needs BOTH an exact-key protocol and a clean
+  // peer: an approximate result, or any result pulled from a dirty peer,
+  // corresponds to no journal position (see the file comment).
+  const bool exact =
+      path != RoundRecord::Path::kRepairApprox && !accept.dirty;
+  server_.InstallRepair(inserts, erases, accept.seq, exact);
+
+  record.path = path;
+  record.ok = true;
+  record.peer_seq = accept.seq;
+  record.seq_after = applied_seq();
+  record.dirty_after = dirty();
+  return record;
+}
+
+}  // namespace replica
+}  // namespace rsr

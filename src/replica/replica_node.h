@@ -1,0 +1,155 @@
+// One replica of the canonical set: a serving host plus the anti-entropy
+// pull logic that keeps it converging toward its peers.
+//
+// A ReplicaNode owns a Changelog and a server::SyncServer wired to journal
+// through it, so the node both serves (ordinary "@hello" syncs, plus the
+// replication verbs "@log-fetch" and "@pull") and follows. One anti-entropy
+// round — SyncWithPeer — is a PULL:
+//
+//   1. "@log-fetch" from the node's own position. If the peer still holds
+//      the tail (ok) and this node is clean, replay the entries through
+//      ApplyReplicated — same batches, same order, so the follower's set
+//      AND serving sketches come out bit-identical to the writer's
+//      (replica/changelog.h). This is the cheap path: cost ∝ delta.
+//   2. Otherwise the node has fallen off the peer's ring (or is dirty from
+//      an approximate repair) and must REPAIR: estimate the difference
+//      from the peer's exact-keys strata (shipped in the "@log-batch"),
+//      pick the cheapest adequate protocol, open an "@pull", run the BOB
+//      side locally against the peer-hosted Alice — the direction that
+//      moves THIS node's set toward the peer's — and install the result.
+//
+// Protocol choice is the repair decision rule (DESIGN.md §10): with d̂ the
+// headroom-scaled strata estimate,
+//
+//   d̂ == 0 and tail empty        -> in-sync, nothing to do
+//   d̂ <= exact_budget            -> exact-key protocol (riblt-oneshot):
+//                                   exact install, adopt the peer's seq
+//   clean and d̂ <= approx_budget -> approximate protocol (quadtree):
+//                                   EMD-bounded install, node goes DIRTY
+//   otherwise                    -> full-transfer: exact, unconditional
+//
+// A dirty node's set corresponds to no journal position, so it never
+// tail-replays and never takes the approximate band again — its next
+// rounds escalate to an exact protocol, which clears the flag. That (plus
+// full-transfer as the unconditional safety net) is what guarantees the
+// mesh reaches exact zero divergence at quiescence no matter how far a
+// node fell behind. An install against a peer that is itself dirty is
+// never marked exact either (PullAcceptFrame::dirty): the pulled set may
+// be off-log, so adopting its seq would poison the log-coverage invariant.
+
+#ifndef RSR_REPLICA_REPLICA_NODE_H_
+#define RSR_REPLICA_REPLICA_NODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/byte_stream.h"
+#include "replica/changelog.h"
+#include "server/sync_server.h"
+
+namespace rsr {
+namespace replica {
+
+/// Dials one fresh connection to a peer. Returning null fails the round.
+using StreamFactory = std::function<std::unique_ptr<net::ByteStream>()>;
+
+struct ReplicaNodeOptions {
+  /// Host options (context, params, limits, registry...). The `changelog`
+  /// field is overwritten — the node wires in its own journal.
+  server::SyncServerOptions server;
+  ChangelogOptions changelog;
+  /// Entries requested per "@log-fetch" (0 = the peer's cap).
+  size_t log_fetch_max = 0;
+  /// Safety multiplier on the strata estimate before comparing against the
+  /// budgets (strata estimates are within a small constant factor w.h.p.).
+  double estimate_headroom = 1.5;
+  /// d̂ at or below which the exact-key repair protocol is chosen; 0
+  /// derives the resolved riblt.k (what riblt-oneshot is sized for).
+  size_t exact_budget = 0;
+  /// Ceiling of the approximate band; 0 disables it (exact-only repairs).
+  size_t approx_budget = 0;
+  std::string repair_exact_protocol = "riblt-oneshot";
+  std::string repair_approx_protocol = "quadtree";
+  std::string repair_full_protocol = "full-transfer";
+};
+
+/// What one anti-entropy round did.
+struct RoundRecord {
+  enum class Path {
+    kInSync,        ///< Already at the peer's position; no work.
+    kTail,          ///< Replayed changelog entries.
+    kRepairExact,   ///< Protocol repair, exact-key protocol.
+    kRepairApprox,  ///< Protocol repair, approximate protocol (went dirty).
+    kRepairFull,    ///< Protocol repair, full transfer.
+    kError,         ///< Transport or protocol failure; nothing installed.
+  };
+  Path path = Path::kError;
+  bool ok = false;
+  size_t entries_applied = 0;
+  /// Headroom-scaled strata estimate (repair paths only).
+  uint64_t est_delta = 0;
+  uint64_t peer_seq = 0;
+  uint64_t seq_after = 0;
+  bool dirty_after = false;
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  std::string protocol;  ///< Repair protocol used ("" otherwise).
+  std::string error_detail;
+};
+
+const char* RoundPathName(RoundRecord::Path path);
+
+class ReplicaNode {
+ public:
+  ReplicaNode(PointSet initial, ReplicaNodeOptions options);
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  /// Writer-side mutation: journals and applies one batch (the host's
+  /// write-through ApplyUpdate).
+  std::shared_ptr<const server::SketchSnapshot> Apply(const PointSet& inserts,
+                                                      const PointSet& erases);
+
+  /// One anti-entropy round against the peer behind `peer` (see the file
+  /// comment). Blocking; dials up to two connections (fetch, then repair).
+  RoundRecord SyncWithPeer(const StreamFactory& peer);
+
+  server::SyncServer& host() { return server_; }
+  const server::SyncServer& host() const { return server_; }
+  Changelog& changelog() { return changelog_; }
+  uint64_t applied_seq() const { return server_.replica_seq(); }
+  bool dirty() const { return server_.repair_dirty(); }
+  PointSet points() const { return server_.canonical(); }
+  std::shared_ptr<const server::SketchSnapshot> snapshot() const {
+    return server_.snapshot();
+  }
+
+ private:
+  RoundRecord Repair(const StreamFactory& peer, uint64_t est_delta,
+                     RoundRecord record);
+
+  ReplicaNodeOptions options_;
+  Changelog changelog_;
+  server::SyncServer server_;
+};
+
+/// Multiset symmetric-difference size |A Δ B| (order-insensitive): the
+/// set-divergence measure of the mesh benches; 0 iff the replicas hold
+/// identical multisets.
+size_t SetDivergence(const PointSet& a, const PointSet& b);
+
+/// Multiset delta turning `current` into `target`: `erases` gets the
+/// points of current \ target, `inserts` those of target \ current, so
+/// ApplyUpdate(inserts, erases) on a holder of `current` yields `target`
+/// as a multiset.
+void MultisetDelta(const PointSet& current, const PointSet& target,
+                   PointSet* inserts, PointSet* erases);
+
+}  // namespace replica
+}  // namespace rsr
+
+#endif  // RSR_REPLICA_REPLICA_NODE_H_

@@ -7,6 +7,7 @@
 
 #include "recon/session.h"
 #include "server/handshake.h"
+#include "server/replica_serving.h"
 
 namespace rsr {
 namespace server {
@@ -157,6 +158,37 @@ SyncServerMetrics AsyncSyncServer::metrics() const {
   return metrics_;
 }
 
+std::string AsyncSyncServer::DumpStats() const {
+  uint64_t generation = 0;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    generation = store_.Snapshot()->generation();
+    seq = replica_seq_;
+  }
+  return rsr::server::DumpStats(metrics(), generation, seq);
+}
+
+std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
+    const PointSet& inserts, const PointSet& erases) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  std::shared_ptr<const SketchSnapshot> snap =
+      store_.ApplyUpdate(inserts, erases);
+  if (options_.changelog != nullptr) {
+    replica::ChangeEntry entry;
+    entry.seq = ++replica_seq_;
+    entry.inserts = inserts;
+    entry.erases = erases;
+    options_.changelog->Append(std::move(entry));
+  }
+  return snap;
+}
+
+uint64_t AsyncSyncServer::replica_seq() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return replica_seq_;
+}
+
 void AsyncSyncServer::AcceptReady() {
   for (;;) {
     std::unique_ptr<net::TcpStream> stream;
@@ -301,6 +333,13 @@ void AsyncSyncServer::ProcessInbox(Conn* conn) {
 }
 
 void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
+  // Replication verbs claim the whole connection before any "@hello".
+  // "@pull" is deliberately NOT served here (see the options comment);
+  // falling through makes DecodeHello fail and reject it by name.
+  if (message.label == kLogFetchLabel) {
+    HandleLogFetch(conn, std::move(message));
+    return;
+  }
   HelloFrame hello;
   std::string reject_reason;
   std::unique_ptr<recon::Reconciler> protocol;
@@ -328,8 +367,15 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
   // Pin the session to one immutable canonical generation; the snapshot
-  // stays alive on the conn for the session's lifetime.
-  conn->snapshot = store_.Snapshot();
+  // stays alive on the conn for the session's lifetime. The replication
+  // position is read under the write path's lock so the pair is one
+  // consistent view.
+  uint64_t served_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    conn->snapshot = store_.Snapshot();
+    served_seq = replica_seq_;
+  }
   conn->bob = protocol->MakeBobSession(conn->snapshot->points(),
                                        conn->snapshot.get());
   conn->phase = Conn::Phase::kSession;
@@ -339,6 +385,7 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   ack.server_set_size = conn->snapshot->size();
   ack.will_send_result_set = hello.want_result_set;
   ack.generation = conn->snapshot->generation();
+  ack.replica_seq = served_seq;
   if (!conn->framed.Send(EncodeAccept(ack))) {
     FailConn(conn, SessionError::kTransportClosed);
     return;
@@ -350,6 +397,37 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
     }
   }
   if (conn->bob->IsDone()) FinishSession(conn, SessionError::kNone);
+}
+
+void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
+  LogFetchFrame fetch;
+  if (!DecodeLogFetch(message, &fetch)) {
+    RejectFrame reject;
+    reject.reason = "malformed " + std::string(kLogFetchLabel) + " frame";
+    reject.protocols = registry_->ListProtocols();
+    conn->rejected = true;
+    conn->framed.Send(EncodeReject(reject));
+    conn->phase = Conn::Phase::kClosing;
+    if (!conn->framed.wants_write()) CloseConn(conn);
+    return;
+  }
+  conn->protocol = kLogFetchLabel;
+  conn->session_start = std::chrono::steady_clock::now();
+  conn->session_started = true;
+  LogBatchFrame batch;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),
+                          replica_seq_, options_.context,
+                          options_.log_fetch_max_entries);
+  }
+  conn->session_success =
+      conn->framed.Send(EncodeLogBatch(batch, options_.context.universe));
+  conn->session_finished = true;
+  conn->wall_seconds = SecondsSince(conn->session_start);
+  // As after "@result": wait for the fetcher to close rather than racing
+  // it with unread bytes queued.
+  conn->phase = Conn::Phase::kDraining;
 }
 
 void AsyncSyncServer::HandleSessionMessage(Conn* conn,

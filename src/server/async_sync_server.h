@@ -43,6 +43,7 @@
 #include "net/frame.h"
 #include "net/tcp.h"
 #include "recon/registry.h"
+#include "replica/changelog.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
 
@@ -72,6 +73,16 @@ struct AsyncSyncServerOptions {
   bool serve_from_cache = true;
   /// Protocol registry to negotiate against; nullptr = the global one.
   const recon::ProtocolRegistry* registry = nullptr;
+  /// When set, the host replicates like the threaded SyncServer: every
+  /// ApplyUpdate is journaled (write-through), "@log-fetch" is served, and
+  /// the replication position travels in every "@accept". The async host
+  /// serves only the WRITER side of the mesh — it answers "@log-fetch"
+  /// but rejects "@pull" (hosting an Alice session inverts the reactor's
+  /// send/receive phases; followers run the threaded host instead, see
+  /// DESIGN.md §10). Not owned; must outlive the server.
+  replica::Changelog* changelog = nullptr;
+  /// Upper bound on entries per served "@log-batch".
+  size_t log_fetch_max_entries = 512;
 };
 
 class AsyncSyncServer {
@@ -96,13 +107,20 @@ class AsyncSyncServer {
 
   SyncServerMetrics metrics() const;
 
+  /// Plain-text counters dump (server/server_stats.h), identical in shape
+  /// to SyncServer::DumpStats().
+  std::string DumpStats() const;
+
   /// Mutates the canonical set and returns the new generation's snapshot;
   /// in-flight sessions finish against the snapshot they were pinned to at
-  /// handshake time (server/sketch_store.h).
+  /// handshake time (server/sketch_store.h). On a replicating host the
+  /// batch is also journaled at replica_seq() + 1, atomically with the
+  /// store mutation.
   std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
-                                                    const PointSet& erases) {
-    return store_.ApplyUpdate(inserts, erases);
-  }
+                                                    const PointSet& erases);
+
+  /// Replication position (0 on a non-replicating host).
+  uint64_t replica_seq() const;
 
   /// The current canonical snapshot (points + generation + sketches).
   std::shared_ptr<const SketchSnapshot> snapshot() const {
@@ -122,6 +140,10 @@ class AsyncSyncServer {
   void OnConnEvent(Conn* conn, uint32_t ready);
   void ProcessInbox(Conn* conn);
   void HandleHello(Conn* conn, transport::Message message);
+  /// Serves an "@log-fetch" opening frame: one "@log-batch" reply, then
+  /// the drain phase. (The "@pull" verb is NOT served here; see
+  /// AsyncSyncServerOptions::changelog.)
+  void HandleLogFetch(Conn* conn, transport::Message message);
   void HandleSessionMessage(Conn* conn, transport::Message message);
   /// Ends the protocol phase: takes Bob's result, applies `pump_error`,
   /// ships "@result", and moves the conn to the drain phase.
@@ -141,6 +163,11 @@ class AsyncSyncServer {
   const AsyncSyncServerOptions options_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
+
+  /// Guards the (store mutation, changelog append, replica_seq_) compound
+  /// so a served snapshot + position pair is always consistent.
+  mutable std::mutex replica_mu_;
+  uint64_t replica_seq_ = 0;
 
   std::unique_ptr<net::TcpListener> listener_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -31,6 +31,7 @@ bool ReadString(BitReader* in, size_t max_len, std::string* out) {
 constexpr size_t kMaxStringLen = 4096;
 constexpr size_t kMaxListedProtocols = 4096;
 constexpr uint64_t kMaxResultPoints = uint64_t{1} << 32;
+constexpr uint64_t kMaxLogEntries = uint64_t{1} << 20;
 
 }  // namespace
 
@@ -60,6 +61,7 @@ transport::Message EncodeAccept(const AcceptFrame& accept) {
   writer.WriteVarint(accept.server_set_size);
   writer.WriteBit(accept.will_send_result_set);
   writer.WriteVarint(accept.generation);
+  writer.WriteVarint(accept.replica_seq);
   return transport::MakeMessage(kAcceptLabel, std::move(writer));
 }
 
@@ -71,11 +73,13 @@ bool DecodeAccept(const transport::Message& message, AcceptFrame* out) {
       !reader.ReadBit(&out->will_send_result_set)) {
     return false;
   }
-  // Optional trailing field: a server predating the sketch store ends the
-  // frame here, which decodes as generation 0 rather than a handshake
-  // failure — the schema change stays wire-compatible in both directions
-  // (older decoders simply ignore trailing payload bits).
+  // Optional trailing fields: a server predating the sketch store ends the
+  // frame before `generation`, one predating replication before
+  // `replica_seq` — each decodes as 0 rather than a handshake failure, so
+  // the schema changes stay wire-compatible in both directions (older
+  // decoders simply ignore trailing payload bits).
   if (!reader.ReadVarint(&out->generation)) out->generation = 0;
+  if (!reader.ReadVarint(&out->replica_seq)) out->replica_seq = 0;
   return true;
 }
 
@@ -163,6 +167,117 @@ bool DecodeResult(const transport::Message& message, const Universe& universe,
     }
   }
   return true;
+}
+
+transport::Message EncodeLogFetch(const LogFetchFrame& fetch) {
+  BitWriter writer;
+  writer.WriteVarint(fetch.from_seq);
+  writer.WriteVarint(fetch.max_entries);
+  writer.WriteBit(fetch.want_strata);
+  return transport::MakeMessage(kLogFetchLabel, std::move(writer));
+}
+
+bool DecodeLogFetch(const transport::Message& message, LogFetchFrame* out) {
+  if (message.label != kLogFetchLabel) return false;
+  BitReader reader(message.payload);
+  return reader.ReadVarint(&out->from_seq) &&
+         reader.ReadVarint(&out->max_entries) &&
+         reader.ReadBit(&out->want_strata);
+}
+
+transport::Message EncodeLogBatch(const LogBatchFrame& batch,
+                                  const Universe& universe) {
+  BitWriter writer;
+  writer.WriteBit(batch.ok);
+  writer.WriteBit(batch.complete);
+  writer.WriteVarint(batch.last_seq);
+  writer.WriteVarint(batch.entries.size());
+  for (const replica::ChangeEntry& entry : batch.entries) {
+    writer.WriteVarint(entry.seq);
+    writer.WriteVarint(entry.inserts.size());
+    writer.WriteVarint(entry.erases.size());
+    for (const Point& p : entry.inserts) PackPoint(universe, p, &writer);
+    for (const Point& p : entry.erases) PackPoint(universe, p, &writer);
+  }
+  writer.WriteBit(batch.strata.has_value());
+  if (batch.strata.has_value()) batch.strata->Serialize(&writer);
+  return transport::MakeMessage(kLogBatchLabel, std::move(writer));
+}
+
+bool DecodeLogBatch(const transport::Message& message,
+                    const Universe& universe,
+                    const StrataConfig& strata_config, LogBatchFrame* out) {
+  if (message.label != kLogBatchLabel) return false;
+  BitReader reader(message.payload);
+  uint64_t count = 0;
+  if (!reader.ReadBit(&out->ok) || !reader.ReadBit(&out->complete) ||
+      !reader.ReadVarint(&out->last_seq) || !reader.ReadVarint(&count) ||
+      count > kMaxLogEntries) {
+    return false;
+  }
+  const uint64_t per_point_bits =
+      static_cast<uint64_t>(std::max(1, universe.BitsPerPoint()));
+  out->entries.clear();
+  out->entries.reserve(std::min<uint64_t>(count, 4096));
+  for (uint64_t i = 0; i < count; ++i) {
+    replica::ChangeEntry entry;
+    uint64_t inserts = 0, erases = 0;
+    if (!reader.ReadVarint(&entry.seq) || !reader.ReadVarint(&inserts) ||
+        !reader.ReadVarint(&erases) ||
+        inserts + erases > reader.bits_remaining() / per_point_bits) {
+      return false;
+    }
+    entry.inserts.reserve(inserts);
+    entry.erases.reserve(erases);
+    for (uint64_t j = 0; j < inserts + erases; ++j) {
+      Point p;
+      if (!UnpackPoint(universe, &reader, &p)) return false;
+      (j < inserts ? entry.inserts : entry.erases).push_back(std::move(p));
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  bool has_strata = false;
+  if (!reader.ReadBit(&has_strata)) return false;
+  out->strata.reset();
+  if (has_strata) {
+    out->strata = StrataEstimator::Deserialize(strata_config, &reader);
+    if (!out->strata.has_value()) return false;
+  }
+  return true;
+}
+
+transport::Message EncodePull(const PullFrame& pull) {
+  BitWriter writer;
+  WriteString(pull.protocol, &writer);
+  writer.WriteVarint(pull.client_set_size);
+  return transport::MakeMessage(kPullLabel, std::move(writer));
+}
+
+bool DecodePull(const transport::Message& message, PullFrame* out) {
+  if (message.label != kPullLabel) return false;
+  BitReader reader(message.payload);
+  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
+         reader.ReadVarint(&out->client_set_size);
+}
+
+transport::Message EncodePullAccept(const PullAcceptFrame& accept) {
+  BitWriter writer;
+  WriteString(accept.protocol, &writer);
+  writer.WriteVarint(accept.server_set_size);
+  writer.WriteVarint(accept.seq);
+  writer.WriteVarint(accept.generation);
+  writer.WriteBit(accept.dirty);
+  return transport::MakeMessage(kPullAcceptLabel, std::move(writer));
+}
+
+bool DecodePullAccept(const transport::Message& message,
+                      PullAcceptFrame* out) {
+  if (message.label != kPullAcceptLabel) return false;
+  BitReader reader(message.payload);
+  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
+         reader.ReadVarint(&out->server_set_size) &&
+         reader.ReadVarint(&out->seq) && reader.ReadVarint(&out->generation) &&
+         reader.ReadBit(&out->dirty);
 }
 
 }  // namespace server

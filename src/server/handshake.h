@@ -15,11 +15,14 @@
 #define RSR_SERVER_HANDSHAKE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "geometry/point.h"
+#include "iblt/strata.h"
 #include "recon/protocol.h"
+#include "replica/changelog.h"
 #include "transport/message.h"
 
 namespace rsr {
@@ -30,6 +33,13 @@ inline constexpr char kHelloLabel[] = "@hello";
 inline constexpr char kAcceptLabel[] = "@accept";
 inline constexpr char kRejectLabel[] = "@reject";
 inline constexpr char kResultLabel[] = "@result";
+// Replication verbs (DESIGN.md §10): a replica tails a peer's changelog
+// with "@log-fetch"/"@log-batch", and repairs by running Bob locally
+// against a peer-hosted Alice session opened with "@pull"/"@pull-accept".
+inline constexpr char kLogFetchLabel[] = "@log-fetch";
+inline constexpr char kLogBatchLabel[] = "@log-batch";
+inline constexpr char kPullLabel[] = "@pull";
+inline constexpr char kPullAcceptLabel[] = "@pull-accept";
 
 /// True for control-plane labels (reserved '@' prefix).
 bool IsControlLabel(const std::string& label);
@@ -65,6 +75,60 @@ struct AcceptFrame {
   uint64_t server_set_size = 0;
   bool will_send_result_set = true;
   uint64_t generation = 0;
+  /// Replication position of the serving host (0 when the host does not
+  /// replicate). Unlike `generation` — a host-local snapshot counter —
+  /// replica_seq is comparable ACROSS replicas: a client served at
+  /// replica_seq s saw the canonical set-at-s, so `writer_seq - s` is its
+  /// staleness in mutation batches (bench/bench_e19_replication.cc).
+  uint64_t replica_seq = 0;
+};
+
+/// Replica → peer: ship me changelog entries after `from_seq`.
+struct LogFetchFrame {
+  uint64_t from_seq = 0;
+  uint64_t max_entries = 0;  ///< 0 = the server's cap.
+  /// Ask for the peer's exact-keys strata estimator even when the tail is
+  /// available (a dirty replica needs the difference estimate, not the
+  /// entries; see replica/replica_node.h).
+  bool want_strata = false;
+};
+
+/// Peer → replica: the changelog tail (or the news that it is gone).
+struct LogBatchFrame {
+  /// False: `from_seq` has fallen off the peer's ring — catch up by
+  /// protocol repair instead. The strata estimator is attached so the
+  /// repair can be sized before a protocol is chosen.
+  bool ok = false;
+  bool complete = false;  ///< Entries reach last_seq (no cap truncation).
+  uint64_t last_seq = 0;  ///< Peer's replication position.
+  std::vector<replica::ChangeEntry> entries;
+  /// Peer's exact-keys strata estimator (recon::ExactReconStrataConfig),
+  /// attached when !ok or when the fetch asked for it.
+  std::optional<StrataEstimator> strata;
+};
+
+/// Replica → peer: host the Alice side of `protocol` over your canonical
+/// set; I run Bob locally and adopt the reconciled result. This is the
+/// direction that converges the caller: a protocol moves BOB's set toward
+/// Alice's (S'_B ≈ S_A, exactly equal for the exact-key protocols), so the
+/// puller must be Bob — an ordinary "@hello" sync would only tell the peer
+/// about the caller's set.
+struct PullFrame {
+  std::string protocol;
+  uint64_t client_set_size = 0;  ///< Diagnostic; server metrics only.
+};
+
+/// Peer → replica: pull accepted; Alice frames follow.
+struct PullAcceptFrame {
+  std::string protocol;
+  uint64_t server_set_size = 0;
+  uint64_t seq = 0;         ///< Replication position the set corresponds to.
+  uint64_t generation = 0;  ///< Peer-local snapshot generation (diagnostic).
+  /// True when the peer's own set is the product of an *approximate*
+  /// repair not yet squared with the log (replica/replica_node.h): the
+  /// pulled set is then not the canonical set-at-`seq`, and the caller
+  /// must not mark its own log against it.
+  bool dirty = false;
 };
 
 transport::Message EncodeHello(const HelloFrame& hello);
@@ -82,6 +146,24 @@ transport::Message EncodeResult(const ResultFrame& frame,
                                 const Universe& universe);
 bool DecodeResult(const transport::Message& message, const Universe& universe,
                   ResultFrame* out);
+
+transport::Message EncodeLogFetch(const LogFetchFrame& fetch);
+bool DecodeLogFetch(const transport::Message& message, LogFetchFrame* out);
+
+/// The strata estimator travels under `strata_config` (both sides derive
+/// it as recon::ExactReconStrataConfig(context.seed)).
+transport::Message EncodeLogBatch(const LogBatchFrame& batch,
+                                  const Universe& universe);
+bool DecodeLogBatch(const transport::Message& message,
+                    const Universe& universe,
+                    const StrataConfig& strata_config, LogBatchFrame* out);
+
+transport::Message EncodePull(const PullFrame& pull);
+bool DecodePull(const transport::Message& message, PullFrame* out);
+
+transport::Message EncodePullAccept(const PullAcceptFrame& accept);
+bool DecodePullAccept(const transport::Message& message,
+                      PullAcceptFrame* out);
 
 }  // namespace server
 }  // namespace rsr

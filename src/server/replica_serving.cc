@@ -1,0 +1,50 @@
+#include "server/replica_serving.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "recon/exact_recon.h"
+
+namespace rsr {
+namespace server {
+
+StrataEstimator SnapshotStrata(const SketchSnapshot& snapshot,
+                               const recon::ProtocolContext& context) {
+  const StrataConfig config = recon::ExactReconStrataConfig(context.seed);
+  std::optional<StrataEstimator> cached = snapshot.ExactStrata(config);
+  if (cached.has_value()) return *std::move(cached);
+  StrataEstimator estimator(config);
+  for (const auto& [key, point] :
+       recon::ExactKeyedPoints(snapshot.points(), context.seed)) {
+    (void)point;
+    estimator.Insert(key);
+  }
+  return estimator;
+}
+
+LogBatchFrame BuildLogBatch(const LogFetchFrame& fetch,
+                            const replica::Changelog* changelog,
+                            const SketchSnapshot& snapshot,
+                            uint64_t replica_seq,
+                            const recon::ProtocolContext& context,
+                            size_t max_entries_cap) {
+  LogBatchFrame batch;
+  batch.last_seq = replica_seq;
+  if (changelog != nullptr) {
+    size_t cap = max_entries_cap;
+    if (fetch.max_entries > 0) {
+      cap = std::min<size_t>(cap, static_cast<size_t>(fetch.max_entries));
+    }
+    replica::FetchedEntries fetched = changelog->Fetch(fetch.from_seq, cap);
+    batch.ok = fetched.ok;
+    batch.complete = fetched.complete;
+    batch.entries = std::move(fetched.entries);
+  }
+  if (!batch.ok || fetch.want_strata) {
+    batch.strata = SnapshotStrata(snapshot, context);
+  }
+  return batch;
+}
+
+}  // namespace server
+}  // namespace rsr

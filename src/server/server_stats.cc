@@ -1,0 +1,39 @@
+#include "server/server_stats.h"
+
+#include <cstdio>
+
+namespace rsr {
+namespace server {
+
+std::string DumpStats(const SyncServerMetrics& metrics, uint64_t generation,
+                      uint64_t replica_seq) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "generation=%llu replica_seq=%llu accepted=%zu active=%zu "
+                "peak_active=%zu ok=%zu failed=%zu rejected=%zu "
+                "idle_timeouts=%zu bytes_in=%zu bytes_out=%zu\n",
+                static_cast<unsigned long long>(generation),
+                static_cast<unsigned long long>(replica_seq),
+                metrics.connections_accepted, metrics.active_sessions,
+                metrics.peak_active_sessions, metrics.syncs_completed,
+                metrics.syncs_failed, metrics.handshakes_rejected,
+                metrics.idle_timeouts, metrics.bytes_in, metrics.bytes_out);
+  out += line;
+  for (const auto& [name, stats] : metrics.per_protocol) {
+    const double mean_wall_ms =
+        stats.syncs > 0 ? 1e3 * stats.wall_seconds /
+                              static_cast<double>(stats.syncs)
+                        : 0.0;
+    std::snprintf(line, sizeof line,
+                  "%s: ok=%zu failed=%zu bytes_in=%zu bytes_out=%zu "
+                  "mean_wall_ms=%.3f\n",
+                  name.c_str(), stats.syncs, stats.failures, stats.bytes_in,
+                  stats.bytes_out, mean_wall_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace rsr

@@ -41,6 +41,19 @@ struct SyncServerMetrics {
   std::map<std::string, ProtocolStats> per_protocol;
 };
 
+/// Plain-text rendering of one host's counters: a totals line (including
+/// the canonical generation and replication position being served) plus
+/// one `key=value` line per protocol. Both hosts expose it as
+/// DumpStats(), so an operator or a bench scrapes one string instead of
+/// poking fields.
+///
+///   generation=12 replica_seq=12 accepted=40 active=0 peak_active=8
+///       ok=38 failed=1 rejected=1 idle_timeouts=0 bytes_in=.. bytes_out=..
+///   (one line in the output; wrapped here)
+///   quadtree: ok=20 failed=0 bytes_in=.. bytes_out=.. mean_wall_ms=0.52
+std::string DumpStats(const SyncServerMetrics& metrics, uint64_t generation,
+                      uint64_t replica_seq);
+
 }  // namespace server
 }  // namespace rsr
 

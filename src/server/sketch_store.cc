@@ -39,6 +39,17 @@ bool CompatibleRibltConfig(const RibltConfig& a, const RibltConfig& b) {
          a.universe.d == b.universe.d && a.universe.delta == b.universe.delta;
 }
 
+// The serialized sum-field widths the two configs would put on the wire.
+// RIBLT configs derive max_entries from |S| (2n + 2 in riblt-oneshot and
+// the MLSH ladder), so a batch can change KeySumBits/CoordSumBits without
+// touching the histogram width — those boundaries sit one point below each
+// HistogramCountBits power of two. A cached table serialized under the old
+// widths would no longer be bit-identical to a fresh build.
+bool SameRibltWidths(const RibltConfig& a, const RibltConfig& b) {
+  return a.KeySumBits() == b.KeySumBits() &&
+         a.CoordSumBits() == b.CoordSumBits();
+}
+
 }  // namespace
 
 // ----------------------------------------------------------- SketchSnapshot
@@ -301,12 +312,25 @@ std::shared_ptr<const SketchSnapshot> SketchStore::ApplyUpdate(
   points.insert(points.end(), inserts.begin(), inserts.end());
 
   const uint64_t generation = snapshot_->generation() + 1;
-  if (!materialize_ ||
-      recon::HistogramCountBits(points.size()) !=
-          recon::HistogramCountBits(snapshot_->points().size())) {
+  const bool incremental_ok =
+      materialize_ &&
+      recon::HistogramCountBits(points.size()) ==
+          recon::HistogramCountBits(snapshot_->points().size()) &&
+      snapshot_->oneshot_config_.has_value() &&
+      SameRibltWidths(RibltOneShotConfig(context_.universe, params_.riblt,
+                                         points.size(), context_.seed),
+                      *snapshot_->oneshot_config_) &&
+      (snapshot_->mlsh_configs_.empty() ||
+       SameRibltWidths(
+           lshrecon::MlshLevelConfig(context_.universe, params_.mlsh,
+                                     points.size(), 0, context_.seed),
+           snapshot_->mlsh_configs_[0]));
+  if (!incremental_ok) {
     // Crossing a histogram-width boundary invalidates every level IBLT's
-    // value layout; take the set-proportional path (rare: widths change at
-    // powers of two of |S|).
+    // value layout, and crossing a RIBLT sum-width boundary (see
+    // SameRibltWidths) invalidates the cached one-shot and MLSH tables;
+    // take the set-proportional path (rare: widths change near powers of
+    // two of |S|).
     snapshot_ = Rebuild(std::move(points), generation);
     return snapshot_;
   }

@@ -22,10 +22,11 @@
 // (bench/bench_e18_churn.cc).
 //
 // Width changes: the quadtree histogram value layout depends on |S| via
-// HistogramCountBits. A batch that crosses that boundary (or the first
-// build) takes the from-scratch path; every other batch is incremental.
-// See DESIGN.md §9 for the linearity argument and the per-protocol
-// cacheability table.
+// HistogramCountBits, and the RIBLT sum-field widths depend on |S| via
+// max_entries = 2n + 2 (riblt-oneshot and the MLSH ladder). A batch that
+// crosses either boundary (or the first build) takes the from-scratch
+// path; every other batch is incremental. See DESIGN.md §9 for the
+// linearity argument and the per-protocol cacheability table.
 
 #ifndef RSR_SERVER_SKETCH_STORE_H_
 #define RSR_SERVER_SKETCH_STORE_H_

@@ -1,11 +1,14 @@
 #include "server/sync_client.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "recon/session.h"
 #include "server/handshake.h"
+#include "util/random.h"
 
 namespace rsr {
 namespace server {
@@ -107,6 +110,7 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   }
   outcome.handshake_ok = true;
   outcome.server_generation = accept.generation;
+  outcome.server_replica_seq = accept.replica_seq;
 
   // -------------------------------------------------------- session pump
   const std::unique_ptr<recon::PartySession> alice =
@@ -154,6 +158,38 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
         return finish(std::move(outcome));
       }
     }
+  }
+}
+
+SyncOutcome SyncClient::SyncWithRetry(const StreamFactory& connect,
+                                      const std::string& protocol,
+                                      const PointSet& local_points,
+                                      const SyncRetryPolicy& policy) const {
+  const size_t max_attempts = std::max<size_t>(1, policy.max_attempts);
+  Rng rng(policy.seed);
+  double backoff_ms =
+      static_cast<double>(policy.initial_backoff.count());
+  SyncOutcome outcome;
+  for (size_t attempt = 1;; ++attempt) {
+    const std::unique_ptr<net::ByteStream> stream = connect();
+    if (stream != nullptr) {
+      outcome = Sync(stream.get(), protocol, local_points);
+    } else {
+      outcome = SyncOutcome{};
+      outcome.error_detail = "handshake: connect failed";
+      FailOutcome(&outcome, SessionError::kTransportClosed);
+    }
+    outcome.attempts_used = attempt;
+    // Only pre-session failures are safely retryable (SyncRetryPolicy).
+    if (outcome.result.success || outcome.handshake_ok ||
+        attempt >= max_attempts) {
+      return outcome;
+    }
+    const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    const double factor = 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::max(0.0, backoff_ms * factor)));
+    backoff_ms *= std::max(1.0, policy.multiplier);
   }
 }
 

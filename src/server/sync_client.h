@@ -12,7 +12,11 @@
 #ifndef RSR_SERVER_SYNC_CLIENT_H_
 #define RSR_SERVER_SYNC_CLIENT_H_
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +39,22 @@ struct SyncClientOptions {
   const recon::ProtocolRegistry* registry = nullptr;
 };
 
+/// Backoff schedule for SyncWithRetry. A rejected handshake (an
+/// overloaded or restarting server answers "@reject") and a transport
+/// failure BEFORE "@accept" are both worth retrying — the server never
+/// started a session, so a retry cannot double-apply anything. A failure
+/// after "@accept" is not retried: the session's outcome is unknown and
+/// the caller must decide.
+struct SyncRetryPolicy {
+  size_t max_attempts = 3;  ///< Total attempts (1 = no retry).
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;  ///< Backoff growth per attempt.
+  /// Each sleep is scaled by a uniform factor in [1-jitter, 1+jitter] so a
+  /// fleet of clients rejected together does not retry together.
+  double jitter = 0.5;
+  uint64_t seed = 0;  ///< Jitter RNG seed.
+};
+
 /// Everything one Sync call produced.
 struct SyncOutcome {
   bool handshake_ok = false;
@@ -42,6 +62,12 @@ struct SyncOutcome {
   /// "@accept"; see server/sketch_store.h). 0 until the handshake
   /// succeeds.
   uint64_t server_generation = 0;
+  /// Replication position of the serving host (from "@accept"; 0 for a
+  /// non-replicating server). See AcceptFrame::replica_seq.
+  uint64_t server_replica_seq = 0;
+  /// Attempts consumed (1 for a plain Sync; up to the policy's
+  /// max_attempts under SyncWithRetry).
+  size_t attempts_used = 1;
   /// Server-computed result (from "@result"); on a local/transport failure
   /// before "@result" arrived, a synthesized failure with the right error.
   recon::ReconResult result;
@@ -66,6 +92,19 @@ class SyncClient {
   /// negotiating `protocol`. Blocking; `stream` is closed on return.
   SyncOutcome Sync(net::ByteStream* stream, const std::string& protocol,
                    const PointSet& local_points) const;
+
+  /// Dials a fresh stream per attempt. Returning null counts as a failed
+  /// (retryable) connect.
+  using StreamFactory = std::function<std::unique_ptr<net::ByteStream>()>;
+
+  /// Sync with retry-on-reject: runs Sync over a fresh stream from
+  /// `connect`, and while the failure is pre-session (see SyncRetryPolicy)
+  /// sleeps the jittered backoff and tries again, up to max_attempts. The
+  /// returned outcome is the last attempt's, with attempts_used filled in.
+  SyncOutcome SyncWithRetry(const StreamFactory& connect,
+                            const std::string& protocol,
+                            const PointSet& local_points,
+                            const SyncRetryPolicy& policy = {}) const;
 
  private:
   SyncClientOptions options_;

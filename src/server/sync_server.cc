@@ -6,6 +6,8 @@
 
 #include "recon/session.h"
 #include "server/handshake.h"
+#include "server/replica_serving.h"
+#include "util/check.h"
 
 namespace rsr {
 namespace server {
@@ -56,6 +58,15 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
     metrics_.bytes_in += framed.bytes_received();
     return;
   }
+  // Replication verbs claim the whole connection before any "@hello".
+  if (incoming.label == kLogFetchLabel) {
+    ServeLogFetch(framed, incoming, stream);
+    return;
+  }
+  if (incoming.label == kPullLabel) {
+    ServePull(framed, incoming, stream);
+    return;
+  }
   std::unique_ptr<recon::Reconciler> protocol;
   if (!DecodeHello(incoming, &hello)) {
     reject_reason = "expected a well-formed " + std::string(kHelloLabel) +
@@ -82,8 +93,16 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   const auto start_time = std::chrono::steady_clock::now();
   // Pin the session to one immutable canonical generation: the snapshot
   // (kept alive by this shared_ptr for the whole connection) supplies both
-  // the point set and, when caching is on, the precomputed sketches.
-  const std::shared_ptr<const SketchSnapshot> snapshot = store_.Snapshot();
+  // the point set and, when caching is on, the precomputed sketches. The
+  // replication position is read under the same lock the write path holds,
+  // so the (snapshot, replica_seq) pair is one consistent view.
+  std::shared_ptr<const SketchSnapshot> snapshot;
+  uint64_t served_seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    snapshot = store_.Snapshot();
+    served_seq = replica_seq_;
+  }
   const std::unique_ptr<recon::PartySession> bob =
       protocol->MakeBobSession(snapshot->points(), snapshot.get());
 
@@ -93,6 +112,7 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
     ack.server_set_size = snapshot->size();
     ack.will_send_result_set = hello.want_result_set;
     ack.generation = snapshot->generation();
+    ack.replica_seq = served_seq;
     framed.Send(EncodeAccept(ack));
   }
 
@@ -156,27 +176,221 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   }
   stream->Close();
 
-  const double wall = SecondsSince(start_time);
-  {
+  SettleMetrics(framed, hello.protocol, result.success,
+                SecondsSince(start_time));
+}
+
+void SyncServer::SettleMetrics(const net::FramedStream& framed,
+                               const std::string& name, bool success,
+                               double wall_seconds) {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  --metrics_.active_sessions;
+  if (success) {
+    ++metrics_.syncs_completed;
+  } else {
+    ++metrics_.syncs_failed;
+  }
+  metrics_.bytes_in += framed.bytes_received();
+  metrics_.bytes_out += framed.bytes_sent();
+  ProtocolStats& stats = metrics_.per_protocol[name];
+  if (success) {
+    ++stats.syncs;
+  } else {
+    ++stats.failures;
+  }
+  stats.bytes_in += framed.bytes_received();
+  stats.bytes_out += framed.bytes_sent();
+  stats.wall_seconds += wall_seconds;
+}
+
+void SyncServer::ServeLogFetch(net::FramedStream& framed,
+                               const transport::Message& first,
+                               net::ByteStream* stream) {
+  const auto start_time = std::chrono::steady_clock::now();
+  LogFetchFrame fetch;
+  bool ok = DecodeLogFetch(first, &fetch);
+  if (!ok) {
+    RejectFrame reject;
+    reject.reason =
+        "malformed " + std::string(kLogFetchLabel) + " frame";
+    reject.protocols = registry_->ListProtocols();
+    framed.Send(EncodeReject(reject));
+    stream->Close();
     std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++metrics_.handshakes_rejected;
     --metrics_.active_sessions;
-    if (result.success) {
-      ++metrics_.syncs_completed;
-    } else {
-      ++metrics_.syncs_failed;
-    }
     metrics_.bytes_in += framed.bytes_received();
     metrics_.bytes_out += framed.bytes_sent();
-    ProtocolStats& stats = metrics_.per_protocol[hello.protocol];
-    if (result.success) {
-      ++stats.syncs;
-    } else {
-      ++stats.failures;
-    }
-    stats.bytes_in += framed.bytes_received();
-    stats.bytes_out += framed.bytes_sent();
-    stats.wall_seconds += wall;
+    return;
   }
+  LogBatchFrame batch;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),
+                          replica_seq_, options_.context,
+                          options_.log_fetch_max_entries);
+  }
+  ok = framed.Send(EncodeLogBatch(batch, options_.context.universe));
+  // Drain until the fetcher closes, as after "@result" (see above).
+  transport::Message incoming;
+  size_t drained = 0;
+  while (drained++ < options_.max_deliveries &&
+         framed.Receive(&incoming) ==
+             net::FramedStream::RecvStatus::kMessage) {
+  }
+  stream->Close();
+  SettleMetrics(framed, kLogFetchLabel, ok, SecondsSince(start_time));
+}
+
+void SyncServer::ServePull(net::FramedStream& framed,
+                           const transport::Message& first,
+                           net::ByteStream* stream) {
+  const auto start_time = std::chrono::steady_clock::now();
+  PullFrame pull;
+  std::string reject_reason;
+  std::unique_ptr<recon::Reconciler> protocol;
+  if (!DecodePull(first, &pull)) {
+    reject_reason = "malformed " + std::string(kPullLabel) + " frame";
+  } else if (!registry_->Contains(pull.protocol) ||
+             (protocol = registry_->Create(pull.protocol, options_.context,
+                                           options_.params)) == nullptr) {
+    reject_reason = "unknown protocol \"" + pull.protocol + "\"";
+  }
+  if (!reject_reason.empty()) {
+    RejectFrame reject;
+    reject.reason = reject_reason;
+    reject.protocols = registry_->ListProtocols();
+    framed.Send(EncodeReject(reject));
+    stream->Close();
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    ++metrics_.handshakes_rejected;
+    --metrics_.active_sessions;
+    metrics_.bytes_in += framed.bytes_received();
+    metrics_.bytes_out += framed.bytes_sent();
+    return;
+  }
+
+  std::shared_ptr<const SketchSnapshot> snapshot;
+  uint64_t served_seq = 0;
+  bool dirty = false;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    snapshot = store_.Snapshot();
+    served_seq = replica_seq_;
+    dirty = repair_dirty_;
+  }
+  // The puller runs Bob; this host is Alice — the direction that moves the
+  // PULLER's set toward this host's (see server/handshake.h).
+  const std::unique_ptr<recon::PartySession> alice =
+      protocol->MakeAliceSession(snapshot->points());
+  {
+    PullAcceptFrame ack;
+    ack.protocol = pull.protocol;
+    ack.server_set_size = snapshot->size();
+    ack.seq = served_seq;
+    ack.generation = snapshot->generation();
+    ack.dirty = dirty;
+    framed.Send(EncodePullAccept(ack));
+  }
+
+  bool pumped_ok = true;
+  for (transport::Message& opening : alice->Start()) {
+    if (!framed.Send(opening)) {
+      pumped_ok = false;
+      break;
+    }
+  }
+  // Pump until the puller closes the stream: Alice's side of a session has
+  // no terminal frame of its own (one-shot protocols end with Alice silent
+  // and Bob done), so the close IS the end-of-pull signal.
+  transport::Message incoming;
+  size_t deliveries = 0;
+  while (pumped_ok) {
+    const auto status = framed.Receive(&incoming);
+    if (status == net::FramedStream::RecvStatus::kClosed) break;
+    if (status != net::FramedStream::RecvStatus::kMessage ||
+        IsControlLabel(incoming.label) ||
+        ++deliveries > options_.max_deliveries) {
+      pumped_ok = false;
+      break;
+    }
+    for (transport::Message& reply : alice->OnMessage(std::move(incoming))) {
+      if (!framed.Send(reply)) {
+        pumped_ok = false;
+        break;
+      }
+    }
+  }
+  stream->Close();
+  SettleMetrics(framed, std::string(kPullLabel) + ":" + pull.protocol,
+                pumped_ok, SecondsSince(start_time));
+}
+
+std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
+    const PointSet& inserts, const PointSet& erases) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  std::shared_ptr<const SketchSnapshot> snap =
+      store_.ApplyUpdate(inserts, erases);
+  if (options_.changelog != nullptr) {
+    replica::ChangeEntry entry;
+    entry.seq = ++replica_seq_;
+    entry.inserts = inserts;
+    entry.erases = erases;
+    options_.changelog->Append(std::move(entry));
+  }
+  return snap;
+}
+
+std::shared_ptr<const SketchSnapshot> SyncServer::ApplyReplicated(
+    const replica::ChangeEntry& entry) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  if (entry.seq <= replica_seq_) return store_.Snapshot();
+  RSR_CHECK_MSG(entry.seq == replica_seq_ + 1,
+                "replicated entry would leave a seq gap");
+  std::shared_ptr<const SketchSnapshot> snap =
+      store_.ApplyUpdate(entry.inserts, entry.erases);
+  replica_seq_ = entry.seq;
+  if (options_.changelog != nullptr) options_.changelog->Append(entry);
+  return snap;
+}
+
+std::shared_ptr<const SketchSnapshot> SyncServer::InstallRepair(
+    const PointSet& inserts, const PointSet& erases, uint64_t seq,
+    bool exact) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  std::shared_ptr<const SketchSnapshot> snap =
+      store_.ApplyUpdate(inserts, erases);
+  if (exact) {
+    replica_seq_ = seq;
+    repair_dirty_ = false;
+    if (options_.changelog != nullptr) options_.changelog->MarkSnapshot(seq);
+  } else {
+    // The set now corresponds to no journal position: stay at the old seq
+    // (so a later exact repair re-bases correctly) and flag the state.
+    repair_dirty_ = true;
+  }
+  return snap;
+}
+
+uint64_t SyncServer::replica_seq() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return replica_seq_;
+}
+
+bool SyncServer::repair_dirty() const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  return repair_dirty_;
+}
+
+std::string SyncServer::DumpStats() const {
+  uint64_t generation = 0;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    generation = store_.Snapshot()->generation();
+    seq = replica_seq_;
+  }
+  return rsr::server::DumpStats(metrics(), generation, seq);
 }
 
 bool SyncServer::Start(std::unique_ptr<net::TcpListener> listener) {

@@ -43,6 +43,7 @@
 #include "net/frame.h"
 #include "net/tcp.h"
 #include "recon/registry.h"
+#include "replica/changelog.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
 
@@ -66,6 +67,14 @@ struct SyncServerOptions {
   bool serve_from_cache = true;
   /// Protocol registry to negotiate against; nullptr = the global one.
   const recon::ProtocolRegistry* registry = nullptr;
+  /// When set, the host replicates: every ApplyUpdate is journaled here
+  /// (write-through, under one lock with the store mutation), "@log-fetch"
+  /// is served from it, and the host's replication position travels in
+  /// every "@accept". Not owned; must outlive the server.
+  replica::Changelog* changelog = nullptr;
+  /// Upper bound on entries per served "@log-batch" (a fetch's own
+  /// max_entries only tightens it).
+  size_t log_fetch_max_entries = 512;
 };
 
 // ProtocolStats and SyncServerMetrics moved to server/server_stats.h so
@@ -98,14 +107,48 @@ class SyncServer {
 
   SyncServerMetrics metrics() const;
 
+  /// Plain-text counters dump (server/server_stats.h): one totals line
+  /// (generation + replication position included) plus one line per
+  /// negotiated protocol.
+  std::string DumpStats() const;
+
   /// Mutates the canonical set (erases first, then inserts; see
   /// SketchStore::ApplyUpdate) and returns the new generation's snapshot.
   /// Safe to call while connections are being served: in-flight sessions
-  /// finish against the snapshot they were accepted under.
+  /// finish against the snapshot they were accepted under. On a
+  /// replicating host the batch is also journaled at replica_seq() + 1,
+  /// atomically with the store mutation.
   std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
-                                                    const PointSet& erases) {
-    return store_.ApplyUpdate(inserts, erases);
-  }
+                                                    const PointSet& erases);
+
+  /// Applies one journaled entry fetched from a peer (the log catch-up
+  /// path): exactly ApplyUpdate, except the position comes from the entry
+  /// and the entry is mirrored into this host's own changelog verbatim, so
+  /// the replayed history stays bit-identical to the writer's. Entries at
+  /// or below replica_seq() are skipped (idempotent); an entry above
+  /// replica_seq() + 1 is a replication bug and checks fatally.
+  std::shared_ptr<const SketchSnapshot> ApplyReplicated(
+      const replica::ChangeEntry& entry);
+
+  /// Installs the outcome of a protocol repair against a peer at position
+  /// `seq`: applies the delta, then — when the repair was `exact` (an
+  /// exact-key protocol against a clean peer) — adopts `seq` as this
+  /// host's position and re-bases the changelog there
+  /// (Changelog::MarkSnapshot). An approximate repair leaves the position
+  /// and log alone and marks the host dirty: its set now corresponds to no
+  /// journal position, so it must repair (never tail-replay) until an
+  /// exact repair lands. See replica/replica_node.h.
+  std::shared_ptr<const SketchSnapshot> InstallRepair(const PointSet& inserts,
+                                                      const PointSet& erases,
+                                                      uint64_t seq,
+                                                      bool exact);
+
+  /// Replication position: seq of the last journaled mutation folded into
+  /// the canonical set (0 on a non-replicating host).
+  uint64_t replica_seq() const;
+
+  /// True after an approximate repair, until an exact one supersedes it.
+  bool repair_dirty() const;
 
   /// The current canonical snapshot (points + generation + sketches).
   std::shared_ptr<const SketchSnapshot> snapshot() const {
@@ -119,10 +162,28 @@ class SyncServer {
  private:
   void AcceptLoop();
   void WorkerLoop();
+  /// Serves an "@log-fetch" opening frame to completion (the whole
+  /// connection is that one exchange). Called by ServeConnection.
+  void ServeLogFetch(net::FramedStream& framed,
+                     const transport::Message& first,
+                     net::ByteStream* stream);
+  /// Serves an "@pull" opening frame: hosts the Alice side of the named
+  /// protocol over the canonical snapshot until the puller closes.
+  void ServePull(net::FramedStream& framed, const transport::Message& first,
+                 net::ByteStream* stream);
+  void SettleMetrics(const net::FramedStream& framed, const std::string& name,
+                     bool success, double wall_seconds);
 
   const SyncServerOptions options_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
+
+  /// Guards the (store mutation, changelog append, replica_seq_,
+  /// repair_dirty_) compound so a served snapshot + position pair is
+  /// always consistent.
+  mutable std::mutex replica_mu_;
+  uint64_t replica_seq_ = 0;
+  bool repair_dirty_ = false;
 
   std::unique_ptr<net::TcpListener> listener_;
   std::thread accept_thread_;

@@ -1,0 +1,453 @@
+// Replication subsystem: tail replay bit-identity, fall-off-the-log
+// protocol repair, approximate-repair dirtiness, mesh convergence to
+// exact zero divergence, replica-aware client serving, retry-on-reject,
+// and the stats dump. The concurrency-heavy pieces (pipe serving threads,
+// scheduler rounds) run under TSan in CI.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/frame.h"
+#include "net/pipe_stream.h"
+#include "net/tcp.h"
+#include "recon/exact_recon.h"
+#include "recon/registry.h"
+#include "replica/anti_entropy.h"
+#include "replica/mesh.h"
+#include "replica/replica_node.h"
+#include "server/async_sync_server.h"
+#include "server/handshake.h"
+#include "server/sync_client.h"
+#include "server/sync_server.h"
+#include "transport/channel.h"
+#include "util/bitio.h"
+#include "workload/churn.h"
+#include "workload/generator.h"
+
+namespace rsr {
+namespace replica {
+namespace {
+
+using RoundPath = RoundRecord::Path;
+
+recon::ProtocolContext Ctx() {
+  recon::ProtocolContext ctx;
+  ctx.universe = MakeUniverse(1 << 12, 2);
+  ctx.seed = 9;
+  return ctx;
+}
+
+recon::ProtocolParams Params() {
+  recon::ProtocolParams params;
+  params.k = 8;
+  return params;
+}
+
+PointSet Cloud(size_t n, uint64_t seed) {
+  workload::CloudSpec spec;
+  spec.universe = Ctx().universe;
+  spec.n = n;
+  spec.shape = workload::CloudShape::kClusters;
+  Rng rng(seed);
+  return workload::GenerateCloud(spec, &rng);
+}
+
+ReplicaNodeOptions NodeOptions(size_t log_capacity) {
+  ReplicaNodeOptions options;
+  options.server.context = Ctx();
+  options.server.params = Params();
+  options.changelog.capacity = log_capacity;
+  return options;
+}
+
+workload::ChurnSpec SmallChurn() {
+  workload::ChurnSpec spec;
+  spec.fraction = 0.0;  // min_updates floors it: one replacement per batch
+  spec.min_updates = 1;
+  return spec;
+}
+
+/// Applies `batches` churn batches to the writer node.
+void Churn(ReplicaNode* writer, const workload::ChurnSpec& spec,
+           size_t batches, Rng* rng) {
+  for (size_t i = 0; i < batches; ++i) {
+    const workload::ChurnBatch batch = workload::MakeChurnBatch(
+        writer->points(), Ctx().universe, spec, rng);
+    writer->Apply(batch.inserts, batch.erases);
+  }
+}
+
+std::vector<uint8_t> StrataBits(const server::SketchSnapshot& snapshot) {
+  const auto strata =
+      snapshot.ExactStrata(recon::ExactReconStrataConfig(Ctx().seed));
+  BitWriter w;
+  if (strata.has_value()) strata->Serialize(&w);
+  return std::move(w).TakeBytes();
+}
+
+TEST(ReplicaNodeTest, TailReplayIsBitIdenticalToWriter) {
+  ReplicaMeshOptions options;
+  options.nodes = 2;
+  options.node = NodeOptions(64);
+  ReplicaMesh mesh(Cloud(96, 4242), options);
+
+  Rng rng(7);
+  Churn(&mesh.node(0), SmallChurn(), 3, &rng);
+  ASSERT_EQ(mesh.node(0).applied_seq(), 3u);
+
+  const RoundRecord round = mesh.RunRound(1, 0);
+  EXPECT_EQ(round.path, RoundPath::kTail) << round.error_detail;
+  EXPECT_TRUE(round.ok);
+  EXPECT_EQ(round.entries_applied, 3u);
+  EXPECT_EQ(round.peer_seq, 3u);
+  EXPECT_EQ(mesh.node(1).applied_seq(), 3u);
+
+  // Same batches replayed in the same order: the follower's point SEQUENCE
+  // (not just multiset) and its cached serving sketches must come out
+  // bit-identical to the writer's.
+  EXPECT_EQ(mesh.node(1).points(), mesh.node(0).points());
+  EXPECT_EQ(StrataBits(*mesh.node(1).snapshot()),
+            StrataBits(*mesh.node(0).snapshot()));
+
+  // Mirrored changelog: a third replica could now tail from the follower.
+  const FetchedEntries mirrored = mesh.node(1).changelog().Fetch(0);
+  ASSERT_TRUE(mirrored.ok);
+  EXPECT_EQ(mirrored.entries.size(), 3u);
+
+  const RoundRecord idle = mesh.RunRound(1, 0);
+  EXPECT_EQ(idle.path, RoundPath::kInSync);
+  EXPECT_TRUE(idle.ok);
+  mesh.StopSchedulers();
+}
+
+TEST(ReplicaNodeTest, FallOffLogForcesRepairThenTailResumes) {
+  ReplicaMeshOptions options;
+  options.nodes = 2;
+  options.node = NodeOptions(1);       // ring keeps only the newest entry
+  options.node.exact_budget = 1000;    // keep the repair on the exact path
+  ReplicaMesh mesh(Cloud(96, 4242), options);
+
+  Rng rng(8);
+  Churn(&mesh.node(0), SmallChurn(), 3, &rng);
+
+  // The follower (at seq 0) has fallen off the writer's one-entry ring.
+  const RoundRecord repair = mesh.RunRound(1, 0);
+  EXPECT_EQ(repair.path, RoundPath::kRepairExact) << repair.error_detail;
+  EXPECT_TRUE(repair.ok);
+  EXPECT_EQ(repair.protocol, "riblt-oneshot");
+  EXPECT_EQ(repair.seq_after, 3u);
+  EXPECT_FALSE(repair.dirty_after);
+  EXPECT_EQ(mesh.Divergence(0, 1), 0u);
+
+  // Exact install re-based the follower's coverage at the peer's seq, so
+  // the next writer batch tails normally again.
+  Churn(&mesh.node(0), SmallChurn(), 1, &rng);
+  const RoundRecord tail = mesh.RunRound(1, 0);
+  EXPECT_EQ(tail.path, RoundPath::kTail) << tail.error_detail;
+  EXPECT_EQ(tail.entries_applied, 1u);
+  EXPECT_EQ(mesh.Divergence(0, 1), 0u);
+  mesh.StopSchedulers();
+}
+
+TEST(ReplicaNodeTest, ApproximateRepairGoesDirtyUntilExactRepair) {
+  ReplicaMeshOptions options;
+  options.nodes = 2;
+  options.node = NodeOptions(1);
+  options.node.exact_budget = 1;        // force the delta past the exact band
+  options.node.approx_budget = 100000;  // ...into the approximate one
+  ReplicaMesh mesh(Cloud(96, 4242), options);
+
+  Rng rng(11);
+  Churn(&mesh.node(0), SmallChurn(), 3, &rng);
+
+  const RoundRecord approx = mesh.RunRound(1, 0);
+  EXPECT_EQ(approx.path, RoundPath::kRepairApprox) << approx.error_detail;
+  EXPECT_TRUE(approx.ok);
+  EXPECT_EQ(approx.protocol, "quadtree");
+  EXPECT_TRUE(approx.dirty_after);
+  // The set corresponds to no journal position now; seq did not move.
+  EXPECT_EQ(approx.seq_after, 0u);
+
+  // A dirty node never tail-replays and never re-approximates: the next
+  // round escalates to an exact install, which clears the flag and adopts
+  // the peer's position.
+  const RoundRecord exact = mesh.RunRound(1, 0);
+  EXPECT_TRUE(exact.ok) << exact.error_detail;
+  EXPECT_TRUE(exact.path == RoundPath::kRepairExact ||
+              exact.path == RoundPath::kRepairFull)
+      << RoundPathName(exact.path);
+  EXPECT_FALSE(exact.dirty_after);
+  EXPECT_EQ(exact.seq_after, mesh.node(0).applied_seq());
+  EXPECT_EQ(mesh.Divergence(0, 1), 0u);
+  mesh.StopSchedulers();
+}
+
+TEST(ReplicaMeshTest, ThreeNodesConvergeToExactZeroDivergence) {
+  ReplicaMeshOptions options;
+  options.nodes = 3;
+  options.node = NodeOptions(4);
+  ReplicaMesh mesh(Cloud(128, 1234), options);
+
+  Rng rng(21);
+  workload::ChurnSpec spec = SmallChurn();
+  spec.min_updates = 2;
+
+  std::vector<RoundRecord> records;
+  // Churn while the followers pull — node 2 pulls from node 1, so the
+  // follower-to-follower serving path (mirrored changelog) is exercised.
+  for (size_t phase = 0; phase < 6; ++phase) {
+    Churn(&mesh.node(0), spec, 2, &rng);
+    records.push_back(mesh.RunRound(1, 0));
+    records.push_back(mesh.RunRound(2, 1));
+  }
+  // Quiescence: no more writes; a few more rounds must reach exact zero.
+  for (size_t round = 0; round < 12 && mesh.MaxDivergence() > 0; ++round) {
+    records.push_back(mesh.RunRound(1, 0));
+    records.push_back(mesh.RunRound(2, 1));
+    records.push_back(mesh.RunRound(2, 0));
+  }
+  EXPECT_EQ(mesh.MaxDivergence(), 0u);
+  EXPECT_EQ(mesh.node(1).applied_seq(), mesh.node(0).applied_seq());
+  EXPECT_EQ(mesh.node(2).applied_seq(), mesh.node(0).applied_seq());
+  for (const RoundRecord& record : records) {
+    EXPECT_NE(record.path, RoundPath::kError) << record.error_detail;
+  }
+  const bool tailed = std::any_of(
+      records.begin(), records.end(),
+      [](const RoundRecord& r) { return r.path == RoundPath::kTail; });
+  EXPECT_TRUE(tailed);
+  mesh.StopSchedulers();
+}
+
+TEST(ReplicaMeshTest, SchedulerConvergesInBackground) {
+  ReplicaMeshOptions options;
+  options.nodes = 3;
+  options.node = NodeOptions(64);
+  options.anti_entropy.period = std::chrono::milliseconds(5);
+  ReplicaMesh mesh(Cloud(96, 77), options);
+
+  Rng rng(31);
+  ASSERT_TRUE(mesh.StartScheduler(1));
+  ASSERT_TRUE(mesh.StartScheduler(2));
+  Churn(&mesh.node(0), SmallChurn(), 5, &rng);
+  // Wait (bounded) for the periodic pulls to spread the writes.
+  for (int i = 0; i < 400 && mesh.MaxDivergence() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  mesh.StopSchedulers();
+  // One final deterministic sweep settles any round that raced the stop.
+  mesh.RunRound(1, 0);
+  mesh.RunRound(2, 0);
+  EXPECT_EQ(mesh.MaxDivergence(), 0u);
+  EXPECT_GE(mesh.scheduler(1).rounds_run(), 1u);
+  EXPECT_GE(mesh.scheduler(2).rounds_run(), 1u);
+  mesh.StopSchedulers();
+}
+
+TEST(ReplicaServingTest, ClientSyncMatchesDriverAndSeesReplicaSeq) {
+  ReplicaNodeOptions node_options = NodeOptions(64);
+  ReplicaNode node(Cloud(96, 4242), node_options);
+  Rng rng(41);
+  Churn(&node, SmallChurn(), 2, &rng);
+  ASSERT_EQ(node.applied_seq(), 2u);
+
+  // A drifted client replica (same size; perturbed copies).
+  PointSet client_points = node.points();
+  for (size_t i = 0; i < 6; ++i) {
+    client_points[i] = workload::PerturbPoint(
+        client_points[i], Ctx().universe, workload::NoiseKind::kGaussian,
+        4.0, &rng);
+  }
+
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+
+  auto [server_end, client_end] = net::PipeStream::CreatePair();
+  std::thread server_thread([&node, end = std::move(server_end)]() mutable {
+    node.host().ServeConnection(end.get());
+  });
+  const server::SyncOutcome outcome =
+      client.Sync(client_end.get(), "riblt-oneshot", client_points);
+  server_thread.join();
+
+  ASSERT_TRUE(outcome.handshake_ok) << outcome.error_detail;
+  EXPECT_EQ(outcome.server_replica_seq, 2u);
+  EXPECT_EQ(outcome.server_generation,
+            node.host().snapshot()->generation());
+
+  // Bit-identical to the in-process two-party driver on the same inputs.
+  const auto reconciler =
+      recon::MakeReconciler("riblt-oneshot", Ctx(), Params());
+  transport::Channel channel;
+  const recon::ReconResult expected =
+      reconciler->Run(client_points, node.points(), &channel);
+  ASSERT_TRUE(outcome.result.success);
+  EXPECT_EQ(outcome.result.bob_final, expected.bob_final);
+  EXPECT_EQ(outcome.result.transmitted, expected.transmitted);
+}
+
+TEST(SyncRetryTest, RejectedHandshakeRetriesAllAttempts) {
+  // A server with an empty registry rejects every protocol.
+  const recon::ProtocolRegistry empty_registry;
+  server::SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  server_options.registry = &empty_registry;
+  server::SyncServer server(Cloud(64, 5), server_options);
+
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+
+  std::vector<std::thread> serve_threads;
+  const auto connect = [&]() -> std::unique_ptr<net::ByteStream> {
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    serve_threads.emplace_back(
+        [&server, end = std::move(server_end)]() mutable {
+          server.ServeConnection(end.get());
+        });
+    return std::move(client_end);
+  };
+
+  server::SyncRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  const server::SyncOutcome outcome =
+      client.SyncWithRetry(connect, "riblt-oneshot", Cloud(64, 6), policy);
+  for (std::thread& t : serve_threads) t.join();
+
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.result.error, recon::SessionError::kProtocolRejected);
+  EXPECT_EQ(outcome.attempts_used, 3u);
+  EXPECT_FALSE(outcome.reject_reason.empty());
+  EXPECT_EQ(server.metrics().handshakes_rejected, 3u);
+}
+
+TEST(SyncRetryTest, RecoversOnSecondAttemptAfterDeadStream) {
+  server::SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  server::SyncServer server(Cloud(64, 5), server_options);
+
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+
+  std::vector<std::thread> serve_threads;
+  size_t dials = 0;
+  const auto connect = [&]() -> std::unique_ptr<net::ByteStream> {
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    if (++dials == 1) {
+      // First dial reaches a dead peer: handshake fails pre-@accept,
+      // which is the retryable class.
+      server_end->Close();
+      return std::move(client_end);
+    }
+    serve_threads.emplace_back(
+        [&server, end = std::move(server_end)]() mutable {
+          server.ServeConnection(end.get());
+        });
+    return std::move(client_end);
+  };
+
+  server::SyncRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  // full-transfer: decode cannot fail, so success isolates the transport
+  // recovery under test from protocol capacity.
+  const server::SyncOutcome outcome =
+      client.SyncWithRetry(connect, "full-transfer", Cloud(64, 6), policy);
+  for (std::thread& t : serve_threads) t.join();
+
+  EXPECT_TRUE(outcome.result.success) << outcome.error_detail;
+  EXPECT_EQ(outcome.attempts_used, 2u);
+  EXPECT_EQ(dials, 2u);
+}
+
+TEST(ReplicaServingTest, DumpStatsReportsPositionAndReplicationVerbs) {
+  ReplicaMeshOptions options;
+  options.nodes = 2;
+  options.node = NodeOptions(64);
+  ReplicaMesh mesh(Cloud(64, 4242), options);
+  Rng rng(51);
+  Churn(&mesh.node(0), SmallChurn(), 2, &rng);
+  ASSERT_EQ(mesh.RunRound(1, 0).path, RoundPath::kTail);
+  mesh.StopSchedulers();
+
+  const std::string stats = mesh.node(0).host().DumpStats();
+  EXPECT_NE(stats.find("replica_seq=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("@log-fetch: ok=1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("peak_active="), std::string::npos) << stats;
+}
+
+TEST(AsyncReplicaTest, AsyncHostJournalsServesLogFetchAndReportsSeq) {
+  Changelog changelog;
+  server::AsyncSyncServerOptions options;
+  options.context = Ctx();
+  options.params = Params();
+  options.changelog = &changelog;
+  server::AsyncSyncServer server(Cloud(96, 4242), options);
+  ASSERT_TRUE(server.Start(net::TcpListener::Listen("127.0.0.1", 0)));
+
+  Rng rng(61);
+  workload::ChurnBatch batch = workload::MakeChurnBatch(
+      server.canonical(), Ctx().universe, SmallChurn(), &rng);
+  server.ApplyUpdate(batch.inserts, batch.erases);
+  batch = workload::MakeChurnBatch(server.canonical(), Ctx().universe,
+                                   SmallChurn(), &rng);
+  server.ApplyUpdate(batch.inserts, batch.erases);
+  EXPECT_EQ(server.replica_seq(), 2u);
+
+  // Raw @log-fetch over TCP.
+  {
+    auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+    ASSERT_NE(stream, nullptr);
+    net::FramedStream framed(stream.get());
+    server::LogFetchFrame fetch;
+    fetch.from_seq = 0;
+    ASSERT_TRUE(framed.Send(server::EncodeLogFetch(fetch)));
+    transport::Message reply;
+    ASSERT_EQ(framed.Receive(&reply),
+              net::FramedStream::RecvStatus::kMessage);
+    server::LogBatchFrame log_batch;
+    ASSERT_TRUE(server::DecodeLogBatch(
+        reply, Ctx().universe,
+        recon::ExactReconStrataConfig(Ctx().seed), &log_batch));
+    EXPECT_TRUE(log_batch.ok);
+    EXPECT_TRUE(log_batch.complete);
+    EXPECT_EQ(log_batch.last_seq, 2u);
+    EXPECT_EQ(log_batch.entries.size(), 2u);
+    stream->Close();
+  }
+
+  // The replication position rides in the ordinary "@accept" too.
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+  auto stream = net::TcpStream::Connect("127.0.0.1", server.port());
+  ASSERT_NE(stream, nullptr);
+  const server::SyncOutcome outcome =
+      client.Sync(stream.get(), "riblt-oneshot", Cloud(96, 62));
+  EXPECT_TRUE(outcome.handshake_ok) << outcome.error_detail;
+  EXPECT_EQ(outcome.server_replica_seq, 2u);
+
+  const std::string stats = server.DumpStats();
+  EXPECT_NE(stats.find("replica_seq=2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("@log-fetch:"), std::string::npos) << stats;
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace replica
+}  // namespace rsr

@@ -225,6 +225,56 @@ TEST(SketchStoreTest, WidthBoundaryCrossingRebuilds) {
   ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
 }
 
+TEST(SketchStoreTest, EraseAndReinsertSameKeyInOneBatchBitIdentical) {
+  // The exact shape changelog replay produces (src/replica/changelog.h): a
+  // batch that erases a point and re-inserts the very same point, next to
+  // an ordinary churn replacement. The incremental path must leave every
+  // sketch bit-identical to a fresh rebuild — the -1/+1 pair must cancel
+  // exactly in the strata, the histograms and both RIBLT families.
+  PointSet mirror = Cloud(64, 4242);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  Rng rng(7);
+  workload::ChurnBatch batch;
+  batch.erases = {mirror[3], mirror[10]};
+  batch.inserts = {mirror[3],
+                   workload::PerturbPoint(mirror[10], Ctx().universe,
+                                          workload::NoiseKind::kGaussian, 4.0,
+                                          &rng)};
+  workload::ApplyChurnBatch(batch, &mirror);
+  const auto snapshot = store.ApplyUpdate(batch.inserts, batch.erases);
+  ExpectSnapshotMatchesScratch(*snapshot, mirror);
+
+  // Same-key erase+reinsert alone (a replayed no-op batch) as well. Note
+  // the multiset is unchanged but the sequence is not: the erased copy is
+  // removed in place and the re-insert lands at the end.
+  workload::ChurnBatch noop;
+  noop.erases = {mirror[5]};
+  noop.inserts = {mirror[5]};
+  store.ApplyUpdate(noop.inserts, noop.erases);
+  workload::ApplyChurnBatch(noop, &mirror);
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+}
+
+TEST(SketchStoreTest, RibltWidthBoundaryWithoutHistogramBoundaryRebuilds) {
+  // 62 -> 63 keeps HistogramCountBits unchanged (both under 64) but moves
+  // the RIBLT max_entries = 2n + 2 from 126 to 128, widening the
+  // serialized sum fields. The cached one-shot and MLSH tables must be
+  // rebuilt, or their serialization would keep the stale widths.
+  PointSet mirror = Cloud(62, 2026);
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  const PointSet grow = Cloud(1, 2027);
+  store.ApplyUpdate(grow, {});
+  mirror.insert(mirror.end(), grow.begin(), grow.end());
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+
+  // And back down across the same boundary with an erase-only batch.
+  workload::ChurnBatch shrink;
+  shrink.erases = {mirror.back()};
+  store.ApplyUpdate({}, shrink.erases);
+  workload::ApplyChurnBatch(shrink, &mirror);
+  ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
+}
+
 TEST(SketchStoreTest, ErasingAbsentPointsIsIgnoredConsistently) {
   PointSet mirror = Cloud(32, 9);
   SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
