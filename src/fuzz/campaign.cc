@@ -1,0 +1,74 @@
+#include "fuzz/campaign.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace rsr {
+namespace fuzz {
+
+CampaignResult RunCampaign(const std::vector<uint64_t>& seeds,
+                           const CampaignOptions& options) {
+  CampaignResult result;
+  for (const uint64_t seed : seeds) {
+    FuzzScript script = GenerateScript(seed, options.gen);
+    if (options.mutate_script) options.mutate_script(&script);
+    const RunReport report = RunScript(script, options.runner);
+    ++result.scripts;
+    result.ops += report.ops_applied;
+    result.syncs += report.syncs_run;
+    result.sync_errors += report.sync_errors;
+    result.client_syncs += report.client_syncs;
+    result.mesh_pulls += report.mesh_pulls;
+    if (report.ok) continue;
+
+    ++result.failures;
+    Counterexample example;
+    example.seed = seed;
+    example.kind = report.failure;
+    example.detail = report.detail;
+    example.original_steps = script.steps.size();
+    example.script = script;
+    if (options.shrink_failures) {
+      ShrinkOutcome shrunk =
+          ShrinkScript(script, report.failure, options.runner, options.shrink);
+      example.shrink_runs = shrunk.runs_used;
+      example.script = std::move(shrunk.script);
+    }
+    if (!options.artifact_dir.empty()) {
+      example.artifact_path =
+          DumpCounterexample(example, options.artifact_dir, options.mix_name);
+    }
+    result.examples.push_back(std::move(example));
+  }
+  return result;
+}
+
+std::string DumpCounterexample(const Counterexample& example,
+                               const std::string& dir,
+                               const std::string& mix_name) {
+  const std::string path =
+      dir + "/fuzz-" + mix_name + "-" + std::to_string(example.seed) +
+      ".script";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << "# rsr convergence-fuzzer counterexample\n";
+  out << "# mix: " << mix_name << "\n";
+  out << "# failure: " << FuzzFailureName(example.kind) << "\n";
+  out << "# detail: " << example.detail << "\n";
+  out << "# reproduce: fuzz_replay " << path << "\n";
+  out << SerializeScript(example.script);
+  return out ? path : "";
+}
+
+bool LoadScriptFile(const std::string& path, FuzzScript* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ParseScript(text.str(), out);
+}
+
+}  // namespace fuzz
+}  // namespace rsr

@@ -1,0 +1,82 @@
+// Campaign driver: run many generated scripts, shrink what fails, dump
+// replayable counterexample artifacts.
+//
+// One campaign = one GenOptions mix executed over a list of seeds. Every
+// failure is (optionally) shrunk to a near-minimal script and written to
+// `artifact_dir` as a self-contained text file: a commented header (mix,
+// failure kind, detail) followed by the serialized script. The file IS the
+// reproduction — `fuzz_replay <file>` re-runs it byte for byte, with no
+// dependence on the generator, the seed list, or this process's state
+// (even the self-test's planted bug travels in the script's tamper field).
+
+#ifndef RSR_FUZZ_CAMPAIGN_H_
+#define RSR_FUZZ_CAMPAIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/runner.h"
+#include "fuzz/script.h"
+#include "fuzz/shrink.h"
+
+namespace rsr {
+namespace fuzz {
+
+struct CampaignOptions {
+  GenOptions gen;
+  FuzzRunnerOptions runner;
+  bool shrink_failures = true;
+  ShrinkOptions shrink;
+  /// Directory for counterexample files ("" = do not dump).
+  std::string artifact_dir;
+  /// Mix label carried into artifact headers and campaign rows.
+  std::string mix_name = "default";
+  /// Applied to every generated script before it runs — the harness
+  /// self-test uses this to plant the tamper config on a chosen peer.
+  std::function<void(FuzzScript*)> mutate_script;
+};
+
+struct Counterexample {
+  uint64_t seed = 0;
+  FuzzFailure kind = FuzzFailure::kNone;
+  std::string detail;
+  FuzzScript script;  ///< Shrunk (original when shrinking is off/failed).
+  size_t original_steps = 0;
+  size_t shrink_runs = 0;
+  std::string artifact_path;  ///< "" when not dumped.
+};
+
+struct CampaignResult {
+  size_t scripts = 0;
+  size_t failures = 0;
+  size_t ops = 0;
+  size_t syncs = 0;
+  size_t sync_errors = 0;
+  size_t client_syncs = 0;
+  size_t mesh_pulls = 0;
+  std::vector<Counterexample> examples;
+};
+
+/// Generates and runs one script per seed. Failures are shrunk and dumped
+/// per `options`; the campaign keeps going after a failure so one run
+/// reports every failing seed.
+CampaignResult RunCampaign(const std::vector<uint64_t>& seeds,
+                           const CampaignOptions& options);
+
+/// Writes `example` under `dir` as fuzz-<mix>-<seed>.script. Returns the
+/// path ("" on I/O failure).
+std::string DumpCounterexample(const Counterexample& example,
+                               const std::string& dir,
+                               const std::string& mix_name);
+
+/// Reads a script (or counterexample artifact; '#' header lines are
+/// skipped by the parser) from `path`.
+bool LoadScriptFile(const std::string& path, FuzzScript* out);
+
+}  // namespace fuzz
+}  // namespace rsr
+
+#endif  // RSR_FUZZ_CAMPAIGN_H_

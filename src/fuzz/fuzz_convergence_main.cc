@@ -1,0 +1,146 @@
+// Convergence fuzzer entry point (DESIGN.md §11).
+//
+// Runs seed-driven campaigns over four serving mixes — pipe-only, forced
+// TCP, async-host tails, mesh rounds — and reports one row per mix plus a
+// BENCH_FUZZ.json (bench/bench_util.h) the CI asserts on: in smoke mode
+// (fixed seed base) every script must converge. Counterexamples are
+// shrunk and dumped to --artifacts as replayable script files; CI's
+// nightly randomized job uploads them.
+//
+// Usage:
+//   fuzz_convergence [--scripts=N] [--seed-base=S] [--artifacts=DIR]
+//                    [--long] [--mix=NAME]
+//
+// --scripts     scripts per mix (default 50)
+// --seed-base   first seed; mix m, script i runs seed base + 10000*m + i
+//               (default 1000 — the deterministic smoke schedule)
+// --artifacts   directory for counterexample dumps (default ".")
+// --long        longer scripts / bigger clouds (nightly shape)
+// --mix         run only the named mix (pipe | tcp | async | mesh)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "fuzz/campaign.h"
+
+namespace {
+
+struct Mix {
+  const char* name;
+  rsr::fuzz::GenOptions gen;
+};
+
+std::vector<Mix> BuildMixes(bool long_mode) {
+  rsr::fuzz::GenOptions base;
+  if (long_mode) {
+    base.min_steps = 40;
+    base.max_steps = 120;
+    base.min_initial = 16;
+    base.max_initial = 64;
+  }
+  Mix pipe{"pipe", base};
+  Mix tcp{"tcp", base};
+  tcp.gen.allow_tcp = true;
+  tcp.gen.force_tcp = true;
+  Mix async{"async", base};
+  async.gen.allow_async = true;
+  Mix mesh{"mesh", base};
+  mesh.gen.allow_mesh = true;
+  mesh.gen.allow_tcp = true;
+  return {pipe, tcp, async, mesh};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t scripts_per_mix = 50;
+  uint64_t seed_base = 1000;
+  std::string artifacts = ".";
+  std::string only_mix;
+  bool long_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--scripts=")) {
+      scripts_per_mix = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--seed-base=")) {
+      seed_base = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--artifacts=")) {
+      artifacts = v;
+    } else if (const char* v = value("--mix=")) {
+      only_mix = v;
+    } else if (arg == "--long") {
+      long_mode = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  rsr::bench::Banner(
+      "FUZZ", "Property-based multi-peer convergence fuzzing",
+      "every random op/sync schedule converges to exact set equality "
+      "(divergence == 0 AND EMD == 0) at quiescence");
+  rsr::bench::Row({"mix", "scripts", "failures", "ops", "syncs",
+                   "sync_errors", "client_syncs", "mesh_pulls"});
+
+  const std::vector<Mix> mixes = BuildMixes(long_mode);
+  size_t total_failures = 0;
+  uint64_t mix_index = 0;
+  for (const Mix& mix : mixes) {
+    const uint64_t mix_base = seed_base + 10000 * mix_index++;
+    if (!only_mix.empty() && only_mix != mix.name) continue;
+    std::vector<uint64_t> seeds;
+    seeds.reserve(scripts_per_mix);
+    for (size_t i = 0; i < scripts_per_mix; ++i) seeds.push_back(mix_base + i);
+
+    rsr::fuzz::CampaignOptions options;
+    options.gen = mix.gen;
+    options.mix_name = mix.name;
+    options.artifact_dir = artifacts;
+    const auto start = std::chrono::steady_clock::now();
+    const rsr::fuzz::CampaignResult result =
+        rsr::fuzz::RunCampaign(seeds, options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    total_failures += result.failures;
+    rsr::bench::RowExtras(
+        {{"wall_ms", std::to_string(wall_ms)},
+         {"seed_base", std::to_string(mix_base)}});
+    rsr::bench::Row({mix.name, std::to_string(result.scripts),
+                     std::to_string(result.failures),
+                     std::to_string(result.ops), std::to_string(result.syncs),
+                     std::to_string(result.sync_errors),
+                     std::to_string(result.client_syncs),
+                     std::to_string(result.mesh_pulls)});
+    for (const rsr::fuzz::Counterexample& example : result.examples) {
+      std::printf("  COUNTEREXAMPLE seed=%llu kind=%s steps=%zu->%zu %s\n",
+                  static_cast<unsigned long long>(example.seed),
+                  rsr::fuzz::FuzzFailureName(example.kind),
+                  example.original_steps, example.script.steps.size(),
+                  example.artifact_path.empty()
+                      ? "(not dumped)"
+                      : example.artifact_path.c_str());
+      std::printf("    %s\n", example.detail.c_str());
+    }
+  }
+
+  if (total_failures > 0) {
+    std::printf("\n%zu failing script(s); replay with: fuzz_replay <file>\n",
+                total_failures);
+    return 1;
+  }
+  std::printf("\nall scripts converged\n");
+  return 0;
+}

@@ -1,0 +1,367 @@
+#include "fuzz/script.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/random.h"
+#include "workload/adversarial.h"
+
+namespace rsr {
+namespace fuzz {
+
+namespace {
+
+constexpr char kMagic[] = "rsr-fuzz-script v1";
+
+/// Registry protocols a client-sync step may request. Equal-size-contract
+/// protocols are included on purpose — the runner substitutes an exact-key
+/// protocol at run time when the two sets' sizes differ (fuzz/runner.cc),
+/// so shrinking a script never turns a valid step into an invalid one.
+const char* const kClientProtocols[] = {
+    "full-transfer", "exact-iblt",        "riblt-oneshot", "gap-lattice",
+    "quadtree",      "quadtree-adaptive", "single-grid",   "mlsh-riblt",
+};
+
+void AppendPoint(const Point& p, std::ostringstream* out) {
+  for (int64_t c : p) *out << ' ' << c;
+}
+
+bool ReadPoint(std::istringstream* in, int d, Point* out) {
+  out->assign(static_cast<size_t>(d), 0);
+  for (int i = 0; i < d; ++i) {
+    if (!(*in >> (*out)[static_cast<size_t>(i)])) return false;
+  }
+  return true;
+}
+
+bool AtLineEnd(std::istringstream* in) {
+  std::string rest;
+  return !(*in >> rest);
+}
+
+}  // namespace
+
+const char* StepKindName(StepKind kind) {
+  switch (kind) {
+    case StepKind::kInsert:
+      return "insert";
+    case StepKind::kUpdate:
+      return "update";
+    case StepKind::kDelete:
+      return "delete";
+    case StepKind::kSync:
+      return "sync";
+    case StepKind::kClientSync:
+      return "client";
+    case StepKind::kMeshRound:
+      return "mesh";
+  }
+  return "insert";
+}
+
+std::string SerializeScript(const FuzzScript& script) {
+  std::ostringstream out;
+  const FuzzConfig& c = script.config;
+  out << kMagic << '\n';
+  out << "seed " << c.seed << '\n';
+  out << "peers " << c.num_peers << " writer " << c.writer << '\n';
+  out << "universe " << c.universe_delta << ' ' << c.universe_d << '\n';
+  out << "context-seed " << c.context_seed << '\n';
+  out << "params-k " << c.params_k << '\n';
+  out << "ring " << c.ring_capacity << '\n';
+  out << "budgets " << c.exact_budget << ' ' << c.approx_budget << '\n';
+  out << "geometry " << c.geometry << '\n';
+  if (c.tamper_kind != 0) {
+    out << "tamper " << c.tamper_kind << ' ' << c.tamper_peer << '\n';
+  }
+  out << "init " << script.initial.size() << '\n';
+  for (const Point& p : script.initial) {
+    out << "p";
+    AppendPoint(p, &out);
+    out << '\n';
+  }
+  out << "steps " << script.steps.size() << '\n';
+  for (const FuzzStep& s : script.steps) {
+    out << StepKindName(s.kind);
+    switch (s.kind) {
+      case StepKind::kInsert:
+      case StepKind::kDelete:
+        out << ' ' << s.peer;
+        AppendPoint(s.point, &out);
+        break;
+      case StepKind::kUpdate:
+        out << ' ' << s.peer;
+        AppendPoint(s.old_point, &out);
+        AppendPoint(s.point, &out);
+        break;
+      case StepKind::kSync:
+        out << ' ' << s.peer << ' ' << s.source << ' ' << (s.tcp ? 1 : 0)
+            << ' ' << (s.async_host ? 1 : 0) << ' ' << s.fault_after_bytes
+            << ' ' << (s.dribble ? 1 : 0);
+        break;
+      case StepKind::kClientSync:
+        out << ' ' << s.peer << ' ' << s.source << ' ' << (s.tcp ? 1 : 0)
+            << ' ' << s.protocol;
+        break;
+      case StepKind::kMeshRound:
+        out << ' ' << s.mesh_pulls << ' ' << s.aux_seed;
+        break;
+    }
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+bool ParseScript(const std::string& text, FuzzScript* out) {
+  *out = FuzzScript{};
+  FuzzConfig& c = out->config;
+  std::istringstream lines(text);
+  std::string line;
+
+  const auto next_line = [&](std::string* dst) {
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      *dst = line;
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_line(&line) || line != kMagic) return false;
+
+  size_t init_count = 0, step_count = 0;
+  bool saw_init = false, saw_steps = false, saw_end = false;
+  while (next_line(&line)) {
+    std::istringstream in(line);
+    std::string key;
+    if (!(in >> key)) return false;
+    if (key == "seed") {
+      if (!(in >> c.seed) || !AtLineEnd(&in)) return false;
+    } else if (key == "peers") {
+      std::string wkey;
+      if (!(in >> c.num_peers >> wkey >> c.writer) || wkey != "writer" ||
+          !AtLineEnd(&in)) {
+        return false;
+      }
+      if (c.num_peers < 2 || c.writer >= c.num_peers) return false;
+    } else if (key == "universe") {
+      if (!(in >> c.universe_delta >> c.universe_d) || !AtLineEnd(&in)) {
+        return false;
+      }
+      if (c.universe_delta < 1 || c.universe_d < 1) return false;
+    } else if (key == "context-seed") {
+      if (!(in >> c.context_seed) || !AtLineEnd(&in)) return false;
+    } else if (key == "params-k") {
+      if (!(in >> c.params_k) || !AtLineEnd(&in)) return false;
+    } else if (key == "ring") {
+      if (!(in >> c.ring_capacity) || !AtLineEnd(&in)) return false;
+    } else if (key == "budgets") {
+      if (!(in >> c.exact_budget >> c.approx_budget) || !AtLineEnd(&in)) {
+        return false;
+      }
+    } else if (key == "geometry") {
+      if (!(in >> c.geometry) || !AtLineEnd(&in)) return false;
+    } else if (key == "tamper") {
+      if (!(in >> c.tamper_kind >> c.tamper_peer) || !AtLineEnd(&in)) {
+        return false;
+      }
+    } else if (key == "init") {
+      if (!(in >> init_count) || !AtLineEnd(&in)) return false;
+      saw_init = true;
+      out->initial.reserve(init_count);
+      for (size_t i = 0; i < init_count; ++i) {
+        if (!next_line(&line)) return false;
+        std::istringstream pin(line);
+        std::string tag;
+        Point p;
+        if (!(pin >> tag) || tag != "p" ||
+            !ReadPoint(&pin, c.universe_d, &p) || !AtLineEnd(&pin)) {
+          return false;
+        }
+        out->initial.push_back(std::move(p));
+      }
+    } else if (key == "steps") {
+      if (!(in >> step_count) || !AtLineEnd(&in)) return false;
+      saw_steps = true;
+      out->steps.reserve(step_count);
+      for (size_t i = 0; i < step_count; ++i) {
+        if (!next_line(&line)) return false;
+        std::istringstream sin(line);
+        std::string kind;
+        if (!(sin >> kind)) return false;
+        FuzzStep step;
+        int tcp = 0, async_host = 0, dribble = 0;
+        if (kind == "insert" || kind == "delete") {
+          step.kind = kind == "insert" ? StepKind::kInsert : StepKind::kDelete;
+          if (!(sin >> step.peer) ||
+              !ReadPoint(&sin, c.universe_d, &step.point)) {
+            return false;
+          }
+        } else if (kind == "update") {
+          step.kind = StepKind::kUpdate;
+          if (!(sin >> step.peer) ||
+              !ReadPoint(&sin, c.universe_d, &step.old_point) ||
+              !ReadPoint(&sin, c.universe_d, &step.point)) {
+            return false;
+          }
+        } else if (kind == "sync") {
+          step.kind = StepKind::kSync;
+          if (!(sin >> step.peer >> step.source >> tcp >> async_host >>
+                step.fault_after_bytes >> dribble)) {
+            return false;
+          }
+        } else if (kind == "client") {
+          step.kind = StepKind::kClientSync;
+          if (!(sin >> step.peer >> step.source >> tcp >> step.protocol)) {
+            return false;
+          }
+        } else if (kind == "mesh") {
+          step.kind = StepKind::kMeshRound;
+          if (!(sin >> step.mesh_pulls >> step.aux_seed)) return false;
+        } else {
+          return false;
+        }
+        if (!AtLineEnd(&sin)) return false;
+        step.tcp = tcp != 0;
+        step.async_host = async_host != 0;
+        step.dribble = dribble != 0;
+        if (step.kind != StepKind::kMeshRound &&
+            (step.peer >= c.num_peers ||
+             ((step.kind == StepKind::kSync ||
+               step.kind == StepKind::kClientSync) &&
+              (step.source >= c.num_peers || step.source == step.peer)))) {
+          return false;
+        }
+        out->steps.push_back(std::move(step));
+      }
+    } else if (key == "end") {
+      if (!AtLineEnd(&in)) return false;
+      saw_end = true;
+      break;
+    } else {
+      return false;
+    }
+  }
+  return saw_init && saw_steps && saw_end;
+}
+
+FuzzScript GenerateScript(uint64_t seed, const GenOptions& options) {
+  Rng rng(seed);
+  FuzzScript script;
+  FuzzConfig& c = script.config;
+  c.seed = seed;
+  c.num_peers =
+      options.min_peers +
+      rng.Below(options.max_peers - options.min_peers + 1);
+  c.writer = rng.Below(c.num_peers);
+  c.universe_delta = int64_t{1} << (10 + rng.Below(3));  // 2^10 .. 2^12
+  c.universe_d = 2;
+  c.context_seed = rng.Next64();
+  // Favor k >= 32: riblt-oneshot repairs sized from a strata UNDER-estimate
+  // would otherwise fail so often that most runs lean on the full-transfer
+  // escalation instead of the sized protocols the fuzzer should exercise.
+  const size_t k_choices[] = {16, 32, 32, 64};
+  c.params_k = k_choices[rng.Below(4)];
+  const size_t ring_choices[] = {8, 64, 1024};
+  c.ring_capacity = ring_choices[rng.Below(3)];
+  c.exact_budget = 0;  // derive riblt.k
+  c.approx_budget = rng.Below(2) == 0 ? 0 : c.params_k;
+  c.geometry = options.geometry >= 0 ? options.geometry
+                                     : static_cast<int>(rng.Below(5));
+
+  const Universe universe = MakeUniverse(c.universe_delta, c.universe_d);
+  workload::AdversarialSampler sampler(
+      universe, static_cast<workload::AdversarialGeometry>(c.geometry),
+      rng.Fork(0x5eed));
+  const size_t initial_n =
+      options.min_initial +
+      rng.Below(options.max_initial - options.min_initial + 1);
+  script.initial = sampler.DrawCloud(initial_n);
+
+  // Generation-side model of every peer's multiset — only used to bias op
+  // choices toward points the peer actually holds; the runner never
+  // consults it.
+  std::vector<PointSet> model(c.num_peers, script.initial);
+
+  const auto random_follower = [&] {
+    size_t peer = rng.Below(c.num_peers - 1);
+    if (peer >= c.writer) ++peer;
+    return peer;
+  };
+  const auto random_other = [&](size_t peer) {
+    size_t other = rng.Below(c.num_peers - 1);
+    if (other >= peer) ++other;
+    return other;
+  };
+
+  const size_t num_steps =
+      options.min_steps + rng.Below(options.max_steps - options.min_steps + 1);
+  script.steps.reserve(num_steps);
+  for (size_t i = 0; i < num_steps; ++i) {
+    const uint64_t r = rng.Below(100);
+    FuzzStep step;
+    if (r < 62) {
+      // ------------------------------------------------ mutation (62%)
+      step.peer = rng.Below(c.num_peers);
+      PointSet& set = model[step.peer];
+      const uint64_t op = rng.Below(100);
+      if (op < 45 || set.empty()) {
+        step.kind = StepKind::kInsert;
+        const Point* anchor =
+            set.empty() ? nullptr : &set[rng.Below(set.size())];
+        step.point = sampler.Draw(anchor);
+        set.push_back(step.point);
+      } else if (op < 75) {
+        step.kind = StepKind::kUpdate;
+        const size_t victim = rng.Below(set.size());
+        step.old_point = set[victim];
+        // Half the updates are hot churn: the replacement is a
+        // precision-boundary twin of the replaced point.
+        step.point = rng.Below(2) == 0 ? sampler.NearDuplicate(step.old_point)
+                                       : sampler.Draw(&step.old_point);
+        set[victim] = step.point;
+      } else {
+        step.kind = StepKind::kDelete;
+        const size_t victim = rng.Below(set.size());
+        step.point = set[victim];
+        set.erase(set.begin() + static_cast<ptrdiff_t>(victim));
+      }
+    } else if (r < 87) {
+      // ---------------------------------------------------- sync (25%)
+      step.kind = StepKind::kSync;
+      step.peer = random_follower();  // the writer never pulls (file doc)
+      step.source = random_other(step.peer);
+      step.tcp = options.force_tcp ||
+                 (options.allow_tcp && rng.Below(100) < 40);
+      step.async_host = options.allow_async && rng.Below(100) < 40;
+      if (rng.Bernoulli(options.fault_prob)) {
+        step.fault_after_bytes = 32 + rng.Below(1 << 12);
+      }
+      step.dribble = rng.Bernoulli(options.dribble_prob);
+      if (step.fault_after_bytes == 0) {
+        model[step.peer] = model[step.source];  // assume the pull lands
+      }
+    } else if (r < 94 || !options.allow_mesh) {
+      // -------------------------------------------- client oracle (7%)
+      step.kind = StepKind::kClientSync;
+      step.peer = rng.Below(c.num_peers);
+      step.source = random_other(step.peer);
+      step.tcp = options.force_tcp ||
+                 (options.allow_tcp && rng.Below(100) < 40);
+      step.protocol = kClientProtocols[rng.Below(
+          sizeof kClientProtocols / sizeof kClientProtocols[0])];
+    } else {
+      // ----------------------------------------------- mesh round (6%)
+      step.kind = StepKind::kMeshRound;
+      step.mesh_pulls = 1 + rng.Below(2 * c.num_peers);
+      step.aux_seed = rng.Next64();
+    }
+    script.steps.push_back(std::move(step));
+  }
+  return script;
+}
+
+}  // namespace fuzz
+}  // namespace rsr

@@ -1,0 +1,77 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rsr {
+namespace fuzz {
+
+namespace {
+
+/// One ddmin pass over a sequence accessed through erase-range candidates:
+/// `size()` reports the current length, `try_without(begin, count)` must
+/// return true (and commit) iff the script still fails without that range.
+template <typename SizeFn, typename TryFn>
+void DdminPass(const SizeFn& size, const TryFn& try_without) {
+  size_t chunk = std::max<size_t>(1, size() / 2);
+  while (chunk >= 1) {
+    size_t begin = 0;
+    while (begin < size()) {
+      const size_t count = std::min(chunk, size() - begin);
+      if (try_without(begin, count)) {
+        // Committed: the sequence shrank in place; retry the same offset.
+        continue;
+      }
+      begin += count;
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkScript(const FuzzScript& failing, FuzzFailure kind,
+                           const FuzzRunnerOptions& runner_options,
+                           const ShrinkOptions& options) {
+  ShrinkOutcome outcome;
+  outcome.script = failing;
+  FuzzScript& current = outcome.script;
+
+  const auto still_fails = [&](const FuzzScript& candidate) {
+    if (outcome.runs_used >= options.max_runs) return false;
+    ++outcome.runs_used;
+    return RunScript(candidate, runner_options).failure == kind;
+  };
+
+  // Steps first: most counterexamples are short once irrelevant traffic is
+  // gone, which also makes the initial-cloud pass cheaper.
+  DdminPass(
+      [&] { return current.steps.size(); },
+      [&](size_t begin, size_t count) {
+        FuzzScript candidate = current;
+        candidate.steps.erase(
+            candidate.steps.begin() + static_cast<ptrdiff_t>(begin),
+            candidate.steps.begin() + static_cast<ptrdiff_t>(begin + count));
+        if (!still_fails(candidate)) return false;
+        current = std::move(candidate);
+        return true;
+      });
+
+  DdminPass(
+      [&] { return current.initial.size(); },
+      [&](size_t begin, size_t count) {
+        FuzzScript candidate = current;
+        candidate.initial.erase(
+            candidate.initial.begin() + static_cast<ptrdiff_t>(begin),
+            candidate.initial.begin() + static_cast<ptrdiff_t>(begin + count));
+        if (!still_fails(candidate)) return false;
+        current = std::move(candidate);
+        return true;
+      });
+
+  return outcome;
+}
+
+}  // namespace fuzz
+}  // namespace rsr

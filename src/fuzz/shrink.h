@@ -1,0 +1,42 @@
+// Greedy script shrinking: reduce a failing fuzz script to a (locally)
+// minimal counterexample that still fails the same way.
+//
+// ddmin-style: repeatedly try deleting contiguous chunks of steps (chunk
+// size n/2, then n/4, ... down to single steps), keeping any deletion
+// after which the script still fails with the SAME FuzzFailure kind; then
+// shrink the shared initial point cloud the same way. Deleting steps is
+// always semantically safe — scripts carry concrete points, and erasing an
+// absent point is a defined no-op (fuzz/script.h) — so every candidate is
+// a valid script. The run budget caps total re-executions; shrinking is
+// best-effort, not guaranteed-minimal.
+
+#ifndef RSR_FUZZ_SHRINK_H_
+#define RSR_FUZZ_SHRINK_H_
+
+#include <cstddef>
+
+#include "fuzz/runner.h"
+#include "fuzz/script.h"
+
+namespace rsr {
+namespace fuzz {
+
+struct ShrinkOptions {
+  size_t max_runs = 300;  ///< Re-execution budget.
+};
+
+struct ShrinkOutcome {
+  FuzzScript script;     ///< The reduced script (still fails with `kind`).
+  size_t runs_used = 0;  ///< Scripts re-executed while shrinking.
+};
+
+/// Shrinks `failing` (which must fail with `kind` under `runner_options`)
+/// and returns the smallest still-failing script found within the budget.
+ShrinkOutcome ShrinkScript(const FuzzScript& failing, FuzzFailure kind,
+                           const FuzzRunnerOptions& runner_options,
+                           const ShrinkOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace rsr
+
+#endif  // RSR_FUZZ_SHRINK_H_

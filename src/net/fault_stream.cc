@@ -1,0 +1,66 @@
+#include "net/fault_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rsr {
+namespace net {
+
+FaultyStream::FaultyStream(std::unique_ptr<ByteStream> inner,
+                           FaultOptions options)
+    : inner_(std::move(inner)), options_(options), rng_(options.seed) {}
+
+FaultyStream::~FaultyStream() { Close(); }
+
+bool FaultyStream::Charge(size_t n) {
+  if (options_.close_after_bytes == 0) return true;
+  if (fault_fired_) return false;
+  bytes_crossed_ += n;
+  if (bytes_crossed_ >= options_.close_after_bytes) {
+    fault_fired_ = true;
+    inner_->Close();
+    return false;
+  }
+  return true;
+}
+
+ptrdiff_t FaultyStream::Read(uint8_t* buf, size_t n) {
+  if (fault_fired_) return 0;  // the peer observes a clean EOF after a kill
+  const size_t ask = options_.dribble ? std::min<size_t>(n, 1) : n;
+  const ptrdiff_t got = inner_->Read(buf, ask);
+  if (got > 0 && !Charge(static_cast<size_t>(got))) {
+    // The bytes were already delivered to the caller; the NEXT operation
+    // observes the disconnect, which is how a real half-open close lands.
+    return got;
+  }
+  return got;
+}
+
+bool FaultyStream::Write(const uint8_t* data, size_t n) {
+  if (fault_fired_) return false;
+  size_t offset = 0;
+  while (offset < n) {
+    size_t chunk = n - offset;
+    if (options_.dribble) {
+      chunk = std::min<size_t>(1 + rng_.Below(3), chunk);
+    }
+    if (!inner_->Write(data + offset, chunk)) return false;
+    offset += chunk;
+    if (!Charge(chunk)) return false;
+  }
+  return true;
+}
+
+void FaultyStream::Close() { inner_->Close(); }
+
+std::unique_ptr<ByteStream> MaybeWrapFaulty(std::unique_ptr<ByteStream> inner,
+                                            const FaultOptions& options) {
+  if (inner == nullptr ||
+      (options.close_after_bytes == 0 && !options.dribble)) {
+    return inner;
+  }
+  return std::make_unique<FaultyStream>(std::move(inner), options);
+}
+
+}  // namespace net
+}  // namespace rsr

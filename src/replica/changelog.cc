@@ -138,10 +138,25 @@ void Changelog::WriteSegmentLocked(const ChangeEntry& entry) {
   std::fflush(segment_);
 }
 
-bool ReplaySegment(const std::string& path,
-                   const std::function<void(const ChangeEntry&)>& fn) {
+const char* SegmentReplayStatusName(SegmentReplayStatus status) {
+  switch (status) {
+    case SegmentReplayStatus::kOk:
+      return "ok";
+    case SegmentReplayStatus::kOpenFailed:
+      return "open-failed";
+    case SegmentReplayStatus::kTornTail:
+      return "torn-tail";
+    case SegmentReplayStatus::kCorruptEntry:
+      return "corrupt-entry";
+  }
+  return "corrupt-entry";
+}
+
+SegmentReplayStatus ReplaySegmentDetailed(
+    const std::string& path,
+    const std::function<void(const ChangeEntry&)>& fn) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return false;
+  if (file == nullptr) return SegmentReplayStatus::kOpenFailed;
   std::vector<uint8_t> bytes;
   uint8_t buffer[4096];
   size_t got = 0;
@@ -153,13 +168,25 @@ bool ReplaySegment(const std::string& path,
   ByteReader reader(bytes);
   while (!reader.AtEnd()) {
     std::vector<uint8_t> record;
-    if (!reader.ReadBlob(&record)) return false;  // torn tail write
+    // A blob that cannot be read whole is the torn tail of an interrupted
+    // append: the length prefix or the payload ends early.
+    if (!reader.ReadBlob(&record)) return SegmentReplayStatus::kTornTail;
     ChangeEntry entry;
     ByteReader record_reader(record);
-    if (!DecodeSegmentEntry(&record_reader, &entry)) return false;
+    // The record is length-intact, so a decode failure means the payload
+    // itself is damaged. Decode fully BEFORE delivering: `fn` never sees
+    // a partial batch.
+    if (!DecodeSegmentEntry(&record_reader, &entry)) {
+      return SegmentReplayStatus::kCorruptEntry;
+    }
     fn(entry);
   }
-  return true;
+  return SegmentReplayStatus::kOk;
+}
+
+bool ReplaySegment(const std::string& path,
+                   const std::function<void(const ChangeEntry&)>& fn) {
+  return ReplaySegmentDetailed(path, fn) == SegmentReplayStatus::kOk;
 }
 
 }  // namespace replica

@@ -124,9 +124,30 @@ class Changelog {
   std::FILE* segment_ = nullptr;
 };
 
+/// Why a segment replay stopped. The distinction matters operationally:
+/// a torn tail is the expected shape of a crash mid-append (recoverable —
+/// the intact prefix IS the journal), while a corrupt entry inside an
+/// intact length-prefixed record means the file was damaged at rest.
+enum class SegmentReplayStatus {
+  kOk,          ///< Every record decoded and was delivered.
+  kOpenFailed,  ///< The file could not be opened; nothing delivered.
+  kTornTail,    ///< Trailing partial record (interrupted append); the
+                ///< intact prefix was delivered.
+  kCorruptEntry,  ///< A length-intact record failed to decode; entries
+                  ///< before it were delivered, nothing at or after it.
+};
+
+const char* SegmentReplayStatusName(SegmentReplayStatus status);
+
 /// Reads back a segment file written by a Changelog, invoking `fn` per
-/// entry in append order. Returns false on a malformed or truncated file
-/// (entries before the damage are still delivered).
+/// entry in append order. Entries are delivered one complete record at a
+/// time — a partially decoded entry is NEVER delivered (the decoder
+/// validates the whole record before `fn` sees it).
+SegmentReplayStatus ReplaySegmentDetailed(
+    const std::string& path,
+    const std::function<void(const ChangeEntry&)>& fn);
+
+/// Back-compat wrapper: true iff ReplaySegmentDetailed returns kOk.
 bool ReplaySegment(const std::string& path,
                    const std::function<void(const ChangeEntry&)>& fn);
 

@@ -85,6 +85,11 @@ std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
 }
 
 RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
+  return SyncWithPeer(peer, peer);
+}
+
+RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& fetch_peer,
+                                      const StreamFactory& repair_peer) {
   RoundRecord record;
   record.seq_after = applied_seq();
   record.dirty_after = dirty();
@@ -95,7 +100,7 @@ RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
   };
 
   // ------------------------------------------------------------- fetch
-  std::unique_ptr<net::ByteStream> stream = peer();
+  std::unique_ptr<net::ByteStream> stream = fetch_peer();
   if (stream == nullptr) {
     record.error_detail = "fetch: connect failed";
     return record;
@@ -134,7 +139,14 @@ RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
   // --------------------------------------------------------- tail path
   if (!was_dirty && batch.ok) {
     for (const ChangeEntry& entry : batch.entries) {
-      server_.ApplyReplicated(entry);
+      if (options_.fuzz_tail_tamper) {
+        // Fuzz-only divergence-bug seam (see ReplicaNodeOptions).
+        ChangeEntry tampered = entry;
+        options_.fuzz_tail_tamper(&tampered);
+        server_.ApplyReplicated(tampered);
+      } else {
+        server_.ApplyReplicated(entry);
+      }
       ++record.entries_applied;
     }
     record.path = record.entries_applied > 0 ? RoundRecord::Path::kTail
@@ -142,6 +154,7 @@ RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
     record.ok = true;
     record.seq_after = applied_seq();
     record.dirty_after = false;
+    escalate_next_repair_ = false;
     return record;
   }
 
@@ -161,7 +174,7 @@ RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
     // is safe.
     estimate = ~uint64_t{0};
   }
-  return Repair(peer, estimate, std::move(record));
+  return Repair(repair_peer, estimate, std::move(record));
 }
 
 RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
@@ -173,7 +186,13 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
                                   : resolved.riblt.k;
   const bool was_dirty = dirty();
   RoundRecord::Path path;
-  if (est_delta <= exact_budget) {
+  if (escalate_next_repair_) {
+    // The previous repair session failed (e.g. an under-estimated sketch
+    // did not decode). A deterministic workload would make the same sized
+    // choice fail the same way forever, so skip the bands once.
+    path = RoundRecord::Path::kRepairFull;
+    record.protocol = options_.repair_full_protocol;
+  } else if (est_delta <= exact_budget) {
     path = RoundRecord::Path::kRepairExact;
     record.protocol = options_.repair_exact_protocol;
   } else if (!was_dirty && options_.approx_budget > 0 &&
@@ -199,6 +218,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
     record.bytes_received += framed.bytes_received();
     record.error_detail = std::move(detail);
     record.path = RoundRecord::Path::kError;
+    escalate_next_repair_ = true;
     return record;
   };
 
@@ -269,6 +289,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
     record.error_detail = std::string("repair: session failed (") +
                           recon::SessionErrorName(result.error) + ")";
     record.path = RoundRecord::Path::kError;
+    escalate_next_repair_ = true;
     return record;
   }
 
@@ -286,6 +307,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
   record.peer_seq = accept.seq;
   record.seq_after = applied_seq();
   record.dirty_after = dirty();
+  escalate_next_repair_ = false;
   return record;
 }
 

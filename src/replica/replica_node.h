@@ -74,6 +74,13 @@ struct ReplicaNodeOptions {
   std::string repair_exact_protocol = "riblt-oneshot";
   std::string repair_approx_protocol = "quadtree";
   std::string repair_full_protocol = "full-transfer";
+  /// FUZZ-ONLY divergence-bug injection seam: when set, every changelog
+  /// entry this node tail-replays is passed through the hook first (the
+  /// hook may drop inserts/erases but MUST NOT touch seq). The convergence
+  /// fuzzer's self-test (src/fuzz/) plants a known bug here — e.g. drop
+  /// one erase — and asserts the quiescence oracle catches it. Never set
+  /// in production code.
+  std::function<void(ChangeEntry*)> fuzz_tail_tamper;
 };
 
 /// What one anti-entropy round did.
@@ -118,6 +125,15 @@ class ReplicaNode {
   /// comment). Blocking; dials up to two connections (fetch, then repair).
   RoundRecord SyncWithPeer(const StreamFactory& peer);
 
+  /// Split-dialer form: the "@log-fetch" leg dials `fetch_peer` and the
+  /// "@pull" repair leg dials `repair_peer`. The legs are separable because
+  /// the async host serves "@log-fetch" but not "@pull" (DESIGN.md §10):
+  /// a follower can tail an async writer while keeping its repair path on
+  /// the peer's threaded host. The convergence fuzzer routes its
+  /// async-host sync steps through exactly this seam.
+  RoundRecord SyncWithPeer(const StreamFactory& fetch_peer,
+                           const StreamFactory& repair_peer);
+
   server::SyncServer& host() { return server_; }
   const server::SyncServer& host() const { return server_; }
   Changelog& changelog() { return changelog_; }
@@ -135,6 +151,12 @@ class ReplicaNode {
   ReplicaNodeOptions options_;
   Changelog changelog_;
   server::SyncServer server_;
+  /// Set when a repair session failed (e.g. an exact-key sketch sized from
+  /// an under-estimate did not decode): the next repair skips the sized
+  /// bands and goes straight to the unconditional full transfer, so a
+  /// deterministic workload cannot loop on the same failing choice.
+  /// Cleared by any successful round.
+  bool escalate_next_repair_ = false;
 };
 
 /// Multiset symmetric-difference size |A Δ B| (order-insensitive): the

@@ -187,8 +187,14 @@ SyncOutcome SyncClient::SyncWithRetry(const StreamFactory& connect,
     }
     const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
     const double factor = 1.0 - jitter + 2.0 * jitter * rng.NextDouble();
-    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-        std::max(0.0, backoff_ms * factor)));
+    const auto wait = std::chrono::duration<double, std::milli>(
+        std::max(0.0, backoff_ms * factor));
+    if (policy.sleep_fn) {
+      policy.sleep_fn(
+          std::chrono::duration_cast<std::chrono::milliseconds>(wait));
+    } else {
+      std::this_thread::sleep_for(wait);
+    }
     backoff_ms *= std::max(1.0, policy.multiplier);
   }
 }

@@ -53,6 +53,10 @@ struct SyncRetryPolicy {
   /// fleet of clients rejected together does not retry together.
   double jitter = 0.5;
   uint64_t seed = 0;  ///< Jitter RNG seed.
+  /// Clock seam: when set, backoff waits call this instead of sleeping the
+  /// thread. Tests install a recorder here to pin down the schedule (its
+  /// bounds and count) without wall-clock time in the loop.
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
 };
 
 /// Everything one Sync call produced.

@@ -1,0 +1,147 @@
+#include "workload/adversarial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rsr {
+namespace workload {
+
+namespace {
+
+int64_t Clamp(int64_t v, const Universe& universe) {
+  if (v < 0) return 0;
+  if (v >= universe.delta) return universe.delta - 1;
+  return v;
+}
+
+}  // namespace
+
+const char* AdversarialGeometryName(AdversarialGeometry geometry) {
+  switch (geometry) {
+    case AdversarialGeometry::kUniform:
+      return "uniform";
+    case AdversarialGeometry::kHeavyTailClusters:
+      return "heavy-tail";
+    case AdversarialGeometry::kNearDuplicates:
+      return "near-dup";
+    case AdversarialGeometry::kHotSpot:
+      return "hot-spot";
+    case AdversarialGeometry::kMixed:
+      return "mixed";
+  }
+  return "uniform";
+}
+
+AdversarialSampler::AdversarialSampler(const Universe& universe,
+                                       AdversarialGeometry geometry, Rng rng)
+    : universe_(universe), geometry_(geometry), rng_(std::move(rng)) {
+  RSR_CHECK(universe_.d >= 1 && universe_.delta >= 1);
+  // Fix the scene geometry up front so every later draw is a pure function
+  // of the Rng stream, whatever order the script consumes draws in.
+  const size_t clusters = 2 + rng_.Below(6);
+  centres_.reserve(clusters);
+  for (size_t c = 0; c < clusters; ++c) centres_.push_back(UniformDraw());
+  hot_side_ = std::max<int64_t>(1, universe_.delta / 64);
+  hot_corner_ = UniformDraw();
+  for (auto& c : hot_corner_) c = Clamp(c, universe_);
+}
+
+Point AdversarialSampler::UniformDraw() {
+  Point p(static_cast<size_t>(universe_.d));
+  for (auto& c : p) {
+    c = static_cast<int64_t>(
+        rng_.Below(static_cast<uint64_t>(universe_.delta)));
+  }
+  return p;
+}
+
+Point AdversarialSampler::ClusterDraw() {
+  // Zipf-like cluster mass: rank r is chosen with probability ∝ 1/(r+1),
+  // so the head cluster dominates — the heavy tail the presets never have.
+  size_t rank = 0;
+  while (rank + 1 < centres_.size() && rng_.Below(2) == 0) ++rank;
+  const Point& centre = centres_[rank];
+  const double sigma =
+      std::max(1.0, static_cast<double>(universe_.delta) / 512.0);
+  Point p(centre.size());
+  for (size_t j = 0; j < p.size(); ++j) {
+    const double v =
+        static_cast<double>(centre[j]) + rng_.Gaussian(0.0, sigma);
+    p[j] = Clamp(static_cast<int64_t>(std::llround(v)), universe_);
+  }
+  return p;
+}
+
+Point AdversarialSampler::HotSpotDraw() {
+  Point p(hot_corner_.size());
+  for (size_t j = 0; j < p.size(); ++j) {
+    p[j] = Clamp(hot_corner_[j] +
+                     static_cast<int64_t>(
+                         rng_.Below(static_cast<uint64_t>(hot_side_))),
+                 universe_);
+  }
+  return p;
+}
+
+Point AdversarialSampler::NearDuplicate(const Point& p) {
+  Point out = p;
+  const uint64_t mode = rng_.Below(4);
+  if (mode == 0) return out;  // exact multiset duplicate
+  const size_t axis = static_cast<size_t>(rng_.Below(out.size()));
+  if (mode == 1) {
+    // One-unit twin: the minimal difference the keyed-point hashing and the
+    // per-level cell assignment must both resolve consistently.
+    out[axis] = Clamp(out[axis] + (rng_.Below(2) == 0 ? 1 : -1), universe_);
+    return out;
+  }
+  // Snap the coordinate to (or one past) the nearest power-of-two edge, so
+  // the pair straddles a cell boundary at every quadtree level below it.
+  const int64_t v = std::max<int64_t>(1, out[axis]);
+  int64_t edge = 1;
+  while (edge * 2 <= v) edge *= 2;
+  out[axis] = Clamp(mode == 2 ? edge : edge - 1, universe_);
+  return out;
+}
+
+Point AdversarialSampler::Draw(const Point* anchor) {
+  AdversarialGeometry geometry = geometry_;
+  if (geometry == AdversarialGeometry::kMixed) {
+    geometry = static_cast<AdversarialGeometry>(rng_.Below(4));
+  }
+  switch (geometry) {
+    case AdversarialGeometry::kUniform:
+      return UniformDraw();
+    case AdversarialGeometry::kHeavyTailClusters:
+      return ClusterDraw();
+    case AdversarialGeometry::kNearDuplicates:
+      if (anchor != nullptr && !anchor->empty()) {
+        return NearDuplicate(*anchor);
+      }
+      // No anchor yet (e.g. the very first draws): seed the universe with
+      // points AT power-of-two edges, which their later twins straddle.
+      return NearDuplicate(UniformDraw());
+    case AdversarialGeometry::kHotSpot:
+      return HotSpotDraw();
+    case AdversarialGeometry::kMixed:
+      break;  // unreachable; resolved above
+  }
+  return UniformDraw();
+}
+
+PointSet AdversarialSampler::DrawCloud(size_t n) {
+  PointSet points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point* anchor =
+        points.empty() ? nullptr
+                       : &points[rng_.Below(points.size())];
+    points.push_back(Draw(anchor));
+  }
+  return points;
+}
+
+}  // namespace workload
+}  // namespace rsr

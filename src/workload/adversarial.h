@@ -1,0 +1,85 @@
+// Adversarial point geometry for the convergence fuzzer.
+//
+// The preset clouds in workload/generator.h model the paper's evaluation
+// (uniform / Gaussian clusters / grid-aligned); this header generates the
+// geometry those presets structurally never produce — the shapes most
+// likely to expose bugs the driver and the server would share:
+//
+//   * heavy-tailed clusters: cluster masses follow a Zipf-like law, so a
+//     few cells hold most of the points (IBLT bucket skew, histogram count
+//     saturation);
+//   * near-duplicates at precision boundaries: points differing by one
+//     coordinate unit, exact multiset duplicates, and coordinates sitting
+//     at power-of-two cell edges where every quadtree level splits them
+//     into different cells (the float-precision sync-bug class from the
+//     cr-sqlite harness, translated to our integer universe);
+//   * hot-spot churn: a small box that updates and deletes keep hammering,
+//     so per-cell sketch maintenance sees coordinated, repeated traffic.
+//
+// All draws flow through rsr::Rng, so a fuzz script built from these is
+// replayable from its 64-bit seed.
+
+#ifndef RSR_WORKLOAD_ADVERSARIAL_H_
+#define RSR_WORKLOAD_ADVERSARIAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/point.h"
+#include "util/random.h"
+
+namespace rsr {
+namespace workload {
+
+/// Which adversarial family a fuzz script draws its points from.
+enum class AdversarialGeometry : int {
+  kUniform = 0,        ///< Control: plain uniform draws.
+  kHeavyTailClusters,  ///< Zipf cluster masses, tight Gaussian spread.
+  kNearDuplicates,     ///< ±1-unit twins, exact dupes, power-of-2 edges.
+  kHotSpot,            ///< Most traffic inside one small box.
+  kMixed,              ///< Per-draw random choice among the above.
+};
+
+const char* AdversarialGeometryName(AdversarialGeometry geometry);
+
+/// Deterministic point source for one fuzz script: fixes the cluster
+/// centres / hot-spot box once (from the constructor Rng draw) and then
+/// serves point draws and victim-biased choices.
+class AdversarialSampler {
+ public:
+  AdversarialSampler(const Universe& universe, AdversarialGeometry geometry,
+                     Rng rng);
+
+  /// Draws one fresh point from the configured family. `anchor` (optional)
+  /// biases near-duplicate draws toward an existing point — pass a point
+  /// already in some replica to generate its precision-boundary twin.
+  Point Draw(const Point* anchor = nullptr);
+
+  /// Draws an initial cloud of `n` points.
+  PointSet DrawCloud(size_t n);
+
+  /// A near-duplicate of `p`: equal to `p`, or off by exactly one unit in
+  /// one coordinate, or snapped to the nearest power-of-two cell edge —
+  /// chosen at random. Always inside the universe.
+  Point NearDuplicate(const Point& p);
+
+  const Universe& universe() const { return universe_; }
+  AdversarialGeometry geometry() const { return geometry_; }
+
+ private:
+  Point UniformDraw();
+  Point ClusterDraw();
+  Point HotSpotDraw();
+
+  Universe universe_;
+  AdversarialGeometry geometry_;
+  Rng rng_;
+  PointSet centres_;       ///< Heavy-tail cluster centres (rank = mass).
+  Point hot_corner_;       ///< Hot-spot box corner.
+  int64_t hot_side_ = 1;   ///< Hot-spot box side length.
+};
+
+}  // namespace workload
+}  // namespace rsr
+
+#endif  // RSR_WORKLOAD_ADVERSARIAL_H_

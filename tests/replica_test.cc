@@ -374,6 +374,163 @@ TEST(SyncRetryTest, RecoversOnSecondAttemptAfterDeadStream) {
   EXPECT_EQ(dials, 2u);
 }
 
+TEST(SyncRetryTest, BackoffScheduleIsBoundedAndJittered) {
+  // Every handshake is rejected, so the client consumes all attempts and
+  // the recorder sees every backoff wait — with NO wall-clock sleeping,
+  // thanks to the policy's clock seam.
+  const recon::ProtocolRegistry empty_registry;
+  server::SyncServerOptions server_options;
+  server_options.context = Ctx();
+  server_options.params = Params();
+  server_options.registry = &empty_registry;
+  server::SyncServer server(Cloud(64, 5), server_options);
+
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+
+  std::vector<std::thread> serve_threads;
+  const auto connect = [&]() -> std::unique_ptr<net::ByteStream> {
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    serve_threads.emplace_back(
+        [&server, end = std::move(server_end)]() mutable {
+          server.ServeConnection(end.get());
+        });
+    return std::move(client_end);
+  };
+
+  server::SyncRetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = std::chrono::milliseconds(100);
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  policy.seed = 7;
+  std::vector<std::chrono::milliseconds> sleeps;
+  policy.sleep_fn = [&sleeps](std::chrono::milliseconds wait) {
+    sleeps.push_back(wait);
+  };
+  const server::SyncOutcome outcome =
+      client.SyncWithRetry(connect, "riblt-oneshot", Cloud(64, 6), policy);
+  for (std::thread& t : serve_threads) t.join();
+
+  EXPECT_EQ(outcome.attempts_used, 4u);
+  // One wait between consecutive attempts: attempts - 1 of them, each
+  // inside the jitter band around initial_backoff * multiplier^i.
+  ASSERT_EQ(sleeps.size(), 3u);
+  bool jitter_moved_something = false;
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    const int64_t nominal = 100 * (int64_t{1} << i);
+    const int64_t lo = nominal * 3 / 4;   // (1 - jitter) * nominal
+    const int64_t hi = nominal * 5 / 4;   // (1 + jitter) * nominal
+    EXPECT_GE(sleeps[i].count(), lo) << "backoff " << i;
+    EXPECT_LE(sleeps[i].count(), hi) << "backoff " << i;
+    jitter_moved_something =
+        jitter_moved_something || sleeps[i].count() != nominal;
+  }
+  // The jitter RNG (seeded, deterministic) must actually spread retries.
+  EXPECT_TRUE(jitter_moved_something);
+}
+
+TEST(SyncRetryTest, NoRetryAfterAcceptObserved) {
+  // A hand-rolled server that completes the handshake and then hangs up:
+  // the failure is post-"@accept", where the session's outcome is unknown
+  // and a blind retry could double-apply — so the client must NOT retry.
+  server::SyncClientOptions client_options;
+  client_options.context = Ctx();
+  client_options.params = Params();
+  const server::SyncClient client(client_options);
+
+  std::vector<std::thread> serve_threads;
+  size_t dials = 0;
+  const auto connect = [&]() -> std::unique_ptr<net::ByteStream> {
+    ++dials;
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    serve_threads.emplace_back([end = std::move(server_end)]() mutable {
+      net::FramedStream framed(end.get());
+      transport::Message hello_message;
+      if (framed.Receive(&hello_message) !=
+          net::FramedStream::RecvStatus::kMessage) {
+        return;
+      }
+      server::HelloFrame hello;
+      if (!server::DecodeHello(hello_message, &hello)) return;
+      server::AcceptFrame accept;
+      accept.protocol = hello.protocol;
+      accept.will_send_result_set = hello.want_result_set;
+      accept.generation = 1;
+      framed.Send(server::EncodeAccept(accept));
+      end->Close();  // dies right after accepting
+    });
+    return std::move(client_end);
+  };
+
+  server::SyncRetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  size_t sleeps = 0;
+  policy.sleep_fn = [&sleeps](std::chrono::milliseconds) { ++sleeps; };
+  const server::SyncOutcome outcome =
+      client.SyncWithRetry(connect, "full-transfer", Cloud(64, 6), policy);
+  for (std::thread& t : serve_threads) t.join();
+
+  EXPECT_TRUE(outcome.handshake_ok);
+  EXPECT_FALSE(outcome.result.success);
+  EXPECT_EQ(outcome.attempts_used, 1u);
+  EXPECT_EQ(dials, 1u);
+  EXPECT_EQ(sleeps, 0u);
+}
+
+TEST(ReplicaNodeTest, RepairFailureEscalatesNextRepairToFullTransfer) {
+  // The follower's configured exact-repair protocol is one the peer will
+  // always reject, so the sized repair band fails deterministically. The
+  // escalation latch must route the NEXT repair straight to the
+  // unconditional full transfer instead of looping on the same choice —
+  // and clear itself once a round succeeds.
+  ReplicaNodeOptions options = NodeOptions(1);  // one-entry ring
+  options.exact_budget = 1000;
+  options.repair_exact_protocol = "no-such-protocol";
+  ReplicaNode writer(Cloud(96, 4242), options);
+  ReplicaNode follower(Cloud(96, 4242), options);
+
+  std::vector<std::thread> serve_threads;
+  const StreamFactory peer = [&]() -> std::unique_ptr<net::ByteStream> {
+    auto [server_end, client_end] = net::PipeStream::CreatePair();
+    serve_threads.emplace_back(
+        [&writer, end = std::move(server_end)]() mutable {
+          writer.host().ServeConnection(end.get());
+        });
+    return std::move(client_end);
+  };
+  const auto run_round = [&]() {
+    const RoundRecord record = follower.SyncWithPeer(peer);
+    for (std::thread& t : serve_threads) t.join();
+    serve_threads.clear();
+    return record;
+  };
+
+  Rng rng(13);
+  Churn(&writer, SmallChurn(), 3, &rng);  // follower falls off the ring
+
+  const RoundRecord rejected = run_round();
+  EXPECT_EQ(rejected.path, RoundPath::kError);
+  EXPECT_EQ(rejected.protocol, "no-such-protocol");
+
+  const RoundRecord escalated = run_round();
+  EXPECT_EQ(escalated.path, RoundPath::kRepairFull)
+      << escalated.error_detail;
+  EXPECT_TRUE(escalated.ok);
+  EXPECT_EQ(follower.applied_seq(), writer.applied_seq());
+  EXPECT_EQ(SetDivergence(follower.points(), writer.points()), 0u);
+
+  // Success cleared the latch: the next fall-off attempts the sized exact
+  // band again (and fails again) rather than jumping straight to full.
+  Churn(&writer, SmallChurn(), 2, &rng);
+  const RoundRecord relatched = run_round();
+  EXPECT_EQ(relatched.path, RoundPath::kError);
+  EXPECT_EQ(relatched.protocol, "no-such-protocol");
+}
+
 TEST(ReplicaServingTest, DumpStatsReportsPositionAndReplicationVerbs) {
   ReplicaMeshOptions options;
   options.nodes = 2;
