@@ -91,12 +91,16 @@ PointSet DriftedReplica(const PointSet& base, uint64_t seed) {
 
 /// One burst: `clients` concurrent TCP clients, client i negotiating
 /// protocols[i % protocols.size()]. Emits one table row labelled `label`.
+/// `latency_probes=false` serves with the optional probes off — the
+/// overhead-comparison arm of the metrics layer (DESIGN.md §12).
 void RunBurst(const PointSet& canonical, const std::string& label,
-              const std::vector<std::string>& protocols, size_t clients) {
+              const std::vector<std::string>& protocols, size_t clients,
+              bool latency_probes = true) {
   server::SyncServerOptions server_options;
   server_options.context = Ctx();
   server_options.params = Params();
   server_options.worker_threads = 8;
+  server_options.latency_probes = latency_probes;
   server::SyncServer server(canonical, server_options);
   if (!server.Start(net::TcpListener::Listen("127.0.0.1", 0))) {
     std::fprintf(stderr, "E16: failed to bind a loopback listener\n");
@@ -156,8 +160,19 @@ void RunBurst(const PointSet& canonical, const std::string& label,
 
   // Standard machine-comparable wall-clock field (shared with E12/E17;
   // "syncs_per_sec" is already a table column here, so only "wall_ms"
-  // needs the extras path).
-  bench::RowExtras({{"wall_ms", bench::Num(1e3 * burst_seconds)}});
+  // needs the extras path), plus the registry's session-latency
+  // quantiles.
+  std::vector<std::pair<std::string, std::string>> extras =
+      bench::LatencyExtras(server.metrics_registry());
+  extras.emplace_back("wall_ms", bench::Num(1e3 * burst_seconds));
+  extras.emplace_back("latency_probes", latency_probes ? "1" : "0");
+  // Registry-side session accounting, published so CI can catch drift
+  // between the metrics registry and the bench's own client counting.
+  extras.emplace_back(
+      "sessions_total",
+      std::to_string(
+          server.metrics_registry().SumCounters("rsr_sync_sessions_total")));
+  bench::RowExtras(std::move(extras));
   bench::Row({label, std::to_string(clients), std::to_string(matched),
               std::to_string(decoded),
               bench::Num(static_cast<double>(clients) / burst_seconds),
@@ -200,5 +215,12 @@ int main() {
            {"quadtree", "exact-iblt", "full-transfer", "gap-lattice",
             "riblt-oneshot"},
            32);
+  // Overhead arm: the same mixed 32-client burst with the optional
+  // latency probes off. Comparing syncs_per_sec between this row and
+  // "mixed-5" bounds the metrics hot-path cost (target: <= 2%).
+  RunBurst(canonical, "mixed-5-noprobe",
+           {"quadtree", "exact-iblt", "full-transfer", "gap-lattice",
+            "riblt-oneshot"},
+           32, /*latency_probes=*/false);
   return 0;
 }

@@ -174,13 +174,39 @@ BurstOutcome RunClients(uint16_t port, size_t clients) {
   return out;
 }
 
+/// Event-loop probe extras for the async host's rows (DESIGN.md §12):
+/// loop-iteration and epoll-wait p99, pending-task depth p99, and the
+/// timer-fire count, all from the host's shared shard instruments.
+std::vector<std::pair<std::string, std::string>> LoopExtras(
+    const obs::MetricsRegistry& registry) {
+  std::vector<std::pair<std::string, std::string>> extras;
+  const auto quantile_extra = [&](const char* metric, const char* key,
+                                  double scale) {
+    const std::optional<obs::HistogramSnapshot> snap =
+        registry.SnapshotHistogram(metric);
+    if (snap.has_value() && snap->count > 0) {
+      extras.emplace_back(key, bench::Num(scale * snap->Quantile(0.99)));
+    }
+  };
+  quantile_extra("rsr_loop_iteration_seconds", "loop_iter_p99_us", 1e6);
+  quantile_extra("rsr_loop_epoll_wait_seconds", "epoll_wait_p99_us", 1e6);
+  quantile_extra("rsr_loop_pending_tasks", "loop_pending_tasks_p99", 1.0);
+  extras.emplace_back(
+      "loop_timer_fires",
+      std::to_string(registry.CounterValue("rsr_loop_timer_fires_total")));
+  return extras;
+}
+
 void EmitRow(const std::string& host, size_t clients,
-             const BurstOutcome& outcome) {
+             const BurstOutcome& outcome,
+             std::vector<std::pair<std::string, std::string>> extras) {
   const double wall_ms = 1e3 * outcome.wall_seconds;
   const double syncs_per_sec =
       static_cast<double>(clients) / outcome.wall_seconds;
   // "syncs_per_sec" / "wall_ms" are table columns here, so the JSON rows
-  // already carry the standard field names — no RowExtras needed.
+  // already carry the standard field names; the extras add the latency
+  // quantiles (and, on the async host, the event-loop probes).
+  bench::RowExtras(std::move(extras));
   bench::Row({host, std::to_string(clients), std::to_string(outcome.matched),
               std::to_string(outcome.decoded), bench::Num(syncs_per_sec),
               bench::Num(wall_ms), std::to_string(outcome.peak_active),
@@ -201,7 +227,8 @@ void RunThreadedBurst(const PointSet& canonical, size_t clients) {
   BurstOutcome outcome = RunClients(server.port(), clients);
   server.Stop();
   outcome.peak_active = server.metrics().peak_active_sessions;
-  EmitRow("threaded-2w", clients, outcome);
+  EmitRow("threaded-2w", clients, outcome,
+          bench::LatencyExtras(server.metrics_registry()));
 }
 
 void RunAsyncBurst(const PointSet& canonical, size_t clients) {
@@ -217,7 +244,12 @@ void RunAsyncBurst(const PointSet& canonical, size_t clients) {
   BurstOutcome outcome = RunClients(server.port(), clients);
   server.Stop();
   outcome.peak_active = server.metrics().peak_active_sessions;
-  EmitRow("async-2s", clients, outcome);
+  std::vector<std::pair<std::string, std::string>> extras =
+      bench::LatencyExtras(server.metrics_registry());
+  for (auto& extra : LoopExtras(server.metrics_registry())) {
+    extras.push_back(std::move(extra));
+  }
+  EmitRow("async-2s", clients, outcome, std::move(extras));
 }
 
 /// The 512-client burst needs ~1k fds plus headroom; lift the soft

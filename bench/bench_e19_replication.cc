@@ -242,6 +242,10 @@ int main() {
         mesh.node(0).applied_seq() > outcome.server_replica_seq
             ? mesh.node(0).applied_seq() - outcome.server_replica_seq
             : 0;
+    // Per-node session-latency quantiles from the serving host's registry
+    // (JSON-only; the printed table keeps its columns).
+    bench::RowExtras(
+        bench::LatencyExtras(mesh.node(node).host().metrics_registry()));
     bench::Row({"serve", std::to_string(round++), std::to_string(node),
                 std::to_string(node), "client-sync", "0", "0",
                 std::to_string(outcome.bytes_sent + outcome.bytes_received),

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "recon/evaluate.h"
 #include "server/sync_client.h"
 #include "util/stats.h"
@@ -210,6 +211,22 @@ inline void JsonTable(const char* id, const char* title, const char* shape) {
 
 inline std::string Num(double v, int digits = 5) {
   return FormatCompact(v, digits);
+}
+
+/// Session-latency quantile extras for a serving host's row: "p50_ms" and
+/// "p99_ms" from the host registry's rsr_sync_session_seconds histograms,
+/// merged across protocols (DESIGN.md §12). Empty when no session has
+/// been recorded, so callers can splice the result unconditionally.
+inline std::vector<std::pair<std::string, std::string>> LatencyExtras(
+    const obs::MetricsRegistry& registry) {
+  std::vector<std::pair<std::string, std::string>> extras;
+  const std::optional<obs::HistogramSnapshot> snap =
+      registry.SnapshotHistogramSum("rsr_sync_session_seconds");
+  if (snap.has_value() && snap->count > 0) {
+    extras.emplace_back("p50_ms", Num(1e3 * snap->Quantile(0.5)));
+    extras.emplace_back("p99_ms", Num(1e3 * snap->Quantile(0.99)));
+  }
+  return extras;
 }
 
 inline std::string Bits(size_t bits) {

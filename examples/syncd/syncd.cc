@@ -7,14 +7,21 @@
 // aggregate metrics. Usage:
 //
 //   syncd [num_clients] [worker_threads] [--async] [--shards N]
+//         [--metrics-port P] [--hold-seconds S]
 //
 // By default the threaded SyncServer hosts the fleet (one blocked worker
 // per in-flight client); --async selects the epoll-sharded AsyncSyncServer
 // instead, with --shards N event-loop shards (default 2). The served
 // results are identical either way — compare the metrics line to watch
-// peak_active change from the worker count to the whole fleet. See
-// examples/syncd/README.md for a walkthrough.
+// peak_active change from the worker count to the whole fleet.
+// --metrics-port P additionally serves the host's metrics registry as
+// Prometheus text on http://127.0.0.1:P/metrics (P=0 picks an ephemeral
+// port, printed at startup); --hold-seconds S keeps the server and the
+// metrics endpoint up for S seconds after the client fleet finishes so an
+// external scraper (e.g. CI's curl check) can read the settled counters.
+// See examples/syncd/README.md for a walkthrough.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "net/tcp.h"
+#include "obs/http_exporter.h"
 #include "recon/driver.h"
 #include "server/async_sync_server.h"
 #include "server/sync_client.h"
@@ -90,6 +98,9 @@ int main(int argc, char** argv) {
   size_t workers = 4;
   size_t shards = 2;
   bool use_async = false;
+  bool serve_metrics = false;
+  long metrics_port = 0;
+  long hold_seconds = 0;
   size_t positional = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--async") == 0) {
@@ -101,10 +112,23 @@ int main(int argc, char** argv) {
       }
       shards = std::strtoul(argv[++i], nullptr, 10);
       use_async = true;
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "syncd: --metrics-port needs a value\n");
+        return 1;
+      }
+      serve_metrics = true;
+      metrics_port = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--hold-seconds") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "syncd: --hold-seconds needs a value\n");
+        return 1;
+      }
+      hold_seconds = std::strtol(argv[++i], nullptr, 10);
     } else if (argv[i][0] == '-' || positional >= 2) {
       std::fprintf(stderr,
                    "usage: syncd [num_clients] [worker_threads] [--async] "
-                   "[--shards N]\n");
+                   "[--shards N] [--metrics-port P] [--hold-seconds S]\n");
       return 1;
     } else if (positional++ == 0) {
       num_clients = std::strtoul(argv[i], nullptr, 10);
@@ -138,6 +162,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   const uint16_t port = use_async ? async->port() : threaded->port();
+  obs::MetricsHttpServer metrics_http([&]() {
+    return use_async ? async->RenderMetrics() : threaded->RenderMetrics();
+  });
+  if (serve_metrics) {
+    if (metrics_port < 0 || metrics_port > 65535 ||
+        !metrics_http.Start(net::TcpListener::Listen(
+            "127.0.0.1", static_cast<uint16_t>(metrics_port)))) {
+      std::fprintf(stderr, "syncd: could not bind the metrics port\n");
+      return 1;
+    }
+    std::printf("syncd: metrics on http://127.0.0.1:%u/metrics\n",
+                metrics_http.port());
+  }
   if (use_async) {
     std::printf("syncd: serving %zu canonical points on 127.0.0.1:%u with "
                 "%zu async shards\n\n",
@@ -185,6 +222,14 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : clients) t.join();
+  if (hold_seconds > 0) {
+    // Keep the host (and the /metrics endpoint) up with the fleet's
+    // counters settled, so an external scraper can read them.
+    std::printf("\nsyncd: holding for %lds for scrapes\n", hold_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(hold_seconds));
+  }
+  metrics_http.Stop();  // the renderer borrows the host: stop it first
   if (use_async) {
     async->Stop();
   } else {

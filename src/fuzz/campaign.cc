@@ -30,11 +30,17 @@ CampaignResult RunCampaign(const std::vector<uint64_t>& seeds,
     example.detail = report.detail;
     example.original_steps = script.steps.size();
     example.script = script;
+    example.peer_metrics = report.peer_metrics;
     if (options.shrink_failures) {
       ShrinkOutcome shrunk =
           ShrinkScript(script, report.failure, options.runner, options.shrink);
       example.shrink_runs = shrunk.runs_used;
       example.script = std::move(shrunk.script);
+      // One extra run of the (tiny) shrunk script so the artifact's
+      // per-peer snapshot describes the counterexample it ships, not the
+      // original long run.
+      example.peer_metrics =
+          RunScript(example.script, options.runner).peer_metrics;
     }
     if (!options.artifact_dir.empty()) {
       example.artifact_path =
@@ -58,6 +64,15 @@ std::string DumpCounterexample(const Counterexample& example,
   out << "# failure: " << FuzzFailureName(example.kind) << "\n";
   out << "# detail: " << example.detail << "\n";
   out << "# reproduce: fuzz_replay " << path << "\n";
+  // Final registry state per peer (counters/gauges; DESIGN.md §12): shows
+  // which catch-up path — tail, protocol repair, escalation — the failing
+  // run took. '#' lines are skipped by the replay parser.
+  for (size_t i = 0; i < example.peer_metrics.size(); ++i) {
+    out << "# peer " << i << " final registry:\n";
+    std::istringstream lines(example.peer_metrics[i]);
+    std::string line;
+    while (std::getline(lines, line)) out << "#   " << line << "\n";
+  }
   out << SerializeScript(example.script);
   return out ? path : "";
 }

@@ -46,6 +46,10 @@ struct Counterexample {
   FuzzScript script;  ///< Shrunk (original when shrinking is off/failed).
   size_t original_steps = 0;
   size_t shrink_runs = 0;
+  /// Final per-peer metrics-registry excerpts from running `script` — the
+  /// shrunk script when shrinking ran, so the artifact's snapshot always
+  /// describes the script it carries. Dumped as '#' header lines.
+  std::vector<std::string> peer_metrics;
   std::string artifact_path;  ///< "" when not dumped.
 };
 

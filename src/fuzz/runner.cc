@@ -10,6 +10,7 @@
 #include "geometry/metric.h"
 #include "net/fault_stream.h"
 #include "net/pipe_stream.h"
+#include "obs/metrics.h"
 #include "net/tcp.h"
 #include "recon/driver.h"
 #include "recon/registry.h"
@@ -66,6 +67,37 @@ StreamFactory TcpDialer(uint16_t port, net::FaultOptions faults) {
   };
 }
 
+/// Counter and gauge samples from a peer registry, one Prometheus sample
+/// line each. Histogram series (`_bucket`/`_sum`/`_count`) are elided —
+/// dozens of bucket lines per protocol would drown the artifact header —
+/// which leaves exactly the path evidence the counterexample needs:
+/// rsr_replica_rounds_total{path=...}, repair escalations, staleness, and
+/// the session outcome counters.
+std::string CompactRegistryExcerpt(const obs::MetricsRegistry& registry) {
+  std::istringstream in(registry.RenderPrometheus());
+  std::ostringstream out;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t name_end = line.find_first_of("{ ");
+    const std::string name =
+        name_end == std::string::npos ? line : line.substr(0, name_end);
+    const auto ends_with = [&name](const char* suffix) {
+      const std::string s(suffix);
+      return name.size() >= s.size() &&
+             name.compare(name.size() - s.size(), s.size(), s) == 0;
+    };
+    if (ends_with("_bucket") || ends_with("_sum") || ends_with("_count")) {
+      continue;
+    }
+    if (!first) out << '\n';
+    first = false;
+    out << line;
+  }
+  return out.str();
+}
+
 class Harness {
  public:
   Harness(const FuzzScript& script, const FuzzRunnerOptions& options)
@@ -106,6 +138,17 @@ class Harness {
     }
     Quiesce();
     return report_;
+  }
+
+  /// Final per-peer registry excerpts, read after Run() settles (failure
+  /// or success alike — the campaign embeds them in artifacts).
+  std::vector<std::string> PeerMetrics() const {
+    std::vector<std::string> out;
+    out.reserve(nodes_.size());
+    for (const auto& node : nodes_) {
+      out.push_back(CompactRegistryExcerpt(node->host().metrics_registry()));
+    }
+    return out;
   }
 
  private:
@@ -392,7 +435,9 @@ const char* FuzzFailureName(FuzzFailure failure) {
 
 RunReport RunScript(const FuzzScript& script, const FuzzRunnerOptions& options) {
   Harness harness(script, options);
-  return harness.Run();
+  RunReport report = harness.Run();
+  report.peer_metrics = harness.PeerMetrics();
+  return report;
 }
 
 }  // namespace fuzz

@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "fuzz/script.h"
 
@@ -71,6 +72,12 @@ struct RunReport {
   size_t client_syncs = 0;
   size_t mesh_pulls = 0;
   size_t quiescence_sweeps = 0;
+  /// One final metrics-registry excerpt per peer (counter and gauge
+  /// samples in Prometheus sample syntax; histogram series are elided).
+  /// Counterexample artifacts embed these as '#' header lines so a shrunk
+  /// script shows which catch-up path (tail / repair / escalation) the
+  /// failing run actually took. See DESIGN.md §12.
+  std::vector<std::string> peer_metrics;
 };
 
 /// Runs `script` to quiescence and reports. Deterministic per script.

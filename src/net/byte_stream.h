@@ -11,6 +11,7 @@
 #ifndef RSR_NET_BYTE_STREAM_H_
 #define RSR_NET_BYTE_STREAM_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
@@ -33,6 +34,18 @@ class ByteStream {
   /// Shuts the stream down in both directions. Idempotent; a peer blocked
   /// in Read observes EOF.
   virtual void Close() = 0;
+
+  /// Best-effort per-read deadline: after this call a Read that waits
+  /// longer than `timeout` without receiving a byte fails (-1) instead of
+  /// blocking forever. Returns false where the transport cannot enforce
+  /// one (the default; pipes and test doubles stay blocking) — callers
+  /// must treat an armed deadline as an optimization, not a guarantee.
+  /// TcpStream implements it via SO_RCVTIMEO, which is what gives the
+  /// threaded sync host a meaningful idle_timeouts counter.
+  virtual bool SetReadTimeout(std::chrono::milliseconds timeout) {
+    (void)timeout;
+    return false;
+  }
 };
 
 /// Sentinel returned by NonBlockingStream::ReadSome / WriteSome when the

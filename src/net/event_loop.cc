@@ -152,6 +152,7 @@ int EventLoop::EpollTimeoutMs() {
 }
 
 void EventLoop::AdvanceWheel() {
+  uint64_t fired = 0;
   const uint64_t now = NowTick();
   if (armed_.empty()) {
     // Nothing live: snap the cursor instead of walking every elapsed
@@ -183,11 +184,15 @@ void EventLoop::AdvanceWheel() {
       auto armed = armed_.find(entry.id);
       if (armed == armed_.end()) continue;  // cancelled
       armed_.erase(armed);
+      ++fired;
       const std::function<void()> fn = std::move(entry.fn);
       fn();  // may add or cancel timers; slot mutation is index-safe
     }
     slot.resize(kept);
     ++wheel_cursor_;
+  }
+  if (fired > 0 && metrics_ != nullptr && metrics_->timer_fires != nullptr) {
+    metrics_->timer_fires->Inc(fired);
   }
 }
 
@@ -197,6 +202,10 @@ void EventLoop::RunPendingTasks() {
     std::lock_guard<std::mutex> lock(tasks_mu_);
     tasks.swap(tasks_);
   }
+  if (!tasks.empty() && metrics_ != nullptr &&
+      metrics_->pending_tasks != nullptr) {
+    metrics_->pending_tasks->Observe(static_cast<double>(tasks.size()));
+  }
   for (std::function<void()>& task : tasks) task();
 }
 
@@ -204,9 +213,21 @@ void EventLoop::Run() {
   loop_thread_.store(std::this_thread::get_id());
   std::vector<struct epoll_event> events(128);
   while (!stop_.load()) {
+    // Probe clock reads happen only when metrics are installed, so an
+    // uninstrumented loop runs exactly the pre-instrumentation path.
+    const auto wait_start = metrics_ != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     const int n = ::epoll_wait(epoll_fd_, events.data(),
                                static_cast<int>(events.size()),
                                EpollTimeoutMs());
+    const auto work_start = metrics_ != nullptr
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
+    if (metrics_ != nullptr && metrics_->epoll_wait_seconds != nullptr) {
+      metrics_->epoll_wait_seconds->Observe(
+          std::chrono::duration<double>(work_start - wait_start).count());
+    }
     if (n < 0 && errno != EINTR) break;
     for (int i = 0; i < n; ++i) {
       const uint64_t tag = events[i].data.u64;
@@ -230,6 +251,12 @@ void EventLoop::Run() {
     }
     AdvanceWheel();
     RunPendingTasks();
+    if (metrics_ != nullptr && metrics_->iteration_seconds != nullptr) {
+      metrics_->iteration_seconds->Observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        work_start)
+              .count());
+    }
   }
   // Tasks posted between the last dispatch round and Stop() still run:
   // RunInLoop promises eventual execution (shard shutdown hands

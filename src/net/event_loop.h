@@ -29,6 +29,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace rsr {
 namespace net {
 
@@ -102,6 +104,28 @@ class EventLoop {
     return loop_thread_.load() == std::this_thread::get_id();
   }
 
+  // --- instrumentation ---
+
+  /// Optional loop probes (DESIGN.md §12). Individual pointers may be
+  /// null; the instruments are thread-safe, so one Metrics struct can be
+  /// shared by every shard of a host.
+  struct Metrics {
+    /// Busy part of one dispatch round (events + timers + tasks),
+    /// excluding the epoll_wait sleep.
+    obs::Histogram* iteration_seconds = nullptr;
+    /// Time blocked in epoll_wait per round (sleep, not work).
+    obs::Histogram* epoll_wait_seconds = nullptr;
+    /// Timer-wheel callbacks fired.
+    obs::Counter* timer_fires = nullptr;
+    /// Cross-thread task batch size, observed per non-empty drain.
+    obs::Histogram* pending_tasks = nullptr;
+  };
+
+  /// Installs the probes. Call before Run() starts (or from the loop
+  /// thread). `metrics` is not owned and must outlive the loop; nullptr
+  /// (the default) keeps the loop probe-free — no extra clock reads.
+  void set_metrics(const Metrics* metrics) { metrics_ = metrics; }
+
  private:
   struct Handler {
     uint32_t interest = 0;
@@ -142,6 +166,7 @@ class EventLoop {
   std::vector<std::function<void()>> tasks_;
   std::atomic<bool> stop_{false};
   std::atomic<std::thread::id> loop_thread_{};
+  const Metrics* metrics_ = nullptr;
 };
 
 }  // namespace net

@@ -1,0 +1,81 @@
+#include "obs/http_exporter.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace rsr {
+namespace obs {
+
+MetricsHttpServer::MetricsHttpServer(Renderer renderer)
+    : renderer_(std::move(renderer)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(std::unique_ptr<net::TcpListener> listener) {
+  if (listener == nullptr || thread_.joinable()) return false;
+  listener_ = std::move(listener);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  if (listener_ != nullptr) listener_->Close();
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+uint16_t MetricsHttpServer::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+void MetricsHttpServer::ServeLoop() {
+  for (;;) {
+    std::unique_ptr<net::TcpStream> conn = listener_->Accept();
+    if (conn == nullptr) return;  // listener closed
+    ServeOne(conn.get());
+    conn->Close();
+  }
+}
+
+void MetricsHttpServer::ServeOne(net::TcpStream* conn) {
+  // Read until the end of the request head (curl sends it in one
+  // segment, but don't rely on that). The request line is all we parse;
+  // headers are ignored.
+  std::string head;
+  uint8_t buf[1024];
+  while (head.size() < 8192 &&
+         head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ptrdiff_t n = conn->Read(buf, sizeof buf);
+    if (n <= 0) break;
+    head.append(reinterpret_cast<const char*>(buf),
+                static_cast<size_t>(n));
+  }
+  const size_t line_end = head.find_first_of("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  std::string status = "404 Not Found";
+  std::string body = "not found\n";
+  if (request_line.rfind("GET /metrics", 0) == 0 &&
+      (request_line.size() == 12 || request_line[12] == ' ' ||
+       request_line[12] == '?')) {
+    status = "200 OK";
+    body = renderer_ != nullptr ? renderer_() : "";
+  }
+  char header[256];
+  std::snprintf(header, sizeof header,
+                "HTTP/1.0 %s\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status.c_str(), body.size());
+  std::string response = header;
+  response += body;
+  conn->Write(reinterpret_cast<const uint8_t*>(response.data()),
+              response.size());
+}
+
+}  // namespace obs
+}  // namespace rsr

@@ -1,0 +1,56 @@
+// Minimal HTTP/1.0 metrics responder.
+//
+// One accept thread serves `GET /metrics` with the text produced by a
+// caller-supplied renderer (typically MetricsRegistry::RenderPrometheus
+// bound to a serving host) and 404s everything else. Scrapes are rare
+// and tiny, so connections are served inline on the accept thread —
+// this is an operator endpoint, not a data path. Wired into
+// `syncd --metrics-port`; see DESIGN.md §12.
+
+#ifndef RSR_OBS_HTTP_EXPORTER_H_
+#define RSR_OBS_HTTP_EXPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/tcp.h"
+
+namespace rsr {
+namespace obs {
+
+class MetricsHttpServer {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  explicit MetricsHttpServer(Renderer renderer);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Spawns the accept thread over `listener`. False if already started
+  /// or `listener` is null.
+  bool Start(std::unique_ptr<net::TcpListener> listener);
+
+  /// Closes the listener and joins. Idempotent; also run by the dtor.
+  void Stop();
+
+  /// Bound TCP port (0 unless Start()ed).
+  uint16_t port() const;
+
+ private:
+  void ServeLoop();
+  void ServeOne(net::TcpStream* conn);
+
+  Renderer renderer_;
+  std::unique_ptr<net::TcpListener> listener_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_HTTP_EXPORTER_H_

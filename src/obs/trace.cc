@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace rsr {
+namespace obs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+FileTraceSink::FileTraceSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {}
+
+FileTraceSink::~FileTraceSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileTraceSink::Emit(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fputs(json_line.c_str(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void VectorTraceSink::Emit(const std::string& json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(json_line);
+}
+
+std::vector<std::string> VectorTraceSink::lines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+SessionSpan::SessionSpan(TraceSink* sink, std::string kind)
+    : sink_(sink),
+      kind_(std::move(kind)),
+      start_(std::chrono::steady_clock::now()),
+      phase_start_(start_) {}
+
+void SessionSpan::set_protocol(const std::string& protocol) {
+  if (sink_ == nullptr) return;
+  protocol_ = protocol;
+}
+
+void SessionSpan::set_outcome(const std::string& outcome) {
+  if (sink_ == nullptr) return;
+  outcome_ = outcome;
+}
+
+void SessionSpan::CloseOpenPhase() {
+  if (!phase_open_) return;
+  Phase& phase = phases_.back();
+  const auto now = std::chrono::steady_clock::now();
+  phase.seconds = SecondsBetween(phase_start_, now);
+  phase.frames_in = frames_in_ - settled_frames_in_;
+  phase.frames_out = frames_out_ - settled_frames_out_;
+  phase.bytes_in = bytes_in_ - settled_bytes_in_;
+  phase.bytes_out = bytes_out_ - settled_bytes_out_;
+  settled_frames_in_ = frames_in_;
+  settled_frames_out_ = frames_out_;
+  settled_bytes_in_ = bytes_in_;
+  settled_bytes_out_ = bytes_out_;
+  phase_open_ = false;
+}
+
+void SessionSpan::BeginPhase(const char* name) {
+  if (sink_ == nullptr || finished_) return;
+  CloseOpenPhase();
+  phases_.emplace_back();
+  phases_.back().name = name;
+  phase_start_ = std::chrono::steady_clock::now();
+  phase_open_ = true;
+}
+
+void SessionSpan::AddFrameIn(uint64_t bytes) {
+  if (sink_ == nullptr) return;
+  ++frames_in_;
+  bytes_in_ += bytes;
+}
+
+void SessionSpan::AddFrameOut(uint64_t bytes) {
+  if (sink_ == nullptr) return;
+  ++frames_out_;
+  bytes_out_ += bytes;
+}
+
+void SessionSpan::Finish() {
+  if (sink_ == nullptr || finished_) return;
+  finished_ = true;
+  CloseOpenPhase();
+  const double wall =
+      SecondsBetween(start_, std::chrono::steady_clock::now());
+  char buf[256];
+  std::string line = "{\"span\":\"" + EscapeJson(kind_) + "\"";
+  if (!protocol_.empty()) {
+    line += ",\"protocol\":\"" + EscapeJson(protocol_) + "\"";
+  }
+  line += ",\"outcome\":\"" + EscapeJson(outcome_) + "\"";
+  std::snprintf(buf, sizeof buf,
+                ",\"wall_ms\":%.3f,\"frames_in\":%llu,\"frames_out\":%llu,"
+                "\"bytes_in\":%llu,\"bytes_out\":%llu,\"phases\":[",
+                1e3 * wall, static_cast<unsigned long long>(frames_in_),
+                static_cast<unsigned long long>(frames_out_),
+                static_cast<unsigned long long>(bytes_in_),
+                static_cast<unsigned long long>(bytes_out_));
+  line += buf;
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& phase = phases_[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"ms\":%.3f,\"frames_in\":%llu,"
+                  "\"frames_out\":%llu,\"bytes_in\":%llu,\"bytes_out\":%llu}",
+                  i == 0 ? "" : ",", phase.name, 1e3 * phase.seconds,
+                  static_cast<unsigned long long>(phase.frames_in),
+                  static_cast<unsigned long long>(phase.frames_out),
+                  static_cast<unsigned long long>(phase.bytes_in),
+                  static_cast<unsigned long long>(phase.bytes_out));
+    line += buf;
+  }
+  line += "]}";
+  sink_->Emit(line);
+}
+
+}  // namespace obs
+}  // namespace rsr

@@ -1,0 +1,119 @@
+// Per-sync-session trace spans, emitted as JSON lines.
+//
+// A SessionSpan follows one served connection through its phases
+// (handshake → protocol rounds → result/drain), accumulating per-phase
+// wall time and frame/byte counts, and emits a single JSON object per
+// session through a pluggable TraceSink when it finishes. A span built
+// with a null sink is inert: every method is a cheap early-out, so the
+// serving hot path pays one predictable branch when tracing is off.
+// Sinks must be thread-safe (sessions finish concurrently); the two
+// stock sinks serialize internally. See DESIGN.md §12.
+
+#ifndef RSR_OBS_TRACE_H_
+#define RSR_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rsr {
+namespace obs {
+
+/// Receives one complete JSON line (no trailing newline) per finished
+/// span. Emit() may be called from any thread.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const std::string& json_line) = 0;
+};
+
+/// Appends one line per span to a file (JSON-lines).
+class FileTraceSink : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path);
+  ~FileTraceSink() override;
+  bool ok() const { return file_ != nullptr; }
+  void Emit(const std::string& json_line) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Collects spans in memory (tests).
+class VectorTraceSink : public TraceSink {
+ public:
+  void Emit(const std::string& json_line) override;
+  std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// One served session's trace. Movable-by-default-construction only in
+/// the inert state; the hosts keep it by value on their per-connection
+/// state.
+class SessionSpan {
+ public:
+  /// Inert span: all methods no-op.
+  SessionSpan() = default;
+  /// Live span; `kind` tags the JSON line (e.g. "sync-session").
+  SessionSpan(TraceSink* sink, std::string kind);
+  ~SessionSpan() { Finish(); }
+
+  SessionSpan(const SessionSpan&) = delete;
+  SessionSpan& operator=(const SessionSpan&) = delete;
+
+  bool active() const { return sink_ != nullptr; }
+
+  void set_protocol(const std::string& protocol);
+  void set_outcome(const std::string& outcome);
+
+  /// Ends the current phase (if any) and opens a new one. Phase wall
+  /// time and frame/byte deltas are attributed to the phase that was
+  /// open when they happened.
+  void BeginPhase(const char* name);
+
+  void AddFrameIn(uint64_t bytes);
+  void AddFrameOut(uint64_t bytes);
+
+  /// Closes the last phase and emits the JSON line. Idempotent; also
+  /// run by the destructor so abandoned spans still surface.
+  void Finish();
+
+ private:
+  struct Phase {
+    const char* name = "";
+    double seconds = 0.0;
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+  };
+
+  void CloseOpenPhase();
+
+  TraceSink* sink_ = nullptr;
+  std::string kind_;
+  std::string protocol_;
+  std::string outcome_ = "unknown";
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point phase_start_;
+  std::vector<Phase> phases_;
+  bool phase_open_ = false;
+  bool finished_ = false;
+  // Totals; the open phase's deltas are (total - settled-so-far).
+  uint64_t frames_in_ = 0, frames_out_ = 0;
+  uint64_t bytes_in_ = 0, bytes_out_ = 0;
+  uint64_t settled_frames_in_ = 0, settled_frames_out_ = 0;
+  uint64_t settled_bytes_in_ = 0, settled_bytes_out_ = 0;
+};
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_TRACE_H_

@@ -13,6 +13,11 @@
 // directly (the benches drive rounds deterministically that way). Rounds
 // are serialized through one mutex, so a manual RunOnce never overlaps the
 // loop's round on the same node.
+//
+// Observability: every round — scheduled or manual — settles into the
+// node's metrics registry (rsr_replica_rounds_total{path}, round bytes,
+// the rsr_replica_staleness gauge, repair escalations; DESIGN.md §12)
+// because ReplicaNode::SyncWithPeer records them itself.
 
 #ifndef RSR_REPLICA_ANTI_ENTROPY_H_
 #define RSR_REPLICA_ANTI_ENTROPY_H_

@@ -77,7 +77,13 @@ ReplicaNode::ReplicaNode(PointSet initial, ReplicaNodeOptions options)
     : options_(std::move(options)),
       changelog_(options_.changelog),
       server_(std::move(initial),
-              WithChangelog(options_.server, &changelog_)) {}
+              WithChangelog(options_.server, &changelog_)),
+      repair_escalations_(server_.metrics_registry().GetCounter(
+          "rsr_replica_repair_escalations_total",
+          "Failed repair sessions that armed the full-transfer escalation")),
+      staleness_gauge_(server_.metrics_registry().GetGauge(
+          "rsr_replica_staleness",
+          "Peer position minus local position at the last round")) {}
 
 std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
     const PointSet& inserts, const PointSet& erases) {
@@ -90,6 +96,43 @@ RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
 
 RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& fetch_peer,
                                       const StreamFactory& repair_peer) {
+  RoundRecord record = RunRound(fetch_peer, repair_peer);
+  RecordRound(record);
+  return record;
+}
+
+void ReplicaNode::RecordRound(const RoundRecord& record) {
+  obs::MetricsRegistry& registry = server_.metrics_registry();
+  registry
+      .GetCounter("rsr_replica_rounds_total",
+                  "Anti-entropy rounds by outcome path",
+                  {{"path", RoundPathName(record.path)}})
+      ->Inc();
+  if (record.bytes_sent > 0) {
+    registry
+        .GetCounter("rsr_replica_round_bytes_total",
+                    "Anti-entropy round transport bytes",
+                    {{"direction", "sent"}})
+        ->Inc(record.bytes_sent);
+  }
+  if (record.bytes_received > 0) {
+    registry
+        .GetCounter("rsr_replica_round_bytes_total",
+                    "Anti-entropy round transport bytes",
+                    {{"direction", "received"}})
+        ->Inc(record.bytes_received);
+  }
+  // Staleness is meaningful only when the round learned the peer's
+  // position (the fetch leg completed); a failed connect keeps the last
+  // reading.
+  if (record.peer_seq > 0 || record.ok) {
+    staleness_gauge_->Set(static_cast<int64_t>(record.peer_seq) -
+                          static_cast<int64_t>(record.seq_after));
+  }
+}
+
+RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
+                                  const StreamFactory& repair_peer) {
   RoundRecord record;
   record.seq_after = applied_seq();
   record.dirty_after = dirty();
@@ -219,6 +262,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
     record.error_detail = std::move(detail);
     record.path = RoundRecord::Path::kError;
     escalate_next_repair_ = true;
+    repair_escalations_->Inc();
     return record;
   };
 
@@ -290,6 +334,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
                           recon::SessionErrorName(result.error) + ")";
     record.path = RoundRecord::Path::kError;
     escalate_next_repair_ = true;
+    repair_escalations_->Inc();
     return record;
   }
 

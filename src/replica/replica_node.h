@@ -145,12 +145,21 @@ class ReplicaNode {
   }
 
  private:
+  RoundRecord RunRound(const StreamFactory& fetch_peer,
+                       const StreamFactory& repair_peer);
   RoundRecord Repair(const StreamFactory& peer, uint64_t est_delta,
                      RoundRecord record);
+  /// Settles one finished round into the host's metrics registry
+  /// (DESIGN.md §12): per-path round counter, round bytes, and the
+  /// staleness gauge (peer position minus local position).
+  void RecordRound(const RoundRecord& record);
 
   ReplicaNodeOptions options_;
   Changelog changelog_;
   server::SyncServer server_;
+  /// Incremented at the sites that arm escalate_next_repair_.
+  obs::Counter* const repair_escalations_;
+  obs::Gauge* const staleness_gauge_;
   /// Set when a repair session failed (e.g. an exact-key sketch sized from
   /// an under-estimate did not decode): the next repair skips the sized
   /// bands and goes straight to the unconditional full transfer, so a

@@ -42,10 +42,23 @@ struct AsyncSyncServer::Shard {
 // Per-connection state machine, single-threaded on its shard's loop.
 struct AsyncSyncServer::Conn {
   Conn(Shard* shard_in, std::unique_ptr<net::TcpStream> stream_in,
-       net::FrameLimits limits)
+       net::FrameLimits limits, obs::TraceSink* trace_sink)
       : shard(shard_in),
         stream(std::move(stream_in)),
-        framed(stream.get(), limits) {}
+        framed(stream.get(), limits),
+        span(trace_sink, "sync-session") {}
+
+  /// Send with trace accounting: frame bytes are attributed to the
+  /// span's open phase by differencing the conn's enqueued-byte total
+  /// (bytes_sent would lag by whatever the socket left buffered).
+  bool SendTracked(const transport::Message& message) {
+    const bool ok = framed.Send(message);
+    if (span.active()) {
+      span.AddFrameOut(framed.bytes_enqueued() - span_bytes_out);
+      span_bytes_out = framed.bytes_enqueued();
+    }
+    return ok;
+  }
 
   enum class Phase {
     kHandshake,  ///< Awaiting "@hello".
@@ -74,6 +87,12 @@ struct AsyncSyncServer::Conn {
   size_t drained = 0;
   std::chrono::steady_clock::time_point session_start;
 
+  obs::SessionSpan span;
+  std::chrono::steady_clock::time_point accept_time;
+  bool first_frame_seen = false;
+  size_t span_bytes_in = 0;
+  size_t span_bytes_out = 0;
+
   // Outcome flags, settled into the shared metrics once, at CloseConn.
   bool rejected = false;
   bool session_started = false;
@@ -93,12 +112,34 @@ struct AsyncSyncServer::Conn {
 AsyncSyncServer::AsyncSyncServer(PointSet canonical,
                                  AsyncSyncServerOptions options)
     : options_(std::move(options)),
+      obs_(ServerObsOptions{options_.latency_probes, options_.trace_sink}),
       store_(std::move(canonical),
-             SketchStoreOptions{options_.context, options_.params,
-                                options_.serve_from_cache}),
+             SketchStoreOptions{
+                 options_.context, options_.params, options_.serve_from_cache,
+                 MakeStoreMetrics(&obs_.registry(), options_.latency_probes)}),
       registry_(options_.registry != nullptr
                     ? options_.registry
-                    : &recon::ProtocolRegistry::Global()) {}
+                    : &recon::ProtocolRegistry::Global()),
+      replica_seq_gauge_(obs_.registry().GetGauge(
+          "rsr_replica_seq", "Replication position (journaled seq)")) {
+  if (options_.latency_probes) {
+    obs::MetricsRegistry& reg = obs_.registry();
+    loop_metrics_.iteration_seconds =
+        reg.GetHistogram("rsr_loop_iteration_seconds",
+                         "Busy part of one shard dispatch round",
+                         obs::DefaultLatencyBounds());
+    loop_metrics_.epoll_wait_seconds =
+        reg.GetHistogram("rsr_loop_epoll_wait_seconds",
+                         "Time blocked in epoll_wait per round",
+                         obs::DefaultLatencyBounds());
+    loop_metrics_.timer_fires = reg.GetCounter(
+        "rsr_loop_timer_fires_total", "Timer-wheel callbacks fired");
+    loop_metrics_.pending_tasks =
+        reg.GetHistogram("rsr_loop_pending_tasks",
+                         "Cross-thread task batch size per drain",
+                         obs::DefaultDepthBounds());
+  }
+}
 
 AsyncSyncServer::~AsyncSyncServer() { Stop(); }
 
@@ -112,6 +153,9 @@ bool AsyncSyncServer::Start(std::unique_ptr<net::TcpListener> listener) {
     shards_.push_back(std::make_unique<Shard>());
   }
   for (std::unique_ptr<Shard>& shard : shards_) {
+    // One shared Metrics struct serves every shard (the instruments are
+    // thread-safe); install before the loop thread exists.
+    if (options_.latency_probes) shard->loop.set_metrics(&loop_metrics_);
     shard->thread = std::thread([s = shard.get()] { s->loop.Run(); });
   }
   // The listener lives on shard 0; registration must happen on its loop
@@ -154,8 +198,7 @@ uint16_t AsyncSyncServer::port() const {
 }
 
 SyncServerMetrics AsyncSyncServer::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  return metrics_;
+  return obs_.LegacyMetrics();
 }
 
 std::string AsyncSyncServer::DumpStats() const {
@@ -180,6 +223,7 @@ std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
     entry.inserts = inserts;
     entry.erases = erases;
     options_.changelog->Append(std::move(entry));
+    replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
   }
   return snap;
 }
@@ -241,8 +285,8 @@ void AsyncSyncServer::AdoptConn(Shard* shard,
     ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
                  sizeof(options_.so_sndbuf));
   }
-  auto owned =
-      std::make_unique<Conn>(shard, std::move(stream), options_.limits);
+  auto owned = std::make_unique<Conn>(shard, std::move(stream),
+                                      options_.limits, options_.trace_sink);
   Conn* conn = owned.get();
   conn->interest = net::Ready::kReadable;
   if (!shard->loop.Add(fd, conn->interest,
@@ -252,13 +296,9 @@ void AsyncSyncServer::AdoptConn(Shard* shard,
     return;
   }
   shard->conns.emplace(fd, std::move(owned));
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++metrics_.connections_accepted;
-    ++metrics_.active_sessions;
-    metrics_.peak_active_sessions =
-        std::max(metrics_.peak_active_sessions, metrics_.active_sessions);
-  }
+  obs_.OnAccepted();
+  conn->accept_time = std::chrono::steady_clock::now();
+  conn->span.BeginPhase("handshake");
   TouchIdleTimer(conn);
 }
 
@@ -294,6 +334,15 @@ void AsyncSyncServer::ProcessInbox(Conn* conn) {
   while (!conn->closed) {
     switch (conn->framed.Next(&message)) {
       case net::AsyncFramedConn::NextStatus::kMessage:
+        if (!conn->first_frame_seen) {
+          conn->first_frame_seen = true;
+          obs_.ObserveAcceptToFirstFrame(SecondsSince(conn->accept_time));
+        }
+        if (conn->span.active()) {
+          conn->span.AddFrameIn(conn->framed.bytes_received() -
+                                conn->span_bytes_in);
+          conn->span_bytes_in = conn->framed.bytes_received();
+        }
         switch (conn->phase) {
           case Conn::Phase::kHandshake:
             HandleHello(conn, std::move(message));
@@ -340,6 +389,10 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
     HandleLogFetch(conn, std::move(message));
     return;
   }
+  if (message.label == kStatsLabel) {
+    HandleStats(conn);
+    return;
+  }
   HelloFrame hello;
   std::string reject_reason;
   std::unique_ptr<recon::Reconciler> protocol;
@@ -356,7 +409,7 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
     reject.reason = reject_reason;
     reject.protocols = registry_->ListProtocols();
     conn->rejected = true;
-    conn->framed.Send(EncodeReject(reject));
+    conn->SendTracked(EncodeReject(reject));
     conn->phase = Conn::Phase::kClosing;
     if (!conn->framed.wants_write()) CloseConn(conn);
     return;
@@ -366,6 +419,8 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   conn->want_result_set = hello.want_result_set;
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
+  conn->span.set_protocol(hello.protocol);
+  conn->span.BeginPhase("rounds");
   // Pin the session to one immutable canonical generation; the snapshot
   // stays alive on the conn for the session's lifetime. The replication
   // position is read under the write path's lock so the pair is one
@@ -386,12 +441,12 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   ack.will_send_result_set = hello.want_result_set;
   ack.generation = conn->snapshot->generation();
   ack.replica_seq = served_seq;
-  if (!conn->framed.Send(EncodeAccept(ack))) {
+  if (!conn->SendTracked(EncodeAccept(ack))) {
     FailConn(conn, SessionError::kTransportClosed);
     return;
   }
   for (transport::Message& opening : conn->bob->Start()) {
-    if (!conn->framed.Send(opening)) {
+    if (!conn->SendTracked(opening)) {
       FailConn(conn, SessionError::kTransportClosed);
       return;
     }
@@ -406,7 +461,7 @@ void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
     reject.reason = "malformed " + std::string(kLogFetchLabel) + " frame";
     reject.protocols = registry_->ListProtocols();
     conn->rejected = true;
-    conn->framed.Send(EncodeReject(reject));
+    conn->SendTracked(EncodeReject(reject));
     conn->phase = Conn::Phase::kClosing;
     if (!conn->framed.wants_write()) CloseConn(conn);
     return;
@@ -414,6 +469,8 @@ void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
   conn->protocol = kLogFetchLabel;
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
+  conn->span.set_protocol(conn->protocol);
+  conn->span.BeginPhase("result");
   LogBatchFrame batch;
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
@@ -422,11 +479,24 @@ void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
                           options_.log_fetch_max_entries);
   }
   conn->session_success =
-      conn->framed.Send(EncodeLogBatch(batch, options_.context.universe));
+      conn->SendTracked(EncodeLogBatch(batch, options_.context.universe));
   conn->session_finished = true;
   conn->wall_seconds = SecondsSince(conn->session_start);
   // As after "@result": wait for the fetcher to close rather than racing
   // it with unread bytes queued.
+  conn->phase = Conn::Phase::kDraining;
+}
+
+void AsyncSyncServer::HandleStats(Conn* conn) {
+  conn->protocol = kStatsLabel;
+  conn->session_start = std::chrono::steady_clock::now();
+  conn->session_started = true;
+  conn->span.set_protocol(conn->protocol);
+  conn->span.BeginPhase("result");
+  conn->session_success =
+      conn->SendTracked(EncodeStatsReply(RenderMetrics()));
+  conn->session_finished = true;
+  conn->wall_seconds = SecondsSince(conn->session_start);
   conn->phase = Conn::Phase::kDraining;
 }
 
@@ -442,7 +512,7 @@ void AsyncSyncServer::HandleSessionMessage(Conn* conn,
     return;
   }
   for (transport::Message& reply : conn->bob->OnMessage(std::move(message))) {
-    if (!conn->framed.Send(reply)) {
+    if (!conn->SendTracked(reply)) {
       FailConn(conn, SessionError::kTransportClosed);
       return;
     }
@@ -459,12 +529,13 @@ void AsyncSyncServer::FinishSession(Conn* conn, SessionError pump_error) {
   conn->session_finished = true;
   conn->session_success = result.success;
   conn->wall_seconds = SecondsSince(conn->session_start);
+  conn->span.BeginPhase("result");
 
   ResultFrame frame;
   frame.has_set = conn->want_result_set && result.success;
   frame.result = std::move(result);
   if (!frame.has_set) frame.result.bob_final.clear();
-  conn->framed.Send(EncodeResult(frame, options_.context.universe));
+  conn->SendTracked(EncodeResult(frame, options_.context.universe));
   // Like the threaded host: wait for the client to close rather than
   // racing it with unread bytes queued (which could RST the connection
   // and discard the result frame in flight).
@@ -581,29 +652,27 @@ void AsyncSyncServer::CloseConn(Conn* conn) {
   const int fd = conn->stream->fd();
   shard->loop.Remove(fd);
 
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    --metrics_.active_sessions;
-    metrics_.bytes_in += conn->framed.bytes_received();
-    metrics_.bytes_out += conn->framed.bytes_sent();
-    if (conn->rejected) ++metrics_.handshakes_rejected;
-    if (conn->timed_out) ++metrics_.idle_timeouts;
-    if (conn->session_started && conn->session_finished) {
-      if (conn->session_success) {
-        ++metrics_.syncs_completed;
-      } else {
-        ++metrics_.syncs_failed;
-      }
-      ProtocolStats& stats = metrics_.per_protocol[conn->protocol];
-      if (conn->session_success) {
-        ++stats.syncs;
-      } else {
-        ++stats.failures;
-      }
-      stats.bytes_in += conn->framed.bytes_received();
-      stats.bytes_out += conn->framed.bytes_sent();
-      stats.wall_seconds += conn->wall_seconds;
+  ServerObs::Settle settle;
+  settle.session_counted = conn->session_started && conn->session_finished;
+  settle.protocol = conn->protocol;
+  settle.success = conn->session_success;
+  settle.wall_seconds = conn->wall_seconds;
+  settle.rejected = conn->rejected;
+  settle.timed_out = conn->timed_out;
+  settle.bytes_in = conn->framed.bytes_received();
+  settle.bytes_out = conn->framed.bytes_sent();
+  obs_.OnClosed(settle);
+  if (conn->span.active()) {
+    if (conn->rejected) {
+      conn->span.set_outcome("rejected");
+    } else if (conn->timed_out) {
+      conn->span.set_outcome("idle-timeout");
+    } else if (settle.session_counted) {
+      conn->span.set_outcome(conn->session_success ? "ok" : "fail");
+    } else {
+      conn->span.set_outcome("never-started");
     }
+    conn->span.Finish();
   }
 
   // The conn cannot die inside its own callback; park it and reclaim it

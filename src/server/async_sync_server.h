@@ -11,7 +11,7 @@
 // connection's whole life — frame decode, handshake, PartySession pump,
 // result, drain — happens on that one shard thread, so sessions stay
 // single-threaded with no locks on the hot path; only the metrics
-// aggregate is shared (one mutex, touched at connection open/close).
+// registry is shared (lock-free record path; server/server_obs.h).
 //
 // Because no thread ever blocks on a socket, concurrency is bounded by fd
 // limits rather than thread count: two shards sustain hundreds of
@@ -42,8 +42,11 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recon/registry.h"
 #include "replica/changelog.h"
+#include "server/server_obs.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
 
@@ -83,6 +86,14 @@ struct AsyncSyncServerOptions {
   replica::Changelog* changelog = nullptr;
   /// Upper bound on entries per served "@log-batch".
   size_t log_fetch_max_entries = 512;
+  /// Gates the optional latency probes (accept-to-first-frame delay, the
+  /// per-shard event-loop probes, store apply latency). Session outcome
+  /// counters and per-protocol latency histograms stay on regardless —
+  /// DumpStats() is rebuilt from them.
+  bool latency_probes = true;
+  /// Per-session trace spans (obs/trace.h) are emitted here; null
+  /// disables tracing. Not owned; must outlive the server.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 class AsyncSyncServer {
@@ -105,11 +116,24 @@ class AsyncSyncServer {
   /// Bound TCP port (0 unless Start()ed).
   uint16_t port() const;
 
+  /// Legacy flat counters snapshot, rebuilt from the metrics registry.
   SyncServerMetrics metrics() const;
 
   /// Plain-text counters dump (server/server_stats.h), identical in shape
   /// to SyncServer::DumpStats().
   std::string DumpStats() const;
+
+  /// The host's metrics registry (see SyncServer::metrics_registry).
+  obs::MetricsRegistry& metrics_registry() { return obs_.registry(); }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return obs_.registry();
+  }
+
+  /// The registry in Prometheus text exposition format (what "@stats"
+  /// answers with).
+  std::string RenderMetrics() const {
+    return obs_.registry().RenderPrometheus();
+  }
 
   /// Mutates the canonical set and returns the new generation's snapshot;
   /// in-flight sessions finish against the snapshot they were pinned to at
@@ -144,6 +168,8 @@ class AsyncSyncServer {
   /// the drain phase. (The "@pull" verb is NOT served here; see
   /// AsyncSyncServerOptions::changelog.)
   void HandleLogFetch(Conn* conn, transport::Message message);
+  /// Serves an "@stats" opening frame: one reply with RenderMetrics().
+  void HandleStats(Conn* conn);
   void HandleSessionMessage(Conn* conn, transport::Message message);
   /// Ends the protocol phase: takes Bob's result, applies `pump_error`,
   /// ships "@result", and moves the conn to the drain phase.
@@ -161,8 +187,16 @@ class AsyncSyncServer {
   void CloseConn(Conn* conn);
 
   const AsyncSyncServerOptions options_;
+  /// Declared before store_: the store's instruments live in obs_'s
+  /// registry.
+  ServerObs obs_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
+  /// Replication position, mirrored onto a gauge on the write path.
+  obs::Gauge* const replica_seq_gauge_;
+  /// Shared per-shard loop instruments, installed on every shard's loop
+  /// before its thread starts. All-null when latency_probes is off.
+  net::EventLoop::Metrics loop_metrics_;
 
   /// Guards the (store mutation, changelog append, replica_seq_) compound
   /// so a served snapshot + position pair is always consistent.
@@ -172,9 +206,6 @@ class AsyncSyncServer {
   std::unique_ptr<net::TcpListener> listener_;
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t next_shard_ = 0;  ///< Round-robin cursor (accept path only).
-
-  mutable std::mutex metrics_mu_;
-  SyncServerMetrics metrics_;
 };
 
 }  // namespace server

@@ -29,6 +29,9 @@ bool ReadString(BitReader* in, size_t max_len, std::string* out) {
 }
 
 constexpr size_t kMaxStringLen = 4096;
+// A rendered metrics registry is far bigger than any handshake string but
+// still bounded (families x label sets x buckets); 4 MiB is generous.
+constexpr size_t kMaxStatsTextLen = 4u << 20;
 constexpr size_t kMaxListedProtocols = 4096;
 constexpr uint64_t kMaxResultPoints = uint64_t{1} << 32;
 constexpr uint64_t kMaxLogEntries = uint64_t{1} << 20;
@@ -278,6 +281,27 @@ bool DecodePullAccept(const transport::Message& message,
          reader.ReadVarint(&out->server_set_size) &&
          reader.ReadVarint(&out->seq) && reader.ReadVarint(&out->generation) &&
          reader.ReadBit(&out->dirty);
+}
+
+transport::Message EncodeStatsRequest() {
+  BitWriter writer;
+  return transport::MakeMessage(kStatsLabel, std::move(writer));
+}
+
+bool DecodeStatsRequest(const transport::Message& message) {
+  return message.label == kStatsLabel;
+}
+
+transport::Message EncodeStatsReply(const std::string& text) {
+  BitWriter writer;
+  WriteString(text, &writer);
+  return transport::MakeMessage(kStatsLabel, std::move(writer));
+}
+
+bool DecodeStatsReply(const transport::Message& message, std::string* out) {
+  if (message.label != kStatsLabel) return false;
+  BitReader reader(message.payload);
+  return ReadString(&reader, kMaxStatsTextLen, out);
 }
 
 }  // namespace server

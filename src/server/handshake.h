@@ -40,6 +40,10 @@ inline constexpr char kLogFetchLabel[] = "@log-fetch";
 inline constexpr char kLogBatchLabel[] = "@log-batch";
 inline constexpr char kPullLabel[] = "@pull";
 inline constexpr char kPullAcceptLabel[] = "@pull-accept";
+// Admin verb (DESIGN.md §12): "@stats" claims the whole connection before
+// any "@hello" — the host answers with one "@stats" frame whose payload is
+// its metrics registry rendered in the Prometheus text exposition format.
+inline constexpr char kStatsLabel[] = "@stats";
 
 /// True for control-plane labels (reserved '@' prefix).
 bool IsControlLabel(const std::string& label);
@@ -164,6 +168,15 @@ bool DecodePull(const transport::Message& message, PullFrame* out);
 transport::Message EncodePullAccept(const PullAcceptFrame& accept);
 bool DecodePullAccept(const transport::Message& message,
                       PullAcceptFrame* out);
+
+/// "@stats" request: an empty-payload frame (room for future options is
+/// trailing, like AcceptFrame's optional fields).
+transport::Message EncodeStatsRequest();
+bool DecodeStatsRequest(const transport::Message& message);
+
+/// "@stats" reply: the host's Prometheus text exposition, verbatim.
+transport::Message EncodeStatsReply(const std::string& text);
+bool DecodeStatsReply(const transport::Message& message, std::string* out);
 
 }  // namespace server
 }  // namespace rsr

@@ -35,7 +35,8 @@ struct SyncServerMetrics {
   size_t syncs_completed = 0;
   size_t syncs_failed = 0;
   size_t handshakes_rejected = 0;
-  size_t idle_timeouts = 0;  ///< Async host only (no deadline elsewhere).
+  size_t idle_timeouts = 0;  ///< Both hosts arm `idle_timeout` deadlines
+                             ///< (threaded via SetReadDeadline; DESIGN §6.3).
   size_t bytes_in = 0;
   size_t bytes_out = 0;
   std::map<std::string, ProtocolStats> per_protocol;

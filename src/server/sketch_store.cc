@@ -1,6 +1,7 @@
 #include "server/sketch_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "hash/mix.h"
@@ -50,7 +51,47 @@ bool SameRibltWidths(const RibltConfig& a, const RibltConfig& b) {
          a.CoordSumBits() == b.CoordSumBits();
 }
 
+/// Observes elapsed wall time into a histogram at scope exit; inert when
+/// the histogram is null (probe disabled).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(obs::Histogram* histogram)
+      : histogram_(histogram),
+        start_(histogram != nullptr
+                   ? std::chrono::steady_clock::now()
+                   : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count());
+  }
+
+ private:
+  obs::Histogram* const histogram_;
+  const std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
+
+SketchStoreMetrics MakeStoreMetrics(obs::MetricsRegistry* registry,
+                                    bool latency_probes) {
+  SketchStoreMetrics metrics;
+  if (latency_probes) {
+    metrics.apply_seconds = registry->GetHistogram(
+        "rsr_store_apply_seconds", "SketchStore::ApplyUpdate wall time",
+        obs::DefaultLatencyBounds());
+  }
+  metrics.rebuilds = registry->GetCounter(
+      "rsr_store_rebuilds_total",
+      "From-scratch sketch rebuilds (initial build included)");
+  metrics.generation = registry->GetGauge(
+      "rsr_store_generation", "Published canonical snapshot generation");
+  metrics.points =
+      registry->GetGauge("rsr_store_points", "Canonical set size");
+  return metrics;
+}
 
 // ----------------------------------------------------------- SketchSnapshot
 
@@ -113,6 +154,7 @@ SketchStore::SketchStore(PointSet canonical, SketchStoreOptions options)
     : context_(options.context),
       params_(options.params.Resolved()),
       materialize_(options.materialize),
+      metrics_(options.metrics),
       grid_(context_.universe, context_.seed) {
   // The cached quadtree levels: the one-shot ladder plus the single-grid
   // protocol's forced level (identical config derivation, so one cache
@@ -131,6 +173,16 @@ SketchStore::SketchStore(PointSet canonical, SketchStoreOptions options)
       lshrecon::MlshEffectiveWidth(context_.universe, params_.mlsh),
       params_.mlsh.NumFunctions(), context_.seed);
   snapshot_ = Rebuild(std::move(canonical), /*generation=*/0);
+  PublishMetrics();
+}
+
+void SketchStore::PublishMetrics() const {
+  if (metrics_.generation != nullptr) {
+    metrics_.generation->Set(static_cast<int64_t>(snapshot_->generation()));
+  }
+  if (metrics_.points != nullptr) {
+    metrics_.points->Set(static_cast<int64_t>(snapshot_->size()));
+  }
 }
 
 std::shared_ptr<const SketchSnapshot> SketchStore::Snapshot() const {
@@ -141,6 +193,7 @@ std::shared_ptr<const SketchSnapshot> SketchStore::Snapshot() const {
 std::shared_ptr<SketchSnapshot> SketchStore::Rebuild(PointSet points,
                                                      uint64_t generation) {
   auto snap = std::shared_ptr<SketchSnapshot>(new SketchSnapshot());
+  if (metrics_.rebuilds != nullptr) metrics_.rebuilds->Inc();
   snap->generation_ = generation;
   snap->seed_ = context_.seed;
   snap->materialized_ = materialize_;
@@ -287,6 +340,7 @@ void SketchStore::UpdatePoint(SketchSnapshot* snap, const Point& p,
 std::shared_ptr<const SketchSnapshot> SketchStore::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases) {
   std::lock_guard<std::mutex> lock(mu_);
+  ScopedTimer timer(metrics_.apply_seconds);
 
   // The new point set: per erased value, the first (remaining) equal
   // points are removed — absent copies are skipped, and must also be
@@ -332,6 +386,7 @@ std::shared_ptr<const SketchSnapshot> SketchStore::ApplyUpdate(
     // take the set-proportional path (rare: widths change near powers of
     // two of |S|).
     snapshot_ = Rebuild(std::move(points), generation);
+    PublishMetrics();
     return snapshot_;
   }
 
@@ -355,6 +410,7 @@ std::shared_ptr<const SketchSnapshot> SketchStore::ApplyUpdate(
   }
   snap->exact_keyed_ = std::move(keyed);
   snapshot_ = std::move(snap);
+  PublishMetrics();
   return snapshot_;
 }
 

@@ -44,12 +44,28 @@
 #include "iblt/iblt.h"
 #include "iblt/strata.h"
 #include "lshrecon/lsh.h"
+#include "obs/metrics.h"
 #include "recon/registry.h"
 #include "recon/sketch_provider.h"
 #include "riblt/riblt.h"
 
 namespace rsr {
 namespace server {
+
+/// Optional store instrumentation (DESIGN.md §12). Pointers are not owned
+/// and must outlive the store; any may be null (that probe is disabled).
+struct SketchStoreMetrics {
+  obs::Histogram* apply_seconds = nullptr;  ///< ApplyUpdate wall time.
+  obs::Counter* rebuilds = nullptr;  ///< From-scratch Rebuild() builds.
+  obs::Gauge* generation = nullptr;  ///< Published snapshot generation.
+  obs::Gauge* points = nullptr;      ///< Canonical set size.
+};
+
+/// Registers the rsr_store_* instruments on `registry` and returns the
+/// bundle. The ApplyUpdate latency probe is gated on `latency_probes`
+/// (the counters and gauges are per-batch, never hot, and stay on).
+SketchStoreMetrics MakeStoreMetrics(obs::MetricsRegistry* registry,
+                                    bool latency_probes);
 
 struct SketchStoreOptions {
   /// Shared public coins and protocol tunables; must equal what the host
@@ -61,6 +77,8 @@ struct SketchStoreOptions {
   /// every sketch request and sessions rebuild from the set. This is the
   /// rebuild baseline the churn bench compares against.
   bool materialize = true;
+  /// Instrumentation hooks (see MakeStoreMetrics); default: all disabled.
+  SketchStoreMetrics metrics;
 };
 
 /// One immutable generation of the canonical set and its sketches.
@@ -146,6 +164,8 @@ class SketchStore {
   /// From-scratch build of snapshot + maintenance state for `points`.
   std::shared_ptr<SketchSnapshot> Rebuild(PointSet points,
                                           uint64_t generation);
+  /// Pushes generation/size onto the gauges (mu_ held, or the ctor).
+  void PublishMetrics() const;
   /// Applies one point's insertion (direction +1) or removal (-1) to every
   /// sketch of `snap` and to the maintenance histograms.
   void UpdatePoint(SketchSnapshot* snap, const Point& p, int direction);
@@ -153,6 +173,7 @@ class SketchStore {
   const recon::ProtocolContext context_;
   const recon::ProtocolParams params_;  // Resolved()
   const bool materialize_;
+  const SketchStoreMetrics metrics_;
   const ShiftedGrid grid_;
   std::vector<int> cached_levels_;
   std::vector<size_t> mlsh_prefixes_;

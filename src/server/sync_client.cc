@@ -161,6 +161,19 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   }
 }
 
+bool FetchStats(net::ByteStream* stream, std::string* text,
+                net::FrameLimits limits) {
+  if (stream == nullptr || text == nullptr) return false;
+  net::FramedStream framed(stream, limits);
+  bool ok = framed.Send(EncodeStatsRequest());
+  transport::Message reply;
+  ok = ok &&
+       framed.Receive(&reply) == net::FramedStream::RecvStatus::kMessage &&
+       DecodeStatsReply(reply, text);
+  stream->Close();
+  return ok;
+}
+
 SyncOutcome SyncClient::SyncWithRetry(const StreamFactory& connect,
                                       const std::string& protocol,
                                       const PointSet& local_points,

@@ -115,6 +115,14 @@ class SyncClient {
   const recon::ProtocolRegistry* registry_;
 };
 
+/// Admin client for the "@stats" verb (DESIGN.md §12): sends the request
+/// over a fresh connection's `stream`, reads the one reply frame, and
+/// stores the host's Prometheus text exposition in *text. Blocking; the
+/// stream is closed on return. False on any transport or decode failure.
+/// Works against both serving hosts.
+bool FetchStats(net::ByteStream* stream, std::string* text,
+                net::FrameLimits limits = {});
+
 }  // namespace server
 }  // namespace rsr
 

@@ -24,47 +24,106 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+// FramedStream plus the per-connection observability state: the session's
+// trace span (frame/byte counts ride on every Send/Receive) and the idle
+// deadline. A Receive that fails after sitting close to the armed timeout
+// is classified as an idle expiry — SO_RCVTIMEO surfaces as a plain
+// transport error, so elapsed time is the only signal that distinguishes
+// "peer went silent" from "peer sent garbage".
+struct SyncServer::SessionIo {
+  net::FramedStream framed;
+  obs::SessionSpan span;
+  bool timed_out = false;
+
+  SessionIo(net::ByteStream* stream, const net::FrameLimits& limits,
+            std::chrono::milliseconds timeout, obs::TraceSink* sink)
+      : framed(stream, limits), span(sink, "sync-session") {
+    if (timeout.count() > 0 && stream->SetReadTimeout(timeout)) {
+      timeout_seconds_ = std::chrono::duration<double>(timeout).count();
+    }
+  }
+
+  net::FramedStream::RecvStatus Receive(transport::Message* out) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    const auto status = framed.Receive(out);
+    if (status == net::FramedStream::RecvStatus::kMessage) {
+      span.AddFrameIn(framed.bytes_received() - last_received_);
+      last_received_ = framed.bytes_received();
+    } else if (timeout_seconds_ > 0.0 &&
+               status == net::FramedStream::RecvStatus::kError &&
+               SecondsSince(wait_start) >= 0.9 * timeout_seconds_) {
+      timed_out = true;
+    }
+    return status;
+  }
+
+  bool Send(const transport::Message& message) {
+    const bool ok = framed.Send(message);
+    if (ok) {
+      span.AddFrameOut(framed.bytes_sent() - last_sent_);
+      last_sent_ = framed.bytes_sent();
+    }
+    return ok;
+  }
+
+ private:
+  double timeout_seconds_ = 0.0;  // 0: no deadline armed
+  size_t last_received_ = 0;
+  size_t last_sent_ = 0;
+};
+
 SyncServer::SyncServer(PointSet canonical, SyncServerOptions options)
     : options_(std::move(options)),
+      obs_(ServerObsOptions{options_.latency_probes, options_.trace_sink}),
       store_(std::move(canonical),
-             SketchStoreOptions{options_.context, options_.params,
-                                options_.serve_from_cache}),
+             SketchStoreOptions{
+                 options_.context, options_.params, options_.serve_from_cache,
+                 MakeStoreMetrics(&obs_.registry(), options_.latency_probes)}),
       registry_(options_.registry != nullptr
                     ? options_.registry
-                    : &recon::ProtocolRegistry::Global()) {}
+                    : &recon::ProtocolRegistry::Global()),
+      replica_seq_gauge_(obs_.registry().GetGauge(
+          "rsr_replica_seq",
+          "Replication position (last journaled seq folded into the set)")),
+      repair_dirty_gauge_(obs_.registry().GetGauge(
+          "rsr_replica_repair_dirty",
+          "1 after an approximate repair, until an exact one supersedes")) {}
 
 SyncServer::~SyncServer() { Stop(); }
 
 void SyncServer::ServeConnection(net::ByteStream* stream) {
-  net::FramedStream framed(stream, options_.limits);
-  {
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++metrics_.connections_accepted;
-    ++metrics_.active_sessions;
-    metrics_.peak_active_sessions =
-        std::max(metrics_.peak_active_sessions, metrics_.active_sessions);
-  }
+  obs_.OnAccepted();
+  SessionIo io(stream, options_.limits, options_.idle_timeout,
+               obs_.trace_sink());
+  io.span.BeginPhase("handshake");
 
   // --------------------------------------------------------- handshake
   HelloFrame hello;
   std::string reject_reason;
   transport::Message incoming;
-  if (framed.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
+  if (io.Receive(&incoming) != net::FramedStream::RecvStatus::kMessage) {
     // Nothing usable arrived (silent peer, garbage, or shutdown closed the
     // stream); there is no one to send a reject to, and no handshake was
     // rejected — the connection just never got off the ground.
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    --metrics_.active_sessions;
-    metrics_.bytes_in += framed.bytes_received();
+    ServerObs::Settle settle;
+    settle.timed_out = io.timed_out;
+    settle.bytes_in = io.framed.bytes_received();
+    obs_.OnClosed(settle);
+    io.span.set_outcome(io.timed_out ? "idle-timeout" : "never-started");
     return;
   }
-  // Replication verbs claim the whole connection before any "@hello".
+  // Admin and replication verbs claim the whole connection before any
+  // "@hello".
+  if (incoming.label == kStatsLabel) {
+    ServeStats(io, stream);
+    return;
+  }
   if (incoming.label == kLogFetchLabel) {
-    ServeLogFetch(framed, incoming, stream);
+    ServeLogFetch(io, incoming, stream);
     return;
   }
   if (incoming.label == kPullLabel) {
-    ServePull(framed, incoming, stream);
+    ServePull(io, incoming, stream);
     return;
   }
   std::unique_ptr<recon::Reconciler> protocol;
@@ -80,17 +139,19 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
     RejectFrame reject;
     reject.reason = reject_reason;
     reject.protocols = registry_->ListProtocols();
-    framed.Send(EncodeReject(reject));
+    io.Send(EncodeReject(reject));
     stream->Close();
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++metrics_.handshakes_rejected;
-    --metrics_.active_sessions;
-    metrics_.bytes_in += framed.bytes_received();
-    metrics_.bytes_out += framed.bytes_sent();
+    ServerObs::Settle settle;
+    settle.rejected = true;
+    settle.bytes_in = io.framed.bytes_received();
+    settle.bytes_out = io.framed.bytes_sent();
+    obs_.OnClosed(settle);
+    io.span.set_outcome("rejected");
     return;
   }
 
   const auto start_time = std::chrono::steady_clock::now();
+  io.span.set_protocol(hello.protocol);
   // Pin the session to one immutable canonical generation: the snapshot
   // (kept alive by this shared_ptr for the whole connection) supplies both
   // the point set and, when caching is on, the precomputed sketches. The
@@ -113,15 +174,16 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
     ack.will_send_result_set = hello.want_result_set;
     ack.generation = snapshot->generation();
     ack.replica_seq = served_seq;
-    framed.Send(EncodeAccept(ack));
+    io.Send(EncodeAccept(ack));
   }
 
   // -------------------------------------------------------- session pump
+  io.span.BeginPhase("rounds");
   recon::ReconResult result;
   bool pumped_ok = true;
   SessionError pump_error = SessionError::kNone;
   for (transport::Message& opening : bob->Start()) {
-    if (!framed.Send(opening)) {
+    if (!io.Send(opening)) {
       pumped_ok = false;
       pump_error = SessionError::kTransportClosed;
       break;
@@ -129,10 +191,10 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   }
   size_t deliveries = 0;
   while (pumped_ok && !bob->IsDone()) {
-    const auto status = framed.Receive(&incoming);
+    const auto status = io.Receive(&incoming);
     if (status != net::FramedStream::RecvStatus::kMessage) {
       pumped_ok = false;
-      pump_error = framed.error();
+      pump_error = io.framed.error();
       break;
     }
     if (IsControlLabel(incoming.label)) {
@@ -147,7 +209,7 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
       break;
     }
     for (transport::Message& reply : bob->OnMessage(std::move(incoming))) {
-      if (!framed.Send(reply)) {
+      if (!io.Send(reply)) {
         pumped_ok = false;
         pump_error = SessionError::kTransportClosed;
         break;
@@ -162,67 +224,75 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   }
 
   // ------------------------------------------------------------- result
+  io.span.BeginPhase("result");
   ResultFrame result_frame;
   result_frame.result = result;
   result_frame.has_set = hello.want_result_set && result.success;
   if (!result_frame.has_set) result_frame.result.bob_final.clear();
-  framed.Send(EncodeResult(result_frame, options_.context.universe));
+  io.Send(EncodeResult(result_frame, options_.context.universe));
   // Drain until the client closes: closing with unread bytes queued would
   // reset the connection and could discard the result frame in flight.
   size_t drained = 0;
   while (drained++ < options_.max_deliveries &&
-         framed.Receive(&incoming) ==
-             net::FramedStream::RecvStatus::kMessage) {
+         io.Receive(&incoming) == net::FramedStream::RecvStatus::kMessage) {
   }
   stream->Close();
 
-  SettleMetrics(framed, hello.protocol, result.success,
-                SecondsSince(start_time));
+  SettleSession(io, hello.protocol, result.success, SecondsSince(start_time));
 }
 
-void SyncServer::SettleMetrics(const net::FramedStream& framed,
-                               const std::string& name, bool success,
-                               double wall_seconds) {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  --metrics_.active_sessions;
-  if (success) {
-    ++metrics_.syncs_completed;
-  } else {
-    ++metrics_.syncs_failed;
-  }
-  metrics_.bytes_in += framed.bytes_received();
-  metrics_.bytes_out += framed.bytes_sent();
-  ProtocolStats& stats = metrics_.per_protocol[name];
-  if (success) {
-    ++stats.syncs;
-  } else {
-    ++stats.failures;
-  }
-  stats.bytes_in += framed.bytes_received();
-  stats.bytes_out += framed.bytes_sent();
-  stats.wall_seconds += wall_seconds;
+void SyncServer::SettleSession(SessionIo& io, const std::string& name,
+                               bool success, double wall_seconds) {
+  ServerObs::Settle settle;
+  settle.session_counted = true;
+  settle.protocol = name;
+  settle.success = success;
+  settle.wall_seconds = wall_seconds;
+  settle.timed_out = io.timed_out;
+  settle.bytes_in = io.framed.bytes_received();
+  settle.bytes_out = io.framed.bytes_sent();
+  obs_.OnClosed(settle);
+  io.span.set_outcome(success         ? "ok"
+                      : io.timed_out  ? "idle-timeout"
+                                      : "fail");
+  io.span.Finish();
 }
 
-void SyncServer::ServeLogFetch(net::FramedStream& framed,
-                               const transport::Message& first,
+void SyncServer::ServeStats(SessionIo& io, net::ByteStream* stream) {
+  const auto start_time = std::chrono::steady_clock::now();
+  io.span.set_protocol(kStatsLabel);
+  io.span.BeginPhase("result");
+  const bool ok = io.Send(EncodeStatsReply(RenderMetrics()));
+  transport::Message incoming;
+  size_t drained = 0;
+  while (drained++ < options_.max_deliveries &&
+         io.Receive(&incoming) == net::FramedStream::RecvStatus::kMessage) {
+  }
+  stream->Close();
+  SettleSession(io, kStatsLabel, ok, SecondsSince(start_time));
+}
+
+void SyncServer::ServeLogFetch(SessionIo& io, const transport::Message& first,
                                net::ByteStream* stream) {
   const auto start_time = std::chrono::steady_clock::now();
+  io.span.set_protocol(kLogFetchLabel);
   LogFetchFrame fetch;
   bool ok = DecodeLogFetch(first, &fetch);
   if (!ok) {
     RejectFrame reject;
-    reject.reason =
-        "malformed " + std::string(kLogFetchLabel) + " frame";
+    reject.reason = "malformed " + std::string(kLogFetchLabel) + " frame";
     reject.protocols = registry_->ListProtocols();
-    framed.Send(EncodeReject(reject));
+    io.Send(EncodeReject(reject));
     stream->Close();
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++metrics_.handshakes_rejected;
-    --metrics_.active_sessions;
-    metrics_.bytes_in += framed.bytes_received();
-    metrics_.bytes_out += framed.bytes_sent();
+    ServerObs::Settle settle;
+    settle.rejected = true;
+    settle.bytes_in = io.framed.bytes_received();
+    settle.bytes_out = io.framed.bytes_sent();
+    obs_.OnClosed(settle);
+    io.span.set_outcome("rejected");
     return;
   }
+  io.span.BeginPhase("result");
   LogBatchFrame batch;
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
@@ -230,20 +300,18 @@ void SyncServer::ServeLogFetch(net::FramedStream& framed,
                           replica_seq_, options_.context,
                           options_.log_fetch_max_entries);
   }
-  ok = framed.Send(EncodeLogBatch(batch, options_.context.universe));
+  ok = io.Send(EncodeLogBatch(batch, options_.context.universe));
   // Drain until the fetcher closes, as after "@result" (see above).
   transport::Message incoming;
   size_t drained = 0;
   while (drained++ < options_.max_deliveries &&
-         framed.Receive(&incoming) ==
-             net::FramedStream::RecvStatus::kMessage) {
+         io.Receive(&incoming) == net::FramedStream::RecvStatus::kMessage) {
   }
   stream->Close();
-  SettleMetrics(framed, kLogFetchLabel, ok, SecondsSince(start_time));
+  SettleSession(io, kLogFetchLabel, ok, SecondsSince(start_time));
 }
 
-void SyncServer::ServePull(net::FramedStream& framed,
-                           const transport::Message& first,
+void SyncServer::ServePull(SessionIo& io, const transport::Message& first,
                            net::ByteStream* stream) {
   const auto start_time = std::chrono::steady_clock::now();
   PullFrame pull;
@@ -260,15 +328,17 @@ void SyncServer::ServePull(net::FramedStream& framed,
     RejectFrame reject;
     reject.reason = reject_reason;
     reject.protocols = registry_->ListProtocols();
-    framed.Send(EncodeReject(reject));
+    io.Send(EncodeReject(reject));
     stream->Close();
-    std::lock_guard<std::mutex> lock(metrics_mu_);
-    ++metrics_.handshakes_rejected;
-    --metrics_.active_sessions;
-    metrics_.bytes_in += framed.bytes_received();
-    metrics_.bytes_out += framed.bytes_sent();
+    ServerObs::Settle settle;
+    settle.rejected = true;
+    settle.bytes_in = io.framed.bytes_received();
+    settle.bytes_out = io.framed.bytes_sent();
+    obs_.OnClosed(settle);
+    io.span.set_outcome("rejected");
     return;
   }
+  io.span.set_protocol(std::string(kPullLabel) + ":" + pull.protocol);
 
   std::shared_ptr<const SketchSnapshot> snapshot;
   uint64_t served_seq = 0;
@@ -290,12 +360,13 @@ void SyncServer::ServePull(net::FramedStream& framed,
     ack.seq = served_seq;
     ack.generation = snapshot->generation();
     ack.dirty = dirty;
-    framed.Send(EncodePullAccept(ack));
+    io.Send(EncodePullAccept(ack));
   }
 
+  io.span.BeginPhase("rounds");
   bool pumped_ok = true;
   for (transport::Message& opening : alice->Start()) {
-    if (!framed.Send(opening)) {
+    if (!io.Send(opening)) {
       pumped_ok = false;
       break;
     }
@@ -306,7 +377,7 @@ void SyncServer::ServePull(net::FramedStream& framed,
   transport::Message incoming;
   size_t deliveries = 0;
   while (pumped_ok) {
-    const auto status = framed.Receive(&incoming);
+    const auto status = io.Receive(&incoming);
     if (status == net::FramedStream::RecvStatus::kClosed) break;
     if (status != net::FramedStream::RecvStatus::kMessage ||
         IsControlLabel(incoming.label) ||
@@ -315,15 +386,15 @@ void SyncServer::ServePull(net::FramedStream& framed,
       break;
     }
     for (transport::Message& reply : alice->OnMessage(std::move(incoming))) {
-      if (!framed.Send(reply)) {
+      if (!io.Send(reply)) {
         pumped_ok = false;
         break;
       }
     }
   }
   stream->Close();
-  SettleMetrics(framed, std::string(kPullLabel) + ":" + pull.protocol,
-                pumped_ok, SecondsSince(start_time));
+  SettleSession(io, std::string(kPullLabel) + ":" + pull.protocol, pumped_ok,
+                SecondsSince(start_time));
 }
 
 std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
@@ -337,6 +408,7 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
     entry.inserts = inserts;
     entry.erases = erases;
     options_.changelog->Append(std::move(entry));
+    replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
   }
   return snap;
 }
@@ -350,6 +422,7 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyReplicated(
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(entry.inserts, entry.erases);
   replica_seq_ = entry.seq;
+  replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
   if (options_.changelog != nullptr) options_.changelog->Append(entry);
   return snap;
 }
@@ -369,6 +442,8 @@ std::shared_ptr<const SketchSnapshot> SyncServer::InstallRepair(
     // (so a later exact repair re-bases correctly) and flag the state.
     repair_dirty_ = true;
   }
+  replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
+  repair_dirty_gauge_->Set(repair_dirty_ ? 1 : 0);
   return snap;
 }
 
@@ -418,7 +493,7 @@ void SyncServer::Stop() {
     // blocking a worker on a client that never speaks.
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
-    for (const auto& stream : pending_) stream->Close();
+    for (const PendingConn& pending : pending_) pending.stream->Close();
     queue_cv_.notify_all();
   }
   {
@@ -436,24 +511,22 @@ uint16_t SyncServer::port() const {
   return listener_ != nullptr ? listener_->port() : 0;
 }
 
-SyncServerMetrics SyncServer::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mu_);
-  return metrics_;
-}
+SyncServerMetrics SyncServer::metrics() const { return obs_.LegacyMetrics(); }
 
 void SyncServer::AcceptLoop() {
   for (;;) {
     std::unique_ptr<net::TcpStream> conn = listener_->Accept();
     if (conn == nullptr) return;  // listener closed
     std::lock_guard<std::mutex> lock(queue_mu_);
-    pending_.push_back(std::move(conn));
+    pending_.push_back(
+        PendingConn{std::move(conn), std::chrono::steady_clock::now()});
     queue_cv_.notify_one();
   }
 }
 
 void SyncServer::WorkerLoop() {
   for (;;) {
-    std::unique_ptr<net::ByteStream> conn;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
@@ -466,13 +539,14 @@ void SyncServer::WorkerLoop() {
       // stopping_ under queue_mu_ before sweeping active_, so a stream is
       // either closed by the sweep or closed here — no unclosable window.
       std::lock_guard<std::mutex> active_lock(active_mu_);
-      if (stopping_) conn->Close();
-      active_.insert(conn.get());
+      if (stopping_) conn.stream->Close();
+      active_.insert(conn.stream.get());
     }
-    ServeConnection(conn.get());
+    obs_.ObserveQueueDelay(SecondsSince(conn.enqueued));
+    ServeConnection(conn.stream.get());
     {
       std::lock_guard<std::mutex> active_lock(active_mu_);
-      active_.erase(conn.get());
+      active_.erase(conn.stream.get());
     }
   }
 }

@@ -20,14 +20,16 @@
 // Threading model: Start() spawns one accept thread plus a fixed pool of
 // worker threads; accepted connections go through a queue and each worker
 // serves one connection at a time, blocking on its socket. Sessions are
-// single-threaded end to end — only the queue and the metrics are shared,
-// each behind its own mutex — which is what keeps the protocol code
+// single-threaded end to end — only the queue (behind a mutex) and the
+// metrics registry (lock-free record path; server/server_obs.h) are
+// shared — which is what keeps the protocol code
 // (written for the in-process driver) safe to host unchanged. See
 // DESIGN.md §6.
 
 #ifndef RSR_SERVER_SYNC_SERVER_H_
 #define RSR_SERVER_SYNC_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -42,8 +44,11 @@
 #include "net/byte_stream.h"
 #include "net/frame.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "recon/registry.h"
 #include "replica/changelog.h"
+#include "server/server_obs.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
 
@@ -75,6 +80,18 @@ struct SyncServerOptions {
   /// Upper bound on entries per served "@log-batch" (a fetch's own
   /// max_entries only tightens it).
   size_t log_fetch_max_entries = 512;
+  /// Per-session idle deadline: a connection whose socket yields no byte
+  /// for this long is failed and counted in idle_timeouts. 0 disables.
+  /// Enforced only where the transport can arm a read deadline
+  /// (ByteStream::SetReadTimeout — TCP yes, pipes no).
+  std::chrono::milliseconds idle_timeout{0};
+  /// Gates the optional latency probes (worker-queue delay, store apply
+  /// latency). Session outcome counters and per-protocol latency
+  /// histograms stay on regardless — DumpStats() is rebuilt from them.
+  bool latency_probes = true;
+  /// Per-session trace spans (obs/trace.h) are emitted here; null
+  /// disables tracing. Not owned; must outlive the server.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 // ProtocolStats and SyncServerMetrics moved to server/server_stats.h so
@@ -105,12 +122,28 @@ class SyncServer {
   /// Bound TCP port (0 unless Start()ed).
   uint16_t port() const;
 
+  /// Legacy flat counters snapshot, rebuilt from the metrics registry.
   SyncServerMetrics metrics() const;
 
   /// Plain-text counters dump (server/server_stats.h): one totals line
   /// (generation + replication position included) plus one line per
   /// negotiated protocol.
   std::string DumpStats() const;
+
+  /// The host's metrics registry — the "@stats" admin verb and the syncd
+  /// `--metrics-port` HTTP responder serve its Prometheus rendering, and
+  /// subsystems riding on this host (replica/replica_node.h) register
+  /// their instruments here. See DESIGN.md §12.
+  obs::MetricsRegistry& metrics_registry() { return obs_.registry(); }
+  const obs::MetricsRegistry& metrics_registry() const {
+    return obs_.registry();
+  }
+
+  /// The registry in Prometheus text exposition format (what "@stats"
+  /// answers with).
+  std::string RenderMetrics() const {
+    return obs_.registry().RenderPrometheus();
+  }
 
   /// Mutates the canonical set (erases first, then inserts; see
   /// SketchStore::ApplyUpdate) and returns the new generation's snapshot.
@@ -160,23 +193,35 @@ class SyncServer {
   PointSet canonical() const { return store_.Snapshot()->points(); }
 
  private:
+  /// Per-connection I/O wrapper (defined in the .cc): FramedStream plus
+  /// the idle-deadline classification and the session's trace span.
+  struct SessionIo;
+
   void AcceptLoop();
   void WorkerLoop();
   /// Serves an "@log-fetch" opening frame to completion (the whole
   /// connection is that one exchange). Called by ServeConnection.
-  void ServeLogFetch(net::FramedStream& framed,
-                     const transport::Message& first,
+  void ServeLogFetch(SessionIo& io, const transport::Message& first,
                      net::ByteStream* stream);
   /// Serves an "@pull" opening frame: hosts the Alice side of the named
   /// protocol over the canonical snapshot until the puller closes.
-  void ServePull(net::FramedStream& framed, const transport::Message& first,
+  void ServePull(SessionIo& io, const transport::Message& first,
                  net::ByteStream* stream);
-  void SettleMetrics(const net::FramedStream& framed, const std::string& name,
-                     bool success, double wall_seconds);
+  /// Serves an "@stats" opening frame: one reply carrying RenderMetrics().
+  void ServeStats(SessionIo& io, net::ByteStream* stream);
+  void SettleSession(SessionIo& io, const std::string& name, bool success,
+                     double wall_seconds);
 
   const SyncServerOptions options_;
+  /// Declared before store_: the store's instruments live in obs_'s
+  /// registry.
+  ServerObs obs_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
+  /// Replication-position instruments, set on the write path under
+  /// replica_mu_ so a scrape never takes that lock.
+  obs::Gauge* const replica_seq_gauge_;
+  obs::Gauge* const repair_dirty_gauge_;
 
   /// Guards the (store mutation, changelog append, replica_seq_,
   /// repair_dirty_) compound so a served snapshot + position pair is
@@ -189,18 +234,22 @@ class SyncServer {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
+  /// A queued connection remembers when it was accepted so the dequeuing
+  /// worker can observe the queue-delay histogram.
+  struct PendingConn {
+    std::unique_ptr<net::ByteStream> stream;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::unique_ptr<net::ByteStream>> pending_;
+  std::deque<PendingConn> pending_;
   bool stopping_ = false;
 
   /// Streams currently inside a worker's ServeConnection; Stop() closes
   /// them to unblock sessions stuck on a silent or slow client.
   std::mutex active_mu_;
   std::set<net::ByteStream*> active_;
-
-  mutable std::mutex metrics_mu_;
-  SyncServerMetrics metrics_;
 };
 
 }  // namespace server

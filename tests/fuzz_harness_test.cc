@@ -7,6 +7,8 @@
 // path is untested is itself untested code; this file is that test.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -207,6 +209,21 @@ TEST(FuzzCampaignTest, CampaignShrinksAndDumpsCounterexamples) {
     EXPECT_EQ(example.kind, FuzzFailure::kDiverged);
     EXPECT_LE(example.script.steps.size(), example.original_steps);
     ASSERT_FALSE(example.artifact_path.empty());
+    // The artifact header carries a final metrics-registry excerpt per
+    // peer (DESIGN.md §12) — the path evidence (tail vs repair vs
+    // escalation) for the failing run — and stays replayable: the '#'
+    // snapshot lines must not confuse the parser.
+    EXPECT_EQ(example.peer_metrics.size(), example.script.config.num_peers);
+    {
+      std::ifstream artifact(example.artifact_path);
+      std::ostringstream text;
+      text << artifact.rdbuf();
+      EXPECT_NE(text.str().find("# peer 0 final registry:"),
+                std::string::npos);
+      EXPECT_NE(text.str().find("rsr_replica_rounds_total"),
+                std::string::npos);
+      EXPECT_EQ(text.str().find("_bucket{"), std::string::npos);
+    }
     FuzzScript loaded;
     EXPECT_TRUE(LoadScriptFile(example.artifact_path, &loaded));
     std::remove(example.artifact_path.c_str());
