@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "net/tcp.h"
+#include "obs/trace.h"
 #include "recon/driver.h"
 #include "server/sync_client.h"
 #include "server/sync_server.h"
@@ -92,15 +93,19 @@ PointSet DriftedReplica(const PointSet& base, uint64_t seed) {
 /// One burst: `clients` concurrent TCP clients, client i negotiating
 /// protocols[i % protocols.size()]. Emits one table row labelled `label`.
 /// `latency_probes=false` serves with the optional probes off — the
-/// overhead-comparison arm of the metrics layer (DESIGN.md §12).
+/// overhead-comparison arm of the metrics layer (DESIGN.md §12). A
+/// non-null `trace_sink` serves with per-session trace spans on (every
+/// span emitted — the worst-case tracing arm).
 void RunBurst(const PointSet& canonical, const std::string& label,
               const std::vector<std::string>& protocols, size_t clients,
-              bool latency_probes = true) {
+              bool latency_probes = true,
+              obs::TraceSink* trace_sink = nullptr) {
   server::SyncServerOptions server_options;
   server_options.context = Ctx();
   server_options.params = Params();
   server_options.worker_threads = 8;
   server_options.latency_probes = latency_probes;
+  server_options.trace_sink = trace_sink;
   server::SyncServer server(canonical, server_options);
   if (!server.Start(net::TcpListener::Listen("127.0.0.1", 0))) {
     std::fprintf(stderr, "E16: failed to bind a loopback listener\n");
@@ -166,6 +171,7 @@ void RunBurst(const PointSet& canonical, const std::string& label,
       bench::LatencyExtras(server.metrics_registry());
   extras.emplace_back("wall_ms", bench::Num(1e3 * burst_seconds));
   extras.emplace_back("latency_probes", latency_probes ? "1" : "0");
+  extras.emplace_back("traced", trace_sink != nullptr ? "1" : "0");
   // Registry-side session accounting, published so CI can catch drift
   // between the metrics registry and the bench's own client counting.
   extras.emplace_back(
@@ -222,5 +228,18 @@ int main() {
            {"quadtree", "exact-iblt", "full-transfer", "gap-lattice",
             "riblt-oneshot"},
            32, /*latency_probes=*/false);
+  // Tracing arm: the same burst with per-session spans on and every span
+  // emitted (sample_rate 1, a file sink) — the worst case of the tracing
+  // layer. Comparing syncs_per_sec against "mixed-5-noprobe" re-pins the
+  // observability hot-path overhead bound (target: <= 2%, DESIGN.md §12);
+  // one span serialization per multi-round session is noise next to the
+  // session's framing and sketch work.
+  {
+    obs::FileTraceSink trace_sink("/dev/null");
+    RunBurst(canonical, "mixed-5-traced",
+             {"quadtree", "exact-iblt", "full-transfer", "gap-lattice",
+              "riblt-oneshot"},
+             32, /*latency_probes=*/true, &trace_sink);
+  }
   return 0;
 }

@@ -28,9 +28,29 @@
 // both catch-up paths exercised; for the same small delta the tail bytes
 // are below the repair bytes; every client row has match_driver = 1.
 //
-// CI asserts exactly those four claims on BENCH_E19.json.
+// CI asserts exactly those four claims on BENCH_E19.json, plus — via the
+// observability flags below — that a meshmon scrape of the held mesh
+// reports convergence_watermark == writer seq.
+//
+// Flags (all optional; defaults reproduce the historical bench):
+//   --trace-out PATH     emit every node's trace spans (replica rounds,
+//                        served sessions) and the serve-phase client
+//                        spans as JSON lines into PATH
+//   --ports-file PATH    run the mesh over loopback TCP and write one
+//                        host:port line per node (meshmon's argument
+//                        format) once the mesh is converged
+//   --hold-seconds S     keep the converged mesh serving for S seconds
+//                        after the ports file is written, so an external
+//                        scraper (CI's meshmon --expect-converged) can
+//                        read the settled gauges
+//
+// Each round row also carries the puller's per-peer append→apply lag
+// quantiles (lag_p50_ms/lag_p99_ms, -1 before the first tail apply from
+// that peer) — the replication-lag telemetry of DESIGN.md §12.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,6 +59,7 @@
 
 #include "bench/bench_util.h"
 #include "net/pipe_stream.h"
+#include "obs/trace.h"
 #include "recon/registry.h"
 #include "replica/mesh.h"
 #include "replica/replica_node.h"
@@ -94,17 +115,29 @@ void ApplyChurn(replica::ReplicaNode* writer, const workload::ChurnSpec& spec,
   }
 }
 
+/// The puller's per-peer append→apply lag quantiles, in milliseconds
+/// ({-1, -1} before the first tail apply from that peer).
+std::pair<std::string, std::string> LagCells(
+    const replica::ReplicaNode& puller, const std::string& peer_name) {
+  const auto lag = puller.host().metrics_registry().SnapshotHistogram(
+      "rsr_replica_propagation_lag_seconds", {{"peer", peer_name}});
+  if (!lag.has_value() || lag->count == 0) return {"-1", "-1"};
+  return {bench::Num(1e3 * lag->Quantile(0.5)),
+          bench::Num(1e3 * lag->Quantile(0.99))};
+}
+
 /// One table row per anti-entropy round (plus the summary/serve rows).
 void RoundRow(const std::string& phase, size_t round, size_t node,
               size_t peer, const replica::RoundRecord& record,
-              size_t divergence_after, uint64_t staleness) {
+              size_t divergence_after, uint64_t staleness,
+              std::pair<std::string, std::string> lag = {"-1", "-1"}) {
   bench::Row({phase, std::to_string(round), std::to_string(node),
               std::to_string(peer), replica::RoundPathName(record.path),
               std::to_string(record.entries_applied),
               std::to_string(record.est_delta),
               std::to_string(record.bytes_sent + record.bytes_received),
               std::to_string(divergence_after), std::to_string(staleness),
-              record.ok ? "1" : "0"});
+              lag.first, lag.second, record.ok ? "1" : "0"});
 }
 
 uint64_t Staleness(const replica::ReplicaMesh& mesh, size_t node) {
@@ -137,8 +170,26 @@ replica::RoundRecord CatchUpOnce(const PointSet& initial, size_t ring) {
 }  // namespace
 }  // namespace rsr
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rsr;
+  std::string trace_out;
+  std::string ports_file;
+  long hold_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--ports-file") == 0 && i + 1 < argc) {
+      ports_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--hold-seconds") == 0 && i + 1 < argc) {
+      hold_seconds = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_e19_replication [--trace-out PATH] "
+                   "[--ports-file PATH] [--hold-seconds S]\n");
+      return 2;
+    }
+  }
+
   bench::Banner(
       "E19",
       "replicated canonical set: changelog tail vs protocol repair",
@@ -147,14 +198,26 @@ int main() {
       "fewer bytes than protocol repair for the same small delta; every "
       "replica-served client result matches the in-process driver");
   bench::Row({"phase", "round", "node", "peer", "path", "entries",
-              "est_delta", "bytes", "divergence", "staleness", "ok"});
+              "est_delta", "bytes", "divergence", "staleness", "lag_p50_ms",
+              "lag_p99_ms", "ok"});
+
+  std::unique_ptr<obs::FileTraceSink> trace_sink;
+  if (!trace_out.empty()) {
+    trace_sink = std::make_unique<obs::FileTraceSink>(trace_out);
+    if (!trace_sink->ok()) {
+      std::fprintf(stderr, "e19: cannot open %s\n", trace_out.c_str());
+      return 2;
+    }
+  }
 
   const PointSet canonical = Canonical();
   replica::ReplicaMeshOptions options;
   options.nodes = 3;
   options.node.server.context = Ctx();
   options.node.server.params = Params();
+  options.node.server.trace_sink = trace_sink.get();
   options.node.changelog.capacity = kRingCapacity;
+  options.use_tcp = !ports_file.empty();  // meshmon needs dialable hosts
   replica::ReplicaMesh mesh(canonical, options);
   Rng churn_rng(5151);
   size_t round = 0;
@@ -165,7 +228,8 @@ int main() {
     for (const size_t node : {size_t{1}, size_t{2}}) {
       const replica::RoundRecord record = mesh.RunRound(node, 0);
       RoundRow("churn-tail", round++, node, 0, record,
-               mesh.Divergence(0, node), Staleness(mesh, node));
+               mesh.Divergence(0, node), Staleness(mesh, node),
+               LagCells(mesh.node(node), "node0"));
     }
   }
 
@@ -175,7 +239,8 @@ int main() {
   for (const size_t node : {size_t{1}, size_t{2}}) {
     const replica::RoundRecord record = mesh.RunRound(node, 0);
     RoundRow("burst-repair", round++, node, 0, record,
-             mesh.Divergence(0, node), Staleness(mesh, node));
+             mesh.Divergence(0, node), Staleness(mesh, node),
+             LagCells(mesh.node(node), "node0"));
   }
 
   // Phase 3: quiescence — keep pulling (node 2 also from node 1, the
@@ -187,14 +252,22 @@ int main() {
              {1, 0}, {2, 1}, {2, 0}}) {
       const replica::RoundRecord record = mesh.RunRound(node, peer);
       RoundRow("quiesce", round++, node, peer, record,
-               mesh.Divergence(0, node), Staleness(mesh, node));
+               mesh.Divergence(0, node), Staleness(mesh, node),
+               LagCells(mesh.node(node), "node" + std::to_string(peer)));
     }
   }
   for (const size_t node : {size_t{1}, size_t{2}}) {
+    // JSON-only: the node's convergence watermark against the writer's
+    // position — CI's quiescence assert, readable straight off the rows.
+    bench::RowExtras(
+        {{"watermark",
+          std::to_string(mesh.node(node).host().metrics_registry().GaugeValue(
+              "rsr_replica_convergence_watermark"))},
+         {"writer_seq", std::to_string(mesh.node(0).applied_seq())}});
     bench::Row({"final", std::to_string(round), std::to_string(node), "0",
                 "summary", "0", "0", "0",
                 std::to_string(mesh.Divergence(0, node)),
-                std::to_string(Staleness(mesh, node)), "1"});
+                std::to_string(Staleness(mesh, node)), "-1", "-1", "1"});
   }
 
   // Phase 4: the controlled byte comparison (same delta, both paths).
@@ -214,6 +287,8 @@ int main() {
   server::SyncClientOptions client_options;
   client_options.context = Ctx();
   client_options.params = Params();
+  client_options.trace_sink = trace_sink.get();
+  client_options.propagate_trace = trace_sink != nullptr;
   const server::SyncClient client(client_options);
   Rng client_rng(6161);
   for (size_t node = 0; node < mesh.size(); ++node) {
@@ -249,10 +324,32 @@ int main() {
     bench::Row({"serve", std::to_string(round++), std::to_string(node),
                 std::to_string(node), "client-sync", "0", "0",
                 std::to_string(outcome.bytes_sent + outcome.bytes_received),
-                "0", std::to_string(staleness), match ? "1" : "0"});
+                "0", std::to_string(staleness), "-1", "-1",
+                match ? "1" : "0"});
   }
 
   std::printf("%s\n", mesh.node(0).host().DumpStats().c_str());
+
+  // Scrape window: publish the nodes' endpoints for meshmon, then keep
+  // the converged mesh serving so the external scraper reads settled
+  // gauges (watermark == writer seq).
+  if (!ports_file.empty()) {
+    std::FILE* f = std::fopen(ports_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "e19: cannot write %s\n", ports_file.c_str());
+      mesh.StopSchedulers();
+      return 2;
+    }
+    for (size_t node = 0; node < mesh.size(); ++node) {
+      std::fprintf(f, "127.0.0.1:%u\n", mesh.node(node).host().port());
+    }
+    std::fclose(f);
+    if (hold_seconds > 0) {
+      std::printf("e19: holding %lds for scrapes\n", hold_seconds);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(hold_seconds));
+    }
+  }
   mesh.StopSchedulers();
   return 0;
 }

@@ -1,0 +1,123 @@
+// meshmon — fleet health monitor for a replication mesh.
+//
+// Polls the "@stats" admin verb of every listed node, joins the per-node
+// metric registries into the fleet aggregates of DESIGN.md §12 (writer
+// seq vs convergence watermark, per-peer staleness, merged propagation-
+// lag quantiles, session latency), and renders either a one-screen text
+// dashboard or machine-readable JSON that CI asserts on.
+//
+//   meshmon [--json] [--watch SECONDS] [--expect-converged]
+//           host:port [host:port ...]
+//
+//   --json              emit one flat JSON object instead of the table
+//   --watch SECONDS     re-poll and re-render every SECONDS (text mode)
+//   --expect-converged  exit 1 unless every node was scraped and the
+//                       convergence watermark equals the writer seq
+//
+// A node that cannot be reached renders as `<unreachable>` and is left
+// out of the aggregates; meshmon exits 0 as long as at least one node
+// answered (2 when none did, 1 on --expect-converged failure).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+#include "obs/fleet.h"
+#include "server/sync_client.h"
+
+namespace {
+
+struct Endpoint {
+  std::string display;
+  std::string host;
+  uint16_t port = 0;
+};
+
+bool ParseEndpoint(const std::string& arg, Endpoint* out) {
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+    return false;
+  }
+  const long port = std::strtol(arg.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) return false;
+  out->display = arg;
+  out->host = arg.substr(0, colon);
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+rsr::obs::NodeScrape ScrapeNode(const Endpoint& endpoint) {
+  rsr::obs::NodeScrape scrape;
+  scrape.name = endpoint.display;
+  std::unique_ptr<rsr::net::TcpStream> stream =
+      rsr::net::TcpStream::Connect(endpoint.host, endpoint.port);
+  if (stream == nullptr) return scrape;
+  std::string text;
+  if (rsr::server::FetchStats(stream.get(), &text)) {
+    scrape.text = std::move(text);
+  }
+  return scrape;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: meshmon [--json] [--watch SECONDS] "
+               "[--expect-converged] host:port [host:port ...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool expect_converged = false;
+  double watch_seconds = 0.0;
+  std::vector<Endpoint> endpoints;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--expect-converged") {
+      expect_converged = true;
+    } else if (arg == "--watch" && i + 1 < argc) {
+      watch_seconds = std::strtod(argv[++i], nullptr);
+    } else {
+      Endpoint endpoint;
+      if (!ParseEndpoint(arg, &endpoint)) return Usage();
+      endpoints.push_back(std::move(endpoint));
+    }
+  }
+  if (endpoints.empty()) return Usage();
+
+  for (;;) {
+    std::vector<rsr::obs::NodeScrape> scrapes;
+    scrapes.reserve(endpoints.size());
+    size_t reachable = 0;
+    for (const Endpoint& endpoint : endpoints) {
+      scrapes.push_back(ScrapeNode(endpoint));
+      if (!scrapes.back().text.empty()) ++reachable;
+    }
+    const rsr::obs::FleetSummary fleet = rsr::obs::Aggregate(scrapes);
+    if (json) {
+      std::printf("%s\n", fleet.RenderJson().c_str());
+    } else {
+      std::printf("%s", fleet.RenderText().c_str());
+    }
+    std::fflush(stdout);
+    if (watch_seconds <= 0.0) {
+      if (reachable == 0) return 2;
+      if (expect_converged &&
+          (!fleet.converged || reachable != endpoints.size())) {
+        return 1;
+      }
+      return 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(watch_seconds));
+    if (!json) std::printf("\n");
+  }
+}

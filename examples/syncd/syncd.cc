@@ -162,9 +162,28 @@ int main(int argc, char** argv) {
     return 1;
   }
   const uint16_t port = use_async ? async->port() : threaded->port();
-  obs::MetricsHttpServer metrics_http([&]() {
-    return use_async ? async->RenderMetrics() : threaded->RenderMetrics();
-  });
+  const auto start_time = std::chrono::steady_clock::now();
+  obs::MetricsHttpServer metrics_http(
+      [&]() {
+        return use_async ? async->RenderMetrics() : threaded->RenderMetrics();
+      },
+      [&]() {
+        // /healthz: one line a load balancer (or a human) can eyeball —
+        // liveness, uptime, and the replication position.
+        const double uptime =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_time)
+                .count();
+        const uint64_t seq =
+            use_async ? async->replica_seq() : threaded->replica_seq();
+        const bool dirty = use_async ? false : threaded->repair_dirty();
+        char line[128];
+        std::snprintf(line, sizeof line,
+                      "ok uptime_seconds=%.1f replica_seq=%llu dirty=%d\n",
+                      uptime, static_cast<unsigned long long>(seq),
+                      dirty ? 1 : 0);
+        return std::string(line);
+      });
   if (serve_metrics) {
     if (metrics_port < 0 || metrics_port > 65535 ||
         !metrics_http.Start(net::TcpListener::Listen(
@@ -172,7 +191,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "syncd: could not bind the metrics port\n");
       return 1;
     }
-    std::printf("syncd: metrics on http://127.0.0.1:%u/metrics\n",
+    std::printf("syncd: metrics on http://127.0.0.1:%u/metrics "
+                "(health on /healthz)\n",
                 metrics_http.port());
   }
   if (use_async) {

@@ -1,0 +1,33 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace rsr {
+namespace obs {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace obs
+}  // namespace rsr

@@ -1,0 +1,61 @@
+// Injectable monotonic clock seam.
+//
+// Replication-lag telemetry (DESIGN.md §12) stamps every Changelog append
+// with a monotonic timestamp and measures append→apply propagation delay
+// on the follower. Those stamps must be controllable in tests — wall
+// sleeps in unit tests are flaky and slow — so, like the PR 6
+// SyncRetryPolicy::sleep_fn seam, time flows through a tiny virtual
+// interface: hosts default to the process-wide steady clock, tests inject
+// a FakeClock and advance it by hand.
+//
+// Stamps are comparable only within one clock domain. The in-process
+// meshes (pipes or loopback TCP) share one steady clock, so follower-side
+// lag readings are exact there; across real machines the stamps are
+// offset by the clock skew between writer and follower, and the lag
+// histograms read as "skew + propagation" (the usual caveat of
+// one-way-delay telemetry without clock sync).
+
+#ifndef RSR_OBS_CLOCK_H_
+#define RSR_OBS_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rsr {
+namespace obs {
+
+/// Monotonic microsecond clock. NowMicros() never decreases and is safe
+/// to call from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t NowMicros() = 0;
+
+  /// The process-wide real clock (std::chrono::steady_clock, rebased so
+  /// the first call of the process reads near 0). Never null.
+  static Clock* Real();
+};
+
+/// Test clock: starts at `start_micros`, moves only when told to.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_micros = 0) : micros_(start_micros) {}
+
+  uint64_t NowMicros() override {
+    return micros_.load(std::memory_order_relaxed);
+  }
+  void Advance(uint64_t micros) {
+    micros_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Set(uint64_t micros) {
+    micros_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> micros_;
+};
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_CLOCK_H_

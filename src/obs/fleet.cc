@@ -1,0 +1,214 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/promparse.h"
+
+namespace rsr {
+namespace obs {
+
+namespace {
+
+double QuantileMs(const std::optional<HistogramSnapshot>& snap, double q) {
+  if (!snap.has_value() || snap->count == 0) return -1;
+  return 1e3 * snap->Quantile(q);
+}
+
+void MergeInto(std::optional<HistogramSnapshot>* merged,
+               const std::optional<HistogramSnapshot>& snap) {
+  if (!snap.has_value()) return;
+  if (!merged->has_value()) {
+    *merged = *snap;
+    return;
+  }
+  if (snap->bounds != (*merged)->bounds) return;
+  for (size_t i = 0; i < snap->buckets.size(); ++i) {
+    (*merged)->buckets[i] += snap->buckets[i];
+  }
+  (*merged)->count += snap->count;
+  (*merged)->sum += snap->sum;
+}
+
+std::string FormatMs(double ms) {
+  char buf[32];
+  if (ms < 0) return "-";
+  std::snprintf(buf, sizeof buf, "%.2f", ms);
+  return buf;
+}
+
+void AppendJsonNumber(std::string* out, const char* key, double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v > -1e15 &&
+      v < 1e15) {
+    std::snprintf(buf, sizeof buf, "\"%s\":%lld", key,
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "\"%s\":%.6g", key, v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+FleetSummary Aggregate(const std::vector<NodeScrape>& scrapes) {
+  FleetSummary fleet;
+  std::optional<HistogramSnapshot> fleet_lag;
+  std::optional<HistogramSnapshot> fleet_sessions;
+  bool any = false;
+  for (const NodeScrape& scrape : scrapes) {
+    const PromScrape parsed = PromScrape::Parse(scrape.text);
+    NodeSummary node;
+    node.name = scrape.name;
+    node.parse_errors = parsed.parse_errors();
+    node.scraped = !parsed.samples().empty();
+    if (node.scraped) {
+      node.replica_seq = parsed.Value("rsr_replica_seq").value_or(0);
+      node.watermark = parsed.Value("rsr_replica_convergence_watermark")
+                           .value_or(node.replica_seq);
+      node.repair_dirty =
+          parsed.Value("rsr_replica_repair_dirty").value_or(0) != 0;
+      node.staleness_seconds =
+          parsed.Max("rsr_replica_peer_staleness_micros").value_or(0) / 1e6;
+      node.sessions_total = parsed.Sum("rsr_sync_sessions_total");
+      node.rounds_total = parsed.Sum("rsr_replica_rounds_total");
+      for (const PromSample* sample :
+           parsed.Series("rsr_replica_rounds_total")) {
+        for (const auto& [key, value] : sample->labels) {
+          if (key != "path") continue;
+          if (value == "tail") node.rounds_tail += sample->value;
+          if (value == "error") node.rounds_error += sample->value;
+          if (value.rfind("repair", 0) == 0) {
+            node.rounds_repair += sample->value;
+          }
+        }
+      }
+      node.spans_emitted = parsed.Value("rsr_trace_spans_total",
+                                        {{"decision", "emitted"}})
+                               .value_or(0);
+      node.spans_dropped = parsed.Value("rsr_trace_spans_total",
+                                        {{"decision", "dropped"}})
+                               .value_or(0);
+      const std::optional<HistogramSnapshot> lag =
+          parsed.MergedHistogram("rsr_replica_propagation_lag_seconds");
+      node.lag_p50_ms = QuantileMs(lag, 0.5);
+      node.lag_p99_ms = QuantileMs(lag, 0.99);
+      MergeInto(&fleet_lag, lag);
+      MergeInto(&fleet_sessions,
+                parsed.MergedHistogram("rsr_sync_session_seconds"));
+
+      fleet.writer_seq = std::max(fleet.writer_seq, node.replica_seq);
+      fleet.convergence_watermark =
+          any ? std::min(fleet.convergence_watermark, node.watermark)
+              : node.watermark;
+      any = true;
+      fleet.max_staleness_seconds =
+          std::max(fleet.max_staleness_seconds, node.staleness_seconds);
+      fleet.sessions_total += node.sessions_total;
+      fleet.rounds_total += node.rounds_total;
+      fleet.spans_emitted += node.spans_emitted;
+      fleet.spans_dropped += node.spans_dropped;
+    }
+    fleet.nodes.push_back(std::move(node));
+  }
+  fleet.converged = any && fleet.convergence_watermark == fleet.writer_seq;
+  fleet.lag_p50_ms = QuantileMs(fleet_lag, 0.5);
+  fleet.lag_p99_ms = QuantileMs(fleet_lag, 0.99);
+  fleet.session_p50_ms = QuantileMs(fleet_sessions, 0.5);
+  fleet.session_p99_ms = QuantileMs(fleet_sessions, 0.99);
+  return fleet;
+}
+
+std::string FleetSummary::RenderText() const {
+  char buf[256];
+  std::string out;
+  out += "node              seq   watermark dirty  stale_s  rounds "
+         "tail/repair/err  sessions  lag_p50/p99_ms\n";
+  for (const NodeSummary& node : nodes) {
+    if (!node.scraped) {
+      std::snprintf(buf, sizeof buf, "%-16s  <unreachable>\n",
+                    node.name.c_str());
+      out += buf;
+      continue;
+    }
+    std::snprintf(
+        buf, sizeof buf,
+        "%-16s %5.0f %11.0f %-5s %8.3f %7.0f %5.0f/%5.0f/%4.0f  %8.0f  "
+        "%s/%s\n",
+        node.name.c_str(), node.replica_seq, node.watermark,
+        node.repair_dirty ? "yes" : "no", node.staleness_seconds,
+        node.rounds_total, node.rounds_tail, node.rounds_repair,
+        node.rounds_error, node.sessions_total,
+        FormatMs(node.lag_p50_ms).c_str(), FormatMs(node.lag_p99_ms).c_str());
+    out += buf;
+  }
+  std::snprintf(
+      buf, sizeof buf,
+      "fleet: writer_seq=%.0f watermark=%.0f (%s) max_staleness=%.3fs\n",
+      writer_seq, convergence_watermark,
+      converged ? "converged" : "lagging", max_staleness_seconds);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "fleet: lag p50/p99 = %s/%s ms, session p50/p99 = %s/%s ms, "
+                "sessions=%.0f rounds=%.0f spans=%.0f(+%.0f dropped)\n",
+                FormatMs(lag_p50_ms).c_str(), FormatMs(lag_p99_ms).c_str(),
+                FormatMs(session_p50_ms).c_str(),
+                FormatMs(session_p99_ms).c_str(), sessions_total,
+                rounds_total, spans_emitted, spans_dropped);
+  out += buf;
+  return out;
+}
+
+std::string FleetSummary::RenderJson() const {
+  std::string out = "{";
+  AppendJsonNumber(&out, "writer_seq", writer_seq);
+  out += ",";
+  AppendJsonNumber(&out, "convergence_watermark", convergence_watermark);
+  out += ",\"converged\":";
+  out += converged ? "true" : "false";
+  out += ",";
+  AppendJsonNumber(&out, "max_staleness_seconds", max_staleness_seconds);
+  out += ",";
+  AppendJsonNumber(&out, "lag_p50_ms", lag_p50_ms);
+  out += ",";
+  AppendJsonNumber(&out, "lag_p99_ms", lag_p99_ms);
+  out += ",";
+  AppendJsonNumber(&out, "session_p50_ms", session_p50_ms);
+  out += ",";
+  AppendJsonNumber(&out, "session_p99_ms", session_p99_ms);
+  out += ",";
+  AppendJsonNumber(&out, "sessions_total", sessions_total);
+  out += ",";
+  AppendJsonNumber(&out, "rounds_total", rounds_total);
+  out += ",";
+  AppendJsonNumber(&out, "spans_emitted", spans_emitted);
+  out += ",";
+  AppendJsonNumber(&out, "spans_dropped", spans_dropped);
+  out += ",\"nodes\":[";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const NodeSummary& node = nodes[i];
+    if (i != 0) out += ",";
+    out += "{\"name\":\"" + node.name + "\",\"scraped\":";
+    out += node.scraped ? "true" : "false";
+    out += ",";
+    AppendJsonNumber(&out, "replica_seq", node.replica_seq);
+    out += ",";
+    AppendJsonNumber(&out, "watermark", node.watermark);
+    out += ",\"repair_dirty\":";
+    out += node.repair_dirty ? "true" : "false";
+    out += ",";
+    AppendJsonNumber(&out, "staleness_seconds", node.staleness_seconds);
+    out += ",";
+    AppendJsonNumber(&out, "rounds_total", node.rounds_total);
+    out += ",";
+    AppendJsonNumber(&out, "lag_p50_ms", node.lag_p50_ms);
+    out += ",";
+    AppendJsonNumber(&out, "lag_p99_ms", node.lag_p99_ms);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rsr

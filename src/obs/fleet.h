@@ -1,0 +1,87 @@
+// Fleet-wide aggregation of per-node metric scrapes.
+//
+// meshmon (and the fleet tests / CI asserts) feed one exposition-format
+// scrape per node into Aggregate(), which joins the per-node registries
+// into the mesh-level health picture DESIGN.md §12 defines:
+//
+//   writer_seq              max rsr_replica_seq across nodes — the most
+//                           advanced changelog position anywhere.
+//   convergence_watermark   min over nodes of the node's own watermark
+//                           gauge (falling back to its replica_seq for
+//                           nodes that predate the gauge). Every
+//                           mutation at or below the watermark has been
+//                           applied mesh-wide; watermark == writer_seq
+//                           means quiescent convergence.
+//   max_staleness_seconds   worst per-peer staleness anywhere.
+//   lag p50/p99             append→apply propagation delay quantiles,
+//                           merged across every node's per-peer
+//                           histograms.
+//
+// Output is a text dashboard (one row per node + a fleet footer) and a
+// flat JSON object CI can assert on.
+
+#ifndef RSR_OBS_FLEET_H_
+#define RSR_OBS_FLEET_H_
+
+#include <string>
+#include <vector>
+
+namespace rsr {
+namespace obs {
+
+/// One node's raw scrape: a display name plus the exposition text
+/// fetched from its "@stats" verb or /metrics endpoint.
+struct NodeScrape {
+  std::string name;
+  std::string text;
+};
+
+/// Per-node digest extracted from one scrape. Quantiles are in
+/// milliseconds, -1 when the backing histogram is absent or empty.
+struct NodeSummary {
+  std::string name;
+  bool scraped = false;  ///< False when the text had no rsr_ samples.
+  double replica_seq = 0;
+  double watermark = 0;
+  bool repair_dirty = false;
+  double staleness_seconds = 0;
+  double sessions_total = 0;
+  double rounds_total = 0;
+  double rounds_tail = 0;
+  double rounds_repair = 0;
+  double rounds_error = 0;
+  double spans_emitted = 0;
+  double spans_dropped = 0;
+  double lag_p50_ms = -1;
+  double lag_p99_ms = -1;
+  size_t parse_errors = 0;
+};
+
+/// The joined fleet view.
+struct FleetSummary {
+  std::vector<NodeSummary> nodes;
+  double writer_seq = 0;
+  double convergence_watermark = 0;
+  bool converged = false;  ///< watermark == writer_seq over scraped nodes.
+  double max_staleness_seconds = 0;
+  double lag_p50_ms = -1;
+  double lag_p99_ms = -1;
+  double session_p50_ms = -1;
+  double session_p99_ms = -1;
+  double sessions_total = 0;
+  double rounds_total = 0;
+  double spans_emitted = 0;
+  double spans_dropped = 0;
+
+  /// One-screen dashboard: a node table plus a fleet footer.
+  std::string RenderText() const;
+  /// Flat JSON object (stable key names; see DESIGN.md §12).
+  std::string RenderJson() const;
+};
+
+FleetSummary Aggregate(const std::vector<NodeScrape>& scrapes);
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_FLEET_H_

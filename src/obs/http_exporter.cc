@@ -6,8 +6,10 @@
 namespace rsr {
 namespace obs {
 
-MetricsHttpServer::MetricsHttpServer(Renderer renderer)
-    : renderer_(std::move(renderer)) {}
+MetricsHttpServer::MetricsHttpServer(Renderer renderer,
+                                     Renderer health_renderer)
+    : renderer_(std::move(renderer)),
+      health_renderer_(std::move(health_renderer)) {}
 
 MetricsHttpServer::~MetricsHttpServer() { Stop(); }
 
@@ -55,13 +57,21 @@ void MetricsHttpServer::ServeOne(net::TcpStream* conn) {
   const std::string request_line =
       line_end == std::string::npos ? head : head.substr(0, line_end);
 
+  // Route match tolerates a trailing space (the HTTP version) or query
+  // string after the path, but not a longer path ("/metricsfoo").
+  const auto matches = [&request_line](const char* route, size_t len) {
+    return request_line.rfind(route, 0) == 0 &&
+           (request_line.size() == len || request_line[len] == ' ' ||
+            request_line[len] == '?');
+  };
   std::string status = "404 Not Found";
   std::string body = "not found\n";
-  if (request_line.rfind("GET /metrics", 0) == 0 &&
-      (request_line.size() == 12 || request_line[12] == ' ' ||
-       request_line[12] == '?')) {
+  if (matches("GET /metrics", 12)) {
     status = "200 OK";
     body = renderer_ != nullptr ? renderer_() : "";
+  } else if (matches("GET /healthz", 12) && health_renderer_ != nullptr) {
+    status = "200 OK";
+    body = health_renderer_();
   }
   char header[256];
   std::snprintf(header, sizeof header,

@@ -2,10 +2,11 @@
 //
 // One accept thread serves `GET /metrics` with the text produced by a
 // caller-supplied renderer (typically MetricsRegistry::RenderPrometheus
-// bound to a serving host) and 404s everything else. Scrapes are rare
-// and tiny, so connections are served inline on the accept thread —
-// this is an operator endpoint, not a data path. Wired into
-// `syncd --metrics-port`; see DESIGN.md §12.
+// bound to a serving host), `GET /healthz` with a one-line liveness
+// summary from the optional health renderer (404 when none is wired),
+// and 404s everything else. Scrapes are rare and tiny, so connections
+// are served inline on the accept thread — this is an operator endpoint,
+// not a data path. Wired into `syncd --metrics-port`; see DESIGN.md §12.
 
 #ifndef RSR_OBS_HTTP_EXPORTER_H_
 #define RSR_OBS_HTTP_EXPORTER_H_
@@ -25,7 +26,11 @@ class MetricsHttpServer {
  public:
   using Renderer = std::function<std::string()>;
 
-  explicit MetricsHttpServer(Renderer renderer);
+  /// `renderer` answers /metrics; `health_renderer` (optional) answers
+  /// /healthz — convention: a short "ok ..." line with uptime and the
+  /// host's replication position (examples/syncd).
+  explicit MetricsHttpServer(Renderer renderer,
+                             Renderer health_renderer = nullptr);
   ~MetricsHttpServer();
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;
@@ -46,6 +51,7 @@ class MetricsHttpServer {
   void ServeOne(net::TcpStream* conn);
 
   Renderer renderer_;
+  Renderer health_renderer_;
   std::unique_ptr<net::TcpListener> listener_;
   std::thread thread_;
 };

@@ -1,0 +1,265 @@
+#include "obs/promparse.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace rsr {
+namespace obs {
+
+namespace {
+
+void SkipSpaces(const std::string& s, size_t* pos) {
+  while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++*pos;
+}
+
+bool IsNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Parses `key="value"` with renderer escapes (\\ \" \n) undone.
+bool ParseLabel(const std::string& s, size_t* pos, std::string* key,
+                std::string* value) {
+  size_t p = *pos;
+  size_t key_start = p;
+  while (p < s.size() && IsNameChar(s[p], p == key_start)) ++p;
+  if (p == key_start || p >= s.size() || s[p] != '=') return false;
+  key->assign(s, key_start, p - key_start);
+  ++p;
+  if (p >= s.size() || s[p] != '"') return false;
+  ++p;
+  value->clear();
+  while (p < s.size() && s[p] != '"') {
+    if (s[p] == '\\' && p + 1 < s.size()) {
+      ++p;
+      switch (s[p]) {
+        case 'n': value->push_back('\n'); break;
+        case '\\': value->push_back('\\'); break;
+        case '"': value->push_back('"'); break;
+        default: value->push_back(s[p]);
+      }
+    } else {
+      value->push_back(s[p]);
+    }
+    ++p;
+  }
+  if (p >= s.size()) return false;  // unterminated string
+  *pos = p + 1;
+  return true;
+}
+
+bool ParseLine(const std::string& line, PromSample* out) {
+  size_t pos = 0;
+  SkipSpaces(line, &pos);
+  size_t name_start = pos;
+  while (pos < line.size() && IsNameChar(line[pos], pos == name_start)) ++pos;
+  if (pos == name_start) return false;
+  out->name.assign(line, name_start, pos - name_start);
+  out->labels.clear();
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      std::string key, value;
+      if (!ParseLabel(line, &pos, &key, &value)) return false;
+      out->labels.emplace_back(std::move(key), std::move(value));
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') return false;
+    ++pos;
+  }
+  SkipSpaces(line, &pos);
+  if (pos >= line.size()) return false;
+  const char* value_start = line.c_str() + pos;
+  char* value_end = nullptr;
+  out->value = std::strtod(value_start, &value_end);
+  if (value_end == value_start) return false;
+  // Anything after the value (an optional timestamp) is ignored.
+  return true;
+}
+
+bool SameLabels(const LabelSet& a, const LabelSet& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [key, value] : a) {
+    bool found = false;
+    for (const auto& [other_key, other_value] : b) {
+      if (key == other_key) {
+        if (value != other_value) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+LabelSet WithoutLe(const LabelSet& labels) {
+  LabelSet out;
+  for (const auto& label : labels) {
+    if (label.first != "le") out.push_back(label);
+  }
+  return out;
+}
+
+std::optional<double> LeBound(const LabelSet& labels) {
+  for (const auto& [key, value] : labels) {
+    if (key != "le") continue;
+    if (value == "+Inf") return std::numeric_limits<double>::infinity();
+    char* end = nullptr;
+    double bound = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) return std::nullopt;
+    return bound;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+PromScrape PromScrape::Parse(const std::string& text) {
+  PromScrape scrape;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    size_t content = 0;
+    SkipSpaces(line, &content);
+    if (content >= line.size()) continue;       // blank
+    if (line[content] == '#') continue;         // HELP/TYPE/comment
+    PromSample sample;
+    if (ParseLine(line, &sample)) {
+      scrape.samples_.push_back(std::move(sample));
+    } else {
+      ++scrape.parse_errors_;
+    }
+  }
+  return scrape;
+}
+
+std::vector<const PromSample*> PromScrape::Series(
+    const std::string& name) const {
+  std::vector<const PromSample*> out;
+  for (const PromSample& sample : samples_) {
+    if (sample.name == name) out.push_back(&sample);
+  }
+  return out;
+}
+
+std::optional<double> PromScrape::Value(const std::string& name,
+                                        const LabelSet& labels) const {
+  for (const PromSample& sample : samples_) {
+    if (sample.name == name && SameLabels(sample.labels, labels)) {
+      return sample.value;
+    }
+  }
+  return std::nullopt;
+}
+
+double PromScrape::Sum(const std::string& name) const {
+  double total = 0.0;
+  for (const PromSample* sample : Series(name)) total += sample->value;
+  return total;
+}
+
+std::optional<double> PromScrape::Min(const std::string& name) const {
+  std::optional<double> best;
+  for (const PromSample* sample : Series(name)) {
+    if (!best.has_value() || sample->value < *best) best = sample->value;
+  }
+  return best;
+}
+
+std::optional<double> PromScrape::Max(const std::string& name) const {
+  std::optional<double> best;
+  for (const PromSample* sample : Series(name)) {
+    if (!best.has_value() || sample->value > *best) best = sample->value;
+  }
+  return best;
+}
+
+std::vector<PromScrape::LabeledHistogram> PromScrape::Histograms(
+    const std::string& family) const {
+  // Group `_bucket` samples by their labels sans `le`; the renderer
+  // emits buckets in ascending `le` order per instrument, so within a
+  // group the cumulative counts arrive sorted already — but sort by
+  // bound anyway to be safe against reordered input.
+  struct Group {
+    LabelSet labels;
+    std::vector<std::pair<double, uint64_t>> cumulative;  // (bound, count)
+  };
+  std::vector<Group> groups;
+  for (const PromSample* sample : Series(family + "_bucket")) {
+    std::optional<double> bound = LeBound(sample->labels);
+    if (!bound.has_value()) continue;
+    LabelSet key = WithoutLe(sample->labels);
+    Group* group = nullptr;
+    for (Group& candidate : groups) {
+      if (SameLabels(candidate.labels, key)) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->labels = std::move(key);
+    }
+    group->cumulative.emplace_back(*bound,
+                                   static_cast<uint64_t>(sample->value));
+  }
+  std::vector<LabeledHistogram> out;
+  for (Group& group : groups) {
+    std::sort(group.cumulative.begin(), group.cumulative.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    LabeledHistogram hist;
+    hist.labels = group.labels;
+    uint64_t previous = 0;
+    for (const auto& [bound, count] : group.cumulative) {
+      if (bound != std::numeric_limits<double>::infinity()) {
+        hist.snap.bounds.push_back(bound);
+      }
+      const uint64_t in_bucket = count >= previous ? count - previous : 0;
+      hist.snap.buckets.push_back(in_bucket);
+      hist.snap.count += in_bucket;
+      previous = count;
+    }
+    // If the scrape lacked the +Inf bucket, synthesize an empty one so
+    // the snapshot shape (bounds.size() + 1 buckets) holds.
+    if (hist.snap.buckets.size() == hist.snap.bounds.size()) {
+      hist.snap.buckets.push_back(0);
+    }
+    if (std::optional<double> sum = Value(family + "_sum", hist.labels)) {
+      hist.snap.sum = *sum;
+    }
+    out.push_back(std::move(hist));
+  }
+  return out;
+}
+
+std::optional<HistogramSnapshot> PromScrape::MergedHistogram(
+    const std::string& family) const {
+  std::vector<LabeledHistogram> histograms = Histograms(family);
+  if (histograms.empty()) return std::nullopt;
+  std::optional<HistogramSnapshot> merged;
+  for (LabeledHistogram& hist : histograms) {
+    if (!merged.has_value()) {
+      merged = std::move(hist.snap);
+      continue;
+    }
+    if (hist.snap.bounds != merged->bounds) continue;  // foreign shape
+    for (size_t i = 0; i < hist.snap.buckets.size(); ++i) {
+      merged->buckets[i] += hist.snap.buckets[i];
+    }
+    merged->count += hist.snap.count;
+    merged->sum += hist.snap.sum;
+  }
+  return merged;
+}
+
+}  // namespace obs
+}  // namespace rsr

@@ -1,0 +1,73 @@
+// Parser for the Prometheus text exposition format.
+//
+// The inverse of MetricsRegistry::RenderPrometheus(), used by meshmon
+// (and the fleet tests) to read back what "@stats" / the /metrics HTTP
+// endpoint serve. Scope matches what our renderer emits — "# HELP" /
+// "# TYPE" comments, `name{k="v",...} value` samples, cumulative `le`
+// buckets with `_sum`/`_count` — plus enough tolerance (blank lines,
+// unknown comments, malformed lines counted and skipped) that scraping
+// a newer or older node degrades to partial data instead of failure.
+
+#ifndef RSR_OBS_PROMPARSE_H_
+#define RSR_OBS_PROMPARSE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace rsr {
+namespace obs {
+
+/// One exposition line: series name (including any `_bucket`/`_sum`/
+/// `_count` suffix), its labels in source order, and the sample value.
+struct PromSample {
+  std::string name;
+  LabelSet labels;
+  double value = 0.0;
+};
+
+/// A parsed scrape of one node's exposition text.
+class PromScrape {
+ public:
+  static PromScrape Parse(const std::string& text);
+
+  const std::vector<PromSample>& samples() const { return samples_; }
+  /// Lines that did not parse (skipped, not fatal).
+  size_t parse_errors() const { return parse_errors_; }
+
+  /// All samples of one series name, in source order.
+  std::vector<const PromSample*> Series(const std::string& name) const;
+
+  /// Exact-match lookup (labels compared order-insensitively).
+  std::optional<double> Value(const std::string& name,
+                              const LabelSet& labels = {}) const;
+
+  /// Aggregates over every label set of `name`; nullopt/0 when absent.
+  double Sum(const std::string& name) const;
+  std::optional<double> Min(const std::string& name) const;
+  std::optional<double> Max(const std::string& name) const;
+
+  /// Reassembles histogram instruments of `family` from their
+  /// `_bucket`/`_sum`/`_count` series (de-cumulating the `le` counts).
+  struct LabeledHistogram {
+    LabelSet labels;  ///< The instrument's labels, `le` removed.
+    HistogramSnapshot snap;
+  };
+  std::vector<LabeledHistogram> Histograms(const std::string& family) const;
+
+  /// All instruments of `family` merged into one snapshot (they share
+  /// bounds by construction); nullopt when the family is absent.
+  std::optional<HistogramSnapshot> MergedHistogram(
+      const std::string& family) const;
+
+ private:
+  std::vector<PromSample> samples_;
+  size_t parse_errors_ = 0;
+};
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_PROMPARSE_H_

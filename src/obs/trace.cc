@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace rsr {
 namespace obs {
@@ -78,6 +81,32 @@ void SessionSpan::set_outcome(const std::string& outcome) {
   outcome_ = outcome;
 }
 
+void SessionSpan::SetTrace(const TraceContext& ctx, uint64_t parent_span_id) {
+  if (sink_ == nullptr) return;
+  trace_ = ctx;
+  parent_span_id_ = parent_span_id;
+}
+
+void SessionSpan::SetSampling(const TraceSamplingPolicy* policy,
+                              Counter* emitted, Counter* dropped) {
+  if (sink_ == nullptr) return;
+  sampling_ = policy;
+  sample_emitted_ = emitted;
+  sample_dropped_ = dropped;
+}
+
+void SessionSpan::SetAttr(const char* key, const std::string& value) {
+  if (sink_ == nullptr) return;
+  attrs_.emplace_back(key, value);
+}
+
+void SessionSpan::AddLink(uint64_t trace_hi, uint64_t trace_lo) {
+  if (sink_ == nullptr) return;
+  const std::pair<uint64_t, uint64_t> link(trace_hi, trace_lo);
+  if (std::find(links_.begin(), links_.end(), link) != links_.end()) return;
+  links_.push_back(link);
+}
+
 void SessionSpan::CloseOpenPhase() {
   if (!phase_open_) return;
   Phase& phase = phases_.back();
@@ -121,8 +150,26 @@ void SessionSpan::Finish() {
   CloseOpenPhase();
   const double wall =
       SecondsBetween(start_, std::chrono::steady_clock::now());
+  if (sampling_ != nullptr) {
+    const bool always = outcome_ != "ok" ||
+                        (sampling_->always_over_seconds > 0.0 &&
+                         wall >= sampling_->always_over_seconds);
+    if (!always && !ShouldSampleSpan(trace_.trace_lo ^ trace_.span_id,
+                                     sampling_->sample_rate)) {
+      if (sample_dropped_ != nullptr) sample_dropped_->Inc();
+      return;
+    }
+  }
+  if (sample_emitted_ != nullptr) sample_emitted_->Inc();
   char buf[256];
   std::string line = "{\"span\":\"" + EscapeJson(kind_) + "\"";
+  if (trace_.valid()) {
+    line += ",\"trace\":\"" + TraceIdHex(trace_.trace_hi, trace_.trace_lo) +
+            "\",\"span_id\":\"" + SpanIdHex(trace_.span_id) + "\"";
+    if (parent_span_id_ != 0) {
+      line += ",\"parent\":\"" + SpanIdHex(parent_span_id_) + "\"";
+    }
+  }
   if (!protocol_.empty()) {
     line += ",\"protocol\":\"" + EscapeJson(protocol_) + "\"";
   }
@@ -147,7 +194,21 @@ void SessionSpan::Finish() {
                   static_cast<unsigned long long>(phase.bytes_out));
     line += buf;
   }
-  line += "]}";
+  line += "]";
+  for (const auto& attr : attrs_) {
+    line += ",\"attr.";
+    line += attr.first;
+    line += "\":\"" + EscapeJson(attr.second) + "\"";
+  }
+  if (!links_.empty()) {
+    line += ",\"links\":[";
+    for (size_t i = 0; i < links_.size(); ++i) {
+      if (i != 0) line += ",";
+      line += "\"" + TraceIdHex(links_[i].first, links_[i].second) + "\"";
+    }
+    line += "]";
+  }
+  line += "}";
   sink_->Emit(line);
 }
 

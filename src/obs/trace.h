@@ -17,10 +17,15 @@
 #include <cstdio>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/trace_context.h"
 
 namespace rsr {
 namespace obs {
+
+class Counter;
 
 /// Receives one complete JSON line (no trailing newline) per finished
 /// span. Emit() may be called from any thread.
@@ -73,6 +78,30 @@ class SessionSpan {
   void set_protocol(const std::string& protocol);
   void set_outcome(const std::string& outcome);
 
+  /// Attaches trace identity: the root trace id plus this span's own id
+  /// come from `ctx`; `parent_span_id` (0 = none) names the span this
+  /// one joins under. The JSON line gains "trace", "span_id" and
+  /// (when non-zero) "parent" fields.
+  void SetTrace(const TraceContext& ctx, uint64_t parent_span_id);
+
+  /// Installs the keep/drop policy consulted at Finish(). Errors
+  /// (outcome != "ok") and spans slower than the policy threshold are
+  /// always emitted; the rest pass the deterministic hash test. The
+  /// optional counters record the decision ("emitted" / "dropped").
+  /// Without a policy every span is emitted (PR 7 behaviour).
+  void SetSampling(const TraceSamplingPolicy* policy, Counter* emitted,
+                   Counter* dropped);
+
+  /// Adds a flat string attribute to the JSON line ("attr.key":"value").
+  /// Last write per key wins at emission order, no dedup — callers set
+  /// each key once.
+  void SetAttr(const char* key, const std::string& value);
+
+  /// Records a causal link to another trace (e.g. a replication round
+  /// linking the traces of the mutations it carried). Rendered as
+  /// "links":["<32-hex trace id>",...]; duplicates are collapsed.
+  void AddLink(uint64_t trace_hi, uint64_t trace_lo);
+
   /// Ends the current phase (if any) and opens a new one. Phase wall
   /// time and frame/byte deltas are attributed to the phase that was
   /// open when they happened.
@@ -101,6 +130,13 @@ class SessionSpan {
   std::string kind_;
   std::string protocol_;
   std::string outcome_ = "unknown";
+  TraceContext trace_;
+  uint64_t parent_span_id_ = 0;
+  const TraceSamplingPolicy* sampling_ = nullptr;
+  Counter* sample_emitted_ = nullptr;
+  Counter* sample_dropped_ = nullptr;
+  std::vector<std::pair<const char*, std::string>> attrs_;
+  std::vector<std::pair<uint64_t, uint64_t>> links_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point phase_start_;
   std::vector<Phase> phases_;

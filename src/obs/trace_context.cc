@@ -1,0 +1,84 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <random>
+
+#include "hash/mix.h"
+
+namespace rsr {
+namespace obs {
+
+namespace {
+
+uint64_t Entropy() {
+  std::random_device rd;
+  uint64_t hi = rd();
+  uint64_t lo = rd();
+  return (hi << 32) ^ lo ^ 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+const char kHexDigits[] = "0123456789abcdef";
+
+void AppendHex64(uint64_t v, std::string* out) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kHexDigits[(v >> shift) & 0xf]);
+  }
+}
+
+}  // namespace
+
+TraceIdGenerator::TraceIdGenerator(uint64_t seed, uint64_t instance_salt)
+    : state_(Mix64((seed == 0 ? Entropy() : seed) ^
+                   Mix64(instance_salt ^ 0x7261636563747874ULL))) {}
+
+TraceContext TraceIdGenerator::NewTrace() {
+  // Three SplitMix draws per trace: hi, lo, root span id. Each mint
+  // claims a unique counter range, so concurrent mints never collide.
+  uint64_t s = state_.fetch_add(3, std::memory_order_relaxed);
+  TraceContext ctx;
+  ctx.trace_hi = SplitMix(s);
+  ctx.trace_lo = SplitMix(s + 1);
+  ctx.span_id = SplitMix(s + 2);
+  if (!ctx.valid()) ctx.trace_lo = 0x1d;  // astronomically unlikely
+  if (ctx.span_id == 0) ctx.span_id = 0x1d;
+  return ctx;
+}
+
+uint64_t DeriveSpanId(const TraceContext& ctx, uint64_t salt) {
+  uint64_t id = Mix64(ctx.trace_hi ^ Mix64(ctx.trace_lo ^ Mix64(
+                          ctx.span_id ^ Mix64(salt))));
+  return id == 0 ? 0x1d : id;
+}
+
+std::string TraceIdHex(uint64_t hi, uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(hi, &out);
+  AppendHex64(lo, &out);
+  return out;
+}
+
+std::string SpanIdHex(uint64_t span_id) {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(span_id, &out);
+  return out;
+}
+
+bool ShouldSampleSpan(uint64_t key, double rate) {
+  if (rate >= 1.0) return true;
+  if (rate <= 0.0) return false;
+  // 53-bit mantissa of the mixed key → uniform double in [0, 1).
+  double u = static_cast<double>(Mix64(key) >> 11) * 0x1.0p-53;
+  return u < rate;
+}
+
+}  // namespace obs
+}  // namespace rsr

@@ -1,0 +1,88 @@
+// Trace identity and sampling policy for cross-node spans.
+//
+// A trace is named by a 128-bit id minted at the root of a causal chain
+// (a client sync, or an anti-entropy round with no inherited context).
+// Each participant contributes one span, named by a 64-bit span id; a
+// span carries the trace id of its root plus the span id of its parent,
+// so JSONL emissions from different processes join on the trace id.
+//
+// Ids are minted deterministically from a seeded SplitMix64 stream mixed
+// with instance identity (same discipline as rsr::Rng everywhere else in
+// the codebase): seed 0 asks for real entropy, any other seed replays
+// the exact same id sequence, which the propagation tests rely on.
+//
+// Sampling is decided at Finish() time, per span, from the policy here:
+// errors and slow sessions are always kept, the rest pass a
+// deterministic hash test against sample_rate. The decision hash mixes
+// the trace id with the span id so a given (trace, span) pair samples
+// identically on every replay, and so one hot trace does not pin every
+// server's sampler to the same verdict.
+
+#ifndef RSR_OBS_TRACE_CONTEXT_H_
+#define RSR_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rsr {
+namespace obs {
+
+/// Wire-propagated trace identity. `valid()` is false for the
+/// all-zero value, which is what decoding an old peer's frame yields —
+/// "no context" and "zero context" are deliberately the same state.
+struct TraceContext {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
+/// Mints fresh trace ids. Thread-safe; one per client / node instance.
+class TraceIdGenerator {
+ public:
+  /// seed == 0 draws entropy (std::random_device); any other value gives
+  /// a reproducible sequence. `instance_salt` separates the streams of
+  /// same-seeded generators (e.g. mesh nodes seeded base+i already
+  /// differ, but a salt lets callers share one seed knob).
+  explicit TraceIdGenerator(uint64_t seed = 0, uint64_t instance_salt = 0);
+
+  /// New 128-bit trace id + root span id. Never returns the zero trace.
+  TraceContext NewTrace();
+
+ private:
+  std::atomic<uint64_t> state_;  // SplitMix64 counter; fetch_add per mint
+};
+
+/// Deterministic child span id for an adopted context: hashes the
+/// inbound (trace, parent span) with a role salt so the server-side span
+/// of a session differs from the client-side span it joins.
+uint64_t DeriveSpanId(const TraceContext& ctx, uint64_t salt);
+
+/// Lower-case hex, fixed width: 32 chars for the 128-bit trace id,
+/// 16 for a span id. Matches the W3C traceparent textual convention.
+std::string TraceIdHex(uint64_t hi, uint64_t lo);
+std::string SpanIdHex(uint64_t span_id);
+
+/// Head-based keep/drop policy applied when a span finishes.
+struct TraceSamplingPolicy {
+  /// Probability of keeping an unremarkable span. 1.0 keeps everything
+  /// (the default — opt into shedding), 0.0 keeps only the always-on
+  /// classes below.
+  double sample_rate = 1.0;
+  /// Spans whose wall time is >= this many seconds are always kept.
+  /// 0 disables the slow-path override.
+  double always_over_seconds = 0.0;
+};
+
+/// The probabilistic leg of the policy (error/slow overrides are the
+/// caller's business). Deterministic in (key, rate): rate >= 1 always
+/// samples, rate <= 0 never does, in between the verdict is a 53-bit
+/// hash of `key` compared against the rate.
+bool ShouldSampleSpan(uint64_t key, double rate);
+
+}  // namespace obs
+}  // namespace rsr
+
+#endif  // RSR_OBS_TRACE_CONTEXT_H_

@@ -7,9 +7,11 @@ namespace replica {
 
 AntiEntropyScheduler::AntiEntropyScheduler(ReplicaNode* node,
                                            std::vector<StreamFactory> peers,
-                                           AntiEntropyOptions options)
+                                           AntiEntropyOptions options,
+                                           std::vector<std::string> peer_names)
     : node_(node),
       peers_(std::move(peers)),
+      peer_names_(std::move(peer_names)),
       options_(options),
       rng_(options_.seed) {}
 
@@ -41,7 +43,10 @@ RoundRecord AntiEntropyScheduler::RunOnce() {
     std::lock_guard<std::mutex> lock(mu_);
     peer_index = static_cast<size_t>(rng_.Below(peers_.size()));
   }
-  RoundRecord record = node_->SyncWithPeer(peers_[peer_index]);
+  RoundRecord record = node_->SyncWithPeer(
+      peers_[peer_index], peer_index < peer_names_.size()
+                              ? peer_names_[peer_index]
+                              : std::string("peer"));
   {
     std::lock_guard<std::mutex> lock(mu_);
     rounds_.push_back(record);

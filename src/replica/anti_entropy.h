@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -43,9 +44,12 @@ struct AntiEntropyOptions {
 class AntiEntropyScheduler {
  public:
   /// `node` must outlive the scheduler; `peers` are dialers for the other
-  /// replicas (one round uses one of them).
+  /// replicas (one round uses one of them). `peer_names` labels each
+  /// dialer's per-peer telemetry (lag histograms, trace-span attrs);
+  /// missing entries fall back to "peer".
   AntiEntropyScheduler(ReplicaNode* node, std::vector<StreamFactory> peers,
-                       AntiEntropyOptions options = {});
+                       AntiEntropyOptions options = {},
+                       std::vector<std::string> peer_names = {});
   ~AntiEntropyScheduler();
 
   AntiEntropyScheduler(const AntiEntropyScheduler&) = delete;
@@ -68,6 +72,7 @@ class AntiEntropyScheduler {
 
   ReplicaNode* const node_;
   const std::vector<StreamFactory> peers_;
+  const std::vector<std::string> peer_names_;
   const AntiEntropyOptions options_;
 
   /// Serializes rounds (loop vs manual RunOnce) on this node.

@@ -27,6 +27,11 @@ void EncodeSegmentEntry(const ChangeEntry& entry, ByteWriter* out) {
       for (int64_t c : p) out->WriteVarint(static_cast<uint64_t>(c));
     }
   }
+  // Trailing observability stamps; records written before this field set
+  // existed simply end here (see the AtEnd probe in the decoder).
+  out->WriteVarint(entry.append_micros);
+  out->WriteVarint(entry.trace_hi);
+  out->WriteVarint(entry.trace_lo);
 }
 
 bool DecodeSegmentEntry(ByteReader* in, ChangeEntry* out) {
@@ -54,7 +59,15 @@ bool DecodeSegmentEntry(ByteReader* in, ChangeEntry* out) {
       points->push_back(std::move(p));
     }
   }
-  return in->AtEnd();
+  // Legacy records end at the coordinates; stamped records carry exactly
+  // three trailing varints. Anything else is damage.
+  out->append_micros = 0;
+  out->trace_hi = 0;
+  out->trace_lo = 0;
+  if (in->AtEnd()) return true;
+  return in->ReadVarint(&out->append_micros) &&
+         in->ReadVarint(&out->trace_hi) && in->ReadVarint(&out->trace_lo) &&
+         in->AtEnd();
 }
 
 }  // namespace

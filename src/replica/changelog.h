@@ -57,6 +57,16 @@ struct ChangeEntry {
   PointSet inserts;
   PointSet erases;
 
+  // Observability metadata (DESIGN.md §12), stamped by the writer at
+  // append time and carried through "@log-batch" so followers can
+  // measure append→apply propagation delay and link replication rounds
+  // to the client trace that caused the mutation. Deliberately NOT part
+  // of equality: two logs holding the same mutations are the same log
+  // even when stamped by different clocks.
+  uint64_t append_micros = 0;  ///< obs::Clock reading at Append.
+  uint64_t trace_hi = 0;       ///< Originating trace id (0 = untraced).
+  uint64_t trace_lo = 0;
+
   bool operator==(const ChangeEntry& other) const {
     return seq == other.seq && inserts == other.inserts &&
            erases == other.erases;

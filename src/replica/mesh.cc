@@ -15,7 +15,10 @@ ReplicaMesh::ReplicaMesh(PointSet initial, ReplicaMeshOptions options)
   const size_t n = std::max<size_t>(1, options_.nodes);
   nodes_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    nodes_.push_back(std::make_unique<ReplicaNode>(initial, options_.node));
+    ReplicaNodeOptions node_options = options_.node;
+    node_options.node_name = "node" + std::to_string(i);
+    nodes_.push_back(
+        std::make_unique<ReplicaNode>(initial, std::move(node_options)));
     if (options_.use_tcp) {
       RSR_CHECK(nodes_.back()->host().Start(
           net::TcpListener::Listen("127.0.0.1", 0)));
@@ -24,14 +27,19 @@ ReplicaMesh::ReplicaMesh(PointSet initial, ReplicaMeshOptions options)
   schedulers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     std::vector<StreamFactory> peers;
+    std::vector<std::string> peer_names;
     peers.reserve(n - 1);
+    peer_names.reserve(n - 1);
     for (size_t j = 0; j < n; ++j) {
-      if (j != i) peers.push_back(PeerFactory(j));
+      if (j != i) {
+        peers.push_back(PeerFactory(j));
+        peer_names.push_back("node" + std::to_string(j));
+      }
     }
     AntiEntropyOptions ae = options_.anti_entropy;
     ae.seed = options_.anti_entropy.seed + i;  // decorrelate peer choices
     schedulers_.push_back(std::make_unique<AntiEntropyScheduler>(
-        nodes_[i].get(), std::move(peers), ae));
+        nodes_[i].get(), std::move(peers), ae, std::move(peer_names)));
   }
 }
 
@@ -58,7 +66,8 @@ std::unique_ptr<net::ByteStream> ReplicaMesh::Dial(size_t peer) {
 }
 
 RoundRecord ReplicaMesh::RunRound(size_t i, size_t peer) {
-  return nodes_[i]->SyncWithPeer(PeerFactory(peer));
+  return nodes_[i]->SyncWithPeer(PeerFactory(peer),
+                                 "node" + std::to_string(peer));
 }
 
 void ReplicaMesh::StopSchedulers() {

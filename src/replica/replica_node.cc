@@ -1,5 +1,6 @@
 #include "replica/replica_node.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <utility>
@@ -19,6 +20,17 @@ server::SyncServerOptions WithChangelog(server::SyncServerOptions options,
                                         Changelog* changelog) {
   options.changelog = changelog;
   return options;
+}
+
+/// FNV-1a over the node name: per-node instance salt so two nodes built
+/// with the same pinned trace seed still mint distinct round traces.
+uint64_t NameSalt(const std::string& name) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 struct PointOrder {
@@ -78,30 +90,77 @@ ReplicaNode::ReplicaNode(PointSet initial, ReplicaNodeOptions options)
       changelog_(options_.changelog),
       server_(std::move(initial),
               WithChangelog(options_.server, &changelog_)),
+      clock_(options_.server.clock != nullptr ? options_.server.clock
+                                              : obs::Clock::Real()),
+      trace_gen_(options_.server.trace_seed, NameSalt(options_.node_name)),
       repair_escalations_(server_.metrics_registry().GetCounter(
           "rsr_replica_repair_escalations_total",
           "Failed repair sessions that armed the full-transfer escalation")),
       staleness_gauge_(server_.metrics_registry().GetGauge(
           "rsr_replica_staleness",
-          "Peer position minus local position at the last round")) {}
+          "Peer position minus local position at the last round")),
+      watermark_gauge_(server_.metrics_registry().GetGauge(
+          "rsr_replica_convergence_watermark",
+          "Lowest replication position known across this node and its "
+          "peers")),
+      span_emitted_(server_.metrics_registry().GetCounter(
+          "rsr_trace_spans_total", "Trace spans by sampling decision",
+          {{"decision", "emitted"}})),
+      span_dropped_(server_.metrics_registry().GetCounter(
+          "rsr_trace_spans_total", "Trace spans by sampling decision",
+          {{"decision", "dropped"}})) {}
 
 std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
     const PointSet& inserts, const PointSet& erases) {
-  return server_.ApplyUpdate(inserts, erases);
+  return Apply(inserts, erases, obs::TraceContext());
 }
 
-RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer) {
-  return SyncWithPeer(peer, peer);
+std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
+    const PointSet& inserts, const PointSet& erases,
+    const obs::TraceContext& trace) {
+  std::shared_ptr<const server::SketchSnapshot> snap =
+      server_.ApplyUpdate(inserts, erases, trace);
+  std::lock_guard<std::mutex> lock(view_mu_);
+  RefreshWatermarkLocked();
+  return snap;
+}
+
+RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& peer,
+                                      const std::string& peer_name) {
+  return SyncWithPeer(peer, peer, peer_name);
 }
 
 RoundRecord ReplicaNode::SyncWithPeer(const StreamFactory& fetch_peer,
-                                      const StreamFactory& repair_peer) {
-  RoundRecord record = RunRound(fetch_peer, repair_peer);
-  RecordRound(record);
+                                      const StreamFactory& repair_peer,
+                                      const std::string& peer_name) {
+  // One root trace per round: the span below carries it, and (with
+  // propagate_trace) both legs ship it so the peer's serving spans join.
+  obs::SessionSpan span(options_.server.trace_sink, "replica-round");
+  obs::TraceContext trace;
+  if (span.active() || options_.propagate_trace) {
+    trace = trace_gen_.NewTrace();
+  }
+  if (span.active()) {
+    span.SetTrace(trace, 0);
+    span.SetSampling(&options_.server.trace_sampling, span_emitted_,
+                     span_dropped_);
+    span.SetAttr("node", options_.node_name);
+    span.SetAttr("peer", peer_name);
+  }
+  RoundRecord record = RunRound(fetch_peer, repair_peer, peer_name, trace,
+                                &span);
+  RecordRound(record, peer_name);
+  if (span.active()) {
+    if (!record.protocol.empty()) span.set_protocol(record.protocol);
+    span.SetAttr("path", RoundPathName(record.path));
+    span.set_outcome(record.ok ? "ok" : "error");
+    span.Finish();
+  }
   return record;
 }
 
-void ReplicaNode::RecordRound(const RoundRecord& record) {
+void ReplicaNode::RecordRound(const RoundRecord& record,
+                              const std::string& peer_name) {
   obs::MetricsRegistry& registry = server_.metrics_registry();
   registry
       .GetCounter("rsr_replica_rounds_total",
@@ -128,14 +187,55 @@ void ReplicaNode::RecordRound(const RoundRecord& record) {
   if (record.peer_seq > 0 || record.ok) {
     staleness_gauge_->Set(static_cast<int64_t>(record.peer_seq) -
                           static_cast<int64_t>(record.seq_after));
+    std::lock_guard<std::mutex> lock(view_mu_);
+    peer_seqs_[peer_name] = record.peer_seq;
+    RefreshWatermarkLocked();
+    // A successful repair lands this node at the peer's position: its
+    // view of that peer is as fresh as it gets (the tail path settles
+    // this gauge itself, from the newest entry's append stamp).
+    if (record.ok && (record.path == RoundRecord::Path::kRepairExact ||
+                      record.path == RoundRecord::Path::kRepairApprox ||
+                      record.path == RoundRecord::Path::kRepairFull)) {
+      PeerFor(peer_name).staleness->Set(0);
+    }
   }
 }
 
+ReplicaNode::PeerInstruments& ReplicaNode::PeerFor(
+    const std::string& peer_name) {
+  auto it = peer_instruments_.find(peer_name);
+  if (it != peer_instruments_.end()) return it->second;
+  PeerInstruments inst;
+  inst.lag = server_.metrics_registry().GetHistogram(
+      "rsr_replica_propagation_lag_seconds",
+      "Append-to-apply delay of tail-replayed entries, by source peer",
+      obs::DefaultLatencyBounds(), {{"peer", peer_name}});
+  inst.staleness = server_.metrics_registry().GetGauge(
+      "rsr_replica_peer_staleness_micros",
+      "Age in microseconds of the newest entry applied from the peer at "
+      "the last round (0 = caught up)",
+      {{"peer", peer_name}});
+  return peer_instruments_.emplace(peer_name, inst).first->second;
+}
+
+void ReplicaNode::RefreshWatermarkLocked() {
+  uint64_t watermark = applied_seq();
+  for (const auto& [name, seq] : peer_seqs_) {
+    (void)name;
+    watermark = std::min(watermark, seq);
+  }
+  watermark_gauge_->Set(static_cast<int64_t>(watermark));
+}
+
 RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
-                                  const StreamFactory& repair_peer) {
+                                  const StreamFactory& repair_peer,
+                                  const std::string& peer_name,
+                                  const obs::TraceContext& trace,
+                                  obs::SessionSpan* span) {
   RoundRecord record;
   record.seq_after = applied_seq();
   record.dirty_after = dirty();
+  span->BeginPhase("fetch");
 
   const auto add_bytes = [&record](const net::FramedStream& framed) {
     record.bytes_sent += framed.bytes_sent();
@@ -156,6 +256,7 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
   // A dirty node cannot replay a tail; it only needs the peer's position
   // and difference estimate, so ask for the strata up front.
   fetch.want_strata = was_dirty;
+  if (options_.propagate_trace) fetch.trace = trace;
   transport::Message incoming;
   server::LogBatchFrame batch;
   bool fetched = false;
@@ -180,7 +281,20 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
   record.peer_seq = batch.last_seq;
 
   // --------------------------------------------------------- tail path
-  if (!was_dirty && batch.ok) {
+  // PR 6 soundness gap, closed: a peer that is itself dirty still serves
+  // its tail (the entries exist), but that tail does not describe the
+  // peer's actual set — replaying it would converge toward a state the
+  // peer no longer holds. The batch's dirty bit forces the repair path
+  // instead (old peers never set it, so they are treated as clean, which
+  // matches their pre-dirty-bit behaviour).
+  if (!was_dirty && batch.ok && !batch.dirty) {
+    span->BeginPhase("apply");
+    PeerInstruments* inst = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(view_mu_);
+      inst = &PeerFor(peer_name);
+    }
+    uint64_t newest_lag_micros = 0;
     for (const ChangeEntry& entry : batch.entries) {
       if (options_.fuzz_tail_tamper) {
         // Fuzz-only divergence-bug seam (see ReplicaNodeOptions).
@@ -191,7 +305,24 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
         server_.ApplyReplicated(entry);
       }
       ++record.entries_applied;
+      // Replication lag: the entry carries its writer-side append stamp
+      // (mirrored verbatim across hops, replica/changelog.h), so the
+      // delta to this node's clock is the append→apply delay. Meaningful
+      // when both ends share a clock domain (in-process meshes, or the
+      // injected test clock); see obs/clock.h for the cross-machine
+      // caveat.
+      if (entry.append_micros > 0) {
+        const uint64_t now = clock_->NowMicros();
+        const uint64_t lag =
+            now > entry.append_micros ? now - entry.append_micros : 0;
+        inst->lag->Observe(static_cast<double>(lag) * 1e-6);
+        newest_lag_micros = lag;
+      }
+      if ((entry.trace_hi | entry.trace_lo) != 0) {
+        span->AddLink(entry.trace_hi, entry.trace_lo);
+      }
     }
+    inst->staleness->Set(static_cast<int64_t>(newest_lag_micros));
     record.path = record.entries_applied > 0 ? RoundRecord::Path::kTail
                                              : RoundRecord::Path::kInSync;
     record.ok = true;
@@ -217,11 +348,14 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
     // is safe.
     estimate = ~uint64_t{0};
   }
-  return Repair(repair_peer, estimate, std::move(record));
+  return Repair(repair_peer, estimate, std::move(record), trace, span);
 }
 
 RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
-                                RoundRecord record) {
+                                RoundRecord record,
+                                const obs::TraceContext& trace,
+                                obs::SessionSpan* span) {
+  span->BeginPhase("repair");
   record.est_delta = est_delta;
   const recon::ProtocolParams resolved = options_.server.params.Resolved();
   const size_t exact_budget = options_.exact_budget > 0
@@ -271,6 +405,7 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
   server::PullFrame pull;
   pull.protocol = record.protocol;
   pull.client_set_size = snapshot->size();
+  if (options_.propagate_trace) pull.trace = trace;
   if (!framed.Send(server::EncodePull(pull))) {
     return fail("repair: transport failed sending @pull");
   }

@@ -43,10 +43,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "net/byte_stream.h"
+#include "obs/clock.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "replica/changelog.h"
 #include "server/sync_server.h"
 
@@ -81,6 +86,13 @@ struct ReplicaNodeOptions {
   /// one erase — and asserts the quiescence oracle catches it. Never set
   /// in production code.
   std::function<void(ChangeEntry*)> fuzz_tail_tamper;
+  /// Name stamped on this node's "replica-round" trace spans
+  /// ("attr.node") and expected by meshmon dashboards (e.g. "node0").
+  std::string node_name = "node";
+  /// Ship each round's trace context on "@log-fetch" / "@pull" so the
+  /// peer's serving-side session span joins the round's trace. Old peers
+  /// ignore the trailing field (server/handshake.h).
+  bool propagate_trace = true;
 };
 
 /// What one anti-entropy round did.
@@ -121,9 +133,19 @@ class ReplicaNode {
   std::shared_ptr<const server::SketchSnapshot> Apply(const PointSet& inserts,
                                                       const PointSet& erases);
 
+  /// Apply variant stamping the journaled entry with the trace that
+  /// caused the mutation (SyncServer::ApplyUpdate), so follower rounds
+  /// that later carry the entry link their spans back to it.
+  std::shared_ptr<const server::SketchSnapshot> Apply(
+      const PointSet& inserts, const PointSet& erases,
+      const obs::TraceContext& trace);
+
   /// One anti-entropy round against the peer behind `peer` (see the file
   /// comment). Blocking; dials up to two connections (fetch, then repair).
-  RoundRecord SyncWithPeer(const StreamFactory& peer);
+  /// `peer_name` labels the per-peer lag/staleness instruments and the
+  /// round's trace span.
+  RoundRecord SyncWithPeer(const StreamFactory& peer,
+                           const std::string& peer_name = "peer");
 
   /// Split-dialer form: the "@log-fetch" leg dials `fetch_peer` and the
   /// "@pull" repair leg dials `repair_peer`. The legs are separable because
@@ -132,7 +154,8 @@ class ReplicaNode {
   /// the peer's threaded host. The convergence fuzzer routes its
   /// async-host sync steps through exactly this seam.
   RoundRecord SyncWithPeer(const StreamFactory& fetch_peer,
-                           const StreamFactory& repair_peer);
+                           const StreamFactory& repair_peer,
+                           const std::string& peer_name = "peer");
 
   server::SyncServer& host() { return server_; }
   const server::SyncServer& host() const { return server_; }
@@ -145,21 +168,51 @@ class ReplicaNode {
   }
 
  private:
+  /// Per-peer replication-lag instruments, resolved lazily the first time
+  /// a named peer is synced (view_mu_ held).
+  struct PeerInstruments {
+    obs::Histogram* lag = nullptr;      ///< append→apply delay, seconds
+    obs::Gauge* staleness = nullptr;    ///< newest applied entry's age, µs
+  };
+
   RoundRecord RunRound(const StreamFactory& fetch_peer,
-                       const StreamFactory& repair_peer);
+                       const StreamFactory& repair_peer,
+                       const std::string& peer_name,
+                       const obs::TraceContext& trace,
+                       obs::SessionSpan* span);
   RoundRecord Repair(const StreamFactory& peer, uint64_t est_delta,
-                     RoundRecord record);
+                     RoundRecord record, const obs::TraceContext& trace,
+                     obs::SessionSpan* span);
   /// Settles one finished round into the host's metrics registry
-  /// (DESIGN.md §12): per-path round counter, round bytes, and the
-  /// staleness gauge (peer position minus local position).
-  void RecordRound(const RoundRecord& record);
+  /// (DESIGN.md §12): per-path round counter, round bytes, the staleness
+  /// gauge (peer position minus local position), and the peer-view /
+  /// watermark refresh.
+  void RecordRound(const RoundRecord& record, const std::string& peer_name);
+  PeerInstruments& PeerFor(const std::string& peer_name);
+  /// Recomputes rsr_replica_convergence_watermark = min(own position,
+  /// every known peer position). view_mu_ must be held.
+  void RefreshWatermarkLocked();
 
   ReplicaNodeOptions options_;
   Changelog changelog_;
   server::SyncServer server_;
+  obs::Clock* const clock_;
+  /// Mints one root trace per anti-entropy round.
+  obs::TraceIdGenerator trace_gen_;
   /// Incremented at the sites that arm escalate_next_repair_.
   obs::Counter* const repair_escalations_;
   obs::Gauge* const staleness_gauge_;
+  obs::Gauge* const watermark_gauge_;
+  /// Sampling-decision counters shared with the host's session spans
+  /// (same registry instruments; server/server_obs.h).
+  obs::Counter* const span_emitted_;
+  obs::Counter* const span_dropped_;
+
+  /// Guards the node's view of its peers' positions (fed by round
+  /// results) and the lazily-registered per-peer instruments.
+  std::mutex view_mu_;
+  std::map<std::string, uint64_t> peer_seqs_;
+  std::map<std::string, PeerInstruments> peer_instruments_;
   /// Set when a repair session failed (e.g. an exact-key sketch sized from
   /// an under-estimate did not decode): the next repair skips the sized
   /// bands and goes straight to the unconditional full transfer, so a

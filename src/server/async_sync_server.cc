@@ -22,6 +22,12 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Span-derivation salts: distinct from the threaded host's so the same
+/// inbound context produces host-distinguishable span ids ("asynhelo" /
+/// "asynlogf" in ASCII).
+constexpr uint64_t kAsyncHelloSpanSalt = 0x6173796e68656c6fULL;
+constexpr uint64_t kAsyncLogFetchSpanSalt = 0x6173796e6c6f6766ULL;
+
 }  // namespace
 
 // One reactor shard: an event loop on its own thread plus the connections
@@ -113,6 +119,8 @@ AsyncSyncServer::AsyncSyncServer(PointSet canonical,
                                  AsyncSyncServerOptions options)
     : options_(std::move(options)),
       obs_(ServerObsOptions{options_.latency_probes, options_.trace_sink}),
+      clock_(options_.clock != nullptr ? options_.clock : obs::Clock::Real()),
+      trace_gen_(options_.trace_seed, kAsyncHelloSpanSalt),
       store_(std::move(canonical),
              SketchStoreOptions{
                  options_.context, options_.params, options_.serve_from_cache,
@@ -214,6 +222,12 @@ std::string AsyncSyncServer::DumpStats() const {
 
 std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases) {
+  return ApplyUpdate(inserts, erases, obs::TraceContext());
+}
+
+std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
+    const PointSet& inserts, const PointSet& erases,
+    const obs::TraceContext& trace) {
   std::lock_guard<std::mutex> lock(replica_mu_);
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(inserts, erases);
@@ -222,6 +236,9 @@ std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
     entry.seq = ++replica_seq_;
     entry.inserts = inserts;
     entry.erases = erases;
+    entry.append_micros = clock_->NowMicros();
+    entry.trace_hi = trace.trace_hi;
+    entry.trace_lo = trace.trace_lo;
     options_.changelog->Append(std::move(entry));
     replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
   }
@@ -298,6 +315,8 @@ void AsyncSyncServer::AdoptConn(Shard* shard,
   shard->conns.emplace(fd, std::move(owned));
   obs_.OnAccepted();
   conn->accept_time = std::chrono::steady_clock::now();
+  conn->span.SetSampling(&options_.trace_sampling, obs_.span_emitted(),
+                         obs_.span_dropped());
   conn->span.BeginPhase("handshake");
   TouchIdleTimer(conn);
 }
@@ -420,6 +439,7 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
   conn->span.set_protocol(hello.protocol);
+  AdoptTrace(conn, hello.trace, kAsyncHelloSpanSalt);
   conn->span.BeginPhase("rounds");
   // Pin the session to one immutable canonical generation; the snapshot
   // stays alive on the conn for the session's lifetime. The replication
@@ -470,13 +490,16 @@ void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
   conn->session_start = std::chrono::steady_clock::now();
   conn->session_started = true;
   conn->span.set_protocol(conn->protocol);
+  AdoptTrace(conn, fetch.trace, kAsyncLogFetchSpanSalt);
   conn->span.BeginPhase("result");
   LogBatchFrame batch;
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
+    // The async host never installs repairs, so its tail is always sound:
+    // repair_dirty is constitutively false here.
     batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),
-                          replica_seq_, options_.context,
-                          options_.log_fetch_max_entries);
+                          replica_seq_, /*repair_dirty=*/false,
+                          options_.context, options_.log_fetch_max_entries);
   }
   conn->session_success =
       conn->SendTracked(EncodeLogBatch(batch, options_.context.universe));
@@ -683,6 +706,22 @@ void AsyncSyncServer::CloseConn(Conn* conn) {
     shard->conns.erase(it);
     shard->loop.RunInLoop([shard] { shard->graveyard.clear(); });
   }
+}
+
+void AsyncSyncServer::AdoptTrace(Conn* conn, const obs::TraceContext& inbound,
+                                 uint64_t salt) {
+  if (!conn->span.active()) return;
+  obs::TraceContext ctx = inbound;
+  uint64_t parent = 0;
+  if (ctx.valid()) {
+    parent = ctx.span_id;
+    ctx.span_id = obs::DeriveSpanId(ctx, salt);
+  } else {
+    // Untraced callers still get a root trace, so every emitted span is
+    // joinable and the sampling hash never keys on a constant zero.
+    ctx = trace_gen_.NewTrace();
+  }
+  conn->span.SetTrace(ctx, parent);
 }
 
 }  // namespace server

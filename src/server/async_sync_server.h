@@ -42,8 +42,10 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/tcp.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "recon/registry.h"
 #include "replica/changelog.h"
 #include "server/server_obs.h"
@@ -94,6 +96,15 @@ struct AsyncSyncServerOptions {
   /// Per-session trace spans (obs/trace.h) are emitted here; null
   /// disables tracing. Not owned; must outlive the server.
   obs::TraceSink* trace_sink = nullptr;
+  /// Keep/drop policy applied when a span finishes (errors and slow
+  /// sessions are always kept). The default keeps everything.
+  obs::TraceSamplingPolicy trace_sampling;
+  /// Seed for trace ids minted for sessions that arrive without inbound
+  /// context (0 = real entropy); tests pin it for replayable ids.
+  uint64_t trace_seed = 0;
+  /// Monotonic clock stamping changelog appends (replication-lag
+  /// telemetry; DESIGN.md §12). Null = obs::Clock::Real(). Not owned.
+  obs::Clock* clock = nullptr;
 };
 
 class AsyncSyncServer {
@@ -143,6 +154,13 @@ class AsyncSyncServer {
   std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
                                                     const PointSet& erases);
 
+  /// ApplyUpdate variant stamping the journaled entry with the trace that
+  /// caused the mutation (see SyncServer::ApplyUpdate). An invalid `trace`
+  /// journals an untraced entry.
+  std::shared_ptr<const SketchSnapshot> ApplyUpdate(
+      const PointSet& inserts, const PointSet& erases,
+      const obs::TraceContext& trace);
+
   /// Replication position (0 on a non-replicating host).
   uint64_t replica_seq() const;
 
@@ -185,11 +203,19 @@ class AsyncSyncServer {
   void TouchIdleTimer(Conn* conn);
   /// Deregisters, settles metrics, and schedules destruction.
   void CloseConn(Conn* conn);
+  /// Attaches trace identity + sampling to the conn's span: adopts the
+  /// inbound context (deriving this host's span id with `salt`) or mints
+  /// a fresh root trace when tracing is on and none arrived.
+  void AdoptTrace(Conn* conn, const obs::TraceContext& inbound,
+                  uint64_t salt);
 
   const AsyncSyncServerOptions options_;
   /// Declared before store_: the store's instruments live in obs_'s
   /// registry.
   ServerObs obs_;
+  obs::Clock* const clock_;
+  /// Mints trace ids for sessions arriving without inbound context.
+  obs::TraceIdGenerator trace_gen_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
   /// Replication position, mirrored onto a gauge on the write path.

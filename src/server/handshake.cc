@@ -28,6 +28,34 @@ bool ReadString(BitReader* in, size_t max_len, std::string* out) {
   return true;
 }
 
+// Optional trailing trace context (DESIGN.md §12). A presence bit leads
+// the fields: BitWriter pads frames with zero bits, so a decoder probing
+// past the end of an OLD frame reads the bit as 0 and correctly reports
+// "no context" (a bare trailing varint would instead mis-decode the
+// padding as a present-but-zero field). Old decoders never look this far
+// and ignore the section entirely.
+void WriteTrailingTrace(const obs::TraceContext& trace, BitWriter* out) {
+  out->WriteBit(trace.valid());
+  if (!trace.valid()) return;
+  out->WriteBits(trace.trace_hi, 64);
+  out->WriteBits(trace.trace_lo, 64);
+  out->WriteVarint(trace.span_id);
+}
+
+// Never fails: an absent or truncated section yields the invalid
+// (all-zero) context, which is exactly "this peer sent no context".
+void ReadTrailingTrace(BitReader* in, obs::TraceContext* out) {
+  *out = obs::TraceContext();
+  bool present = false;
+  if (!in->ReadBit(&present) || !present) return;
+  obs::TraceContext trace;
+  if (in->ReadBits(64, &trace.trace_hi) &&
+      in->ReadBits(64, &trace.trace_lo) && in->ReadVarint(&trace.span_id) &&
+      trace.valid()) {
+    *out = trace;
+  }
+}
+
 constexpr size_t kMaxStringLen = 4096;
 // A rendered metrics registry is far bigger than any handshake string but
 // still bounded (families x label sets x buckets); 4 MiB is generous.
@@ -47,15 +75,20 @@ transport::Message EncodeHello(const HelloFrame& hello) {
   WriteString(hello.protocol, &writer);
   writer.WriteVarint(hello.client_set_size);
   writer.WriteBit(hello.want_result_set);
+  WriteTrailingTrace(hello.trace, &writer);
   return transport::MakeMessage(kHelloLabel, std::move(writer));
 }
 
 bool DecodeHello(const transport::Message& message, HelloFrame* out) {
   if (message.label != kHelloLabel) return false;
   BitReader reader(message.payload);
-  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
-         reader.ReadVarint(&out->client_set_size) &&
-         reader.ReadBit(&out->want_result_set);
+  if (!ReadString(&reader, kMaxStringLen, &out->protocol) ||
+      !reader.ReadVarint(&out->client_set_size) ||
+      !reader.ReadBit(&out->want_result_set)) {
+    return false;
+  }
+  ReadTrailingTrace(&reader, &out->trace);
+  return true;
 }
 
 transport::Message EncodeAccept(const AcceptFrame& accept) {
@@ -177,15 +210,20 @@ transport::Message EncodeLogFetch(const LogFetchFrame& fetch) {
   writer.WriteVarint(fetch.from_seq);
   writer.WriteVarint(fetch.max_entries);
   writer.WriteBit(fetch.want_strata);
+  WriteTrailingTrace(fetch.trace, &writer);
   return transport::MakeMessage(kLogFetchLabel, std::move(writer));
 }
 
 bool DecodeLogFetch(const transport::Message& message, LogFetchFrame* out) {
   if (message.label != kLogFetchLabel) return false;
   BitReader reader(message.payload);
-  return reader.ReadVarint(&out->from_seq) &&
-         reader.ReadVarint(&out->max_entries) &&
-         reader.ReadBit(&out->want_strata);
+  if (!reader.ReadVarint(&out->from_seq) ||
+      !reader.ReadVarint(&out->max_entries) ||
+      !reader.ReadBit(&out->want_strata)) {
+    return false;
+  }
+  ReadTrailingTrace(&reader, &out->trace);
+  return true;
 }
 
 transport::Message EncodeLogBatch(const LogBatchFrame& batch,
@@ -204,6 +242,27 @@ transport::Message EncodeLogBatch(const LogBatchFrame& batch,
   }
   writer.WriteBit(batch.strata.has_value());
   if (batch.strata.has_value()) batch.strata->Serialize(&writer);
+  // Trailing section (old decoders stop at the strata; both bits decode
+  // as benign zeros from an old frame's padding): the server's dirty
+  // flag, then the per-entry observability stamps behind a presence bit
+  // so an unstamped batch costs one bit, not 3 varints per entry.
+  writer.WriteBit(batch.dirty);
+  bool any_meta = false;
+  for (const replica::ChangeEntry& entry : batch.entries) {
+    if (entry.append_micros != 0 || entry.trace_hi != 0 ||
+        entry.trace_lo != 0) {
+      any_meta = true;
+      break;
+    }
+  }
+  writer.WriteBit(any_meta);
+  if (any_meta) {
+    for (const replica::ChangeEntry& entry : batch.entries) {
+      writer.WriteVarint(entry.append_micros);
+      writer.WriteVarint(entry.trace_hi);
+      writer.WriteVarint(entry.trace_lo);
+    }
+  }
   return transport::MakeMessage(kLogBatchLabel, std::move(writer));
 }
 
@@ -246,6 +305,21 @@ bool DecodeLogBatch(const transport::Message& message,
     out->strata = StrataEstimator::Deserialize(strata_config, &reader);
     if (!out->strata.has_value()) return false;
   }
+  // Trailing section: absent on old frames (padding bits read as 0 —
+  // not dirty, no stamps — matching old semantics). A set meta bit was
+  // genuinely written (padding is never 1), so truncation after it is a
+  // malformed frame.
+  out->dirty = false;
+  bool has_meta = false;
+  if (!reader.ReadBit(&out->dirty)) return true;
+  if (!reader.ReadBit(&has_meta) || !has_meta) return true;
+  for (replica::ChangeEntry& entry : out->entries) {
+    if (!reader.ReadVarint(&entry.append_micros) ||
+        !reader.ReadVarint(&entry.trace_hi) ||
+        !reader.ReadVarint(&entry.trace_lo)) {
+      return false;
+    }
+  }
   return true;
 }
 
@@ -253,14 +327,19 @@ transport::Message EncodePull(const PullFrame& pull) {
   BitWriter writer;
   WriteString(pull.protocol, &writer);
   writer.WriteVarint(pull.client_set_size);
+  WriteTrailingTrace(pull.trace, &writer);
   return transport::MakeMessage(kPullLabel, std::move(writer));
 }
 
 bool DecodePull(const transport::Message& message, PullFrame* out) {
   if (message.label != kPullLabel) return false;
   BitReader reader(message.payload);
-  return ReadString(&reader, kMaxStringLen, &out->protocol) &&
-         reader.ReadVarint(&out->client_set_size);
+  if (!ReadString(&reader, kMaxStringLen, &out->protocol) ||
+      !reader.ReadVarint(&out->client_set_size)) {
+    return false;
+  }
+  ReadTrailingTrace(&reader, &out->trace);
+  return true;
 }
 
 transport::Message EncodePullAccept(const PullAcceptFrame& accept) {

@@ -21,6 +21,7 @@
 
 #include "geometry/point.h"
 #include "iblt/strata.h"
+#include "obs/trace_context.h"
 #include "recon/protocol.h"
 #include "replica/changelog.h"
 #include "transport/message.h"
@@ -53,6 +54,15 @@ struct HelloFrame {
   std::string protocol;
   uint64_t client_set_size = 0;  ///< Diagnostic; server metrics only.
   bool want_result_set = true;   ///< Ship S'_B back in the result frame.
+  /// Optional trace context (DESIGN.md §12): when valid, the server
+  /// adopts the trace id so its session span joins the client's. Wire
+  /// format is a trailing presence bit + ids — old peers ignore it, and
+  /// frames from old peers decode as the invalid (all-zero) context
+  /// because BitWriter padding is zeros (the same idiom as the trailing
+  /// varints on "@accept", which needs the explicit presence bit here
+  /// because a padding bit would otherwise read as a present-but-zero
+  /// field).
+  obs::TraceContext trace;
 };
 
 /// Server → client: the handshake failed.
@@ -95,6 +105,8 @@ struct LogFetchFrame {
   /// available (a dirty replica needs the difference estimate, not the
   /// entries; see replica/replica_node.h).
   bool want_strata = false;
+  /// Optional trace context; same trailing idiom as HelloFrame::trace.
+  obs::TraceContext trace;
 };
 
 /// Peer → replica: the changelog tail (or the news that it is gone).
@@ -109,6 +121,14 @@ struct LogBatchFrame {
   /// Peer's exact-keys strata estimator (recon::ExactReconStrataConfig),
   /// attached when !ok or when the fetch asked for it.
   std::optional<StrataEstimator> strata;
+  /// True when the serving peer's set is the product of an approximate
+  /// repair not yet squared with its log: its tail entries do NOT replay
+  /// onto the canonical set-at-from_seq, so a puller must fall back to
+  /// protocol repair instead of applying them (the PR 6 soundness gap).
+  /// Trailing on the wire; old peers neither send nor see it, and frames
+  /// from old peers decode as false (zero padding) — exactly the old
+  /// behaviour.
+  bool dirty = false;
 };
 
 /// Replica → peer: host the Alice side of `protocol` over your canonical
@@ -120,6 +140,8 @@ struct LogBatchFrame {
 struct PullFrame {
   std::string protocol;
   uint64_t client_set_size = 0;  ///< Diagnostic; server metrics only.
+  /// Optional trace context; same trailing idiom as HelloFrame::trace.
+  obs::TraceContext trace;
 };
 
 /// Peer → replica: pull accepted; Alice frames follow.

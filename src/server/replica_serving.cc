@@ -25,11 +25,12 @@ StrataEstimator SnapshotStrata(const SketchSnapshot& snapshot,
 LogBatchFrame BuildLogBatch(const LogFetchFrame& fetch,
                             const replica::Changelog* changelog,
                             const SketchSnapshot& snapshot,
-                            uint64_t replica_seq,
+                            uint64_t replica_seq, bool repair_dirty,
                             const recon::ProtocolContext& context,
                             size_t max_entries_cap) {
   LogBatchFrame batch;
   batch.last_seq = replica_seq;
+  batch.dirty = repair_dirty;
   if (changelog != nullptr) {
     size_t cap = max_entries_cap;
     if (fetch.max_entries > 0) {
@@ -40,7 +41,7 @@ LogBatchFrame BuildLogBatch(const LogFetchFrame& fetch,
     batch.complete = fetched.complete;
     batch.entries = std::move(fetched.entries);
   }
-  if (!batch.ok || fetch.want_strata) {
+  if (!batch.ok || batch.dirty || fetch.want_strata) {
     batch.strata = SnapshotStrata(snapshot, context);
   }
   return batch;

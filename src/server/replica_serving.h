@@ -34,12 +34,18 @@ StrataEstimator SnapshotStrata(const SketchSnapshot& snapshot,
 /// Answers one "@log-fetch". `changelog` may be null (a host that does not
 /// journal serves ok = false, forcing the fetcher onto the repair path);
 /// `replica_seq` is the host's replication position, reported as
-/// last_seq. `max_entries_cap` bounds the slice regardless of what the
-/// fetch asked for. Call under the host's replication lock.
+/// last_seq. `repair_dirty` is the host's approximate-repair flag: a
+/// dirty host's tail does not replay onto the canonical set-at-from_seq,
+/// so the batch both carries the flag (the fetcher must repair, not
+/// replay) and attaches the strata estimator unconditionally so the
+/// repair can be sized from this one round trip. `max_entries_cap`
+/// bounds the slice regardless of what the fetch asked for. Call under
+/// the host's replication lock so (entries, last_seq, dirty, strata) are
+/// one consistent view.
 LogBatchFrame BuildLogBatch(const LogFetchFrame& fetch,
                             const replica::Changelog* changelog,
                             const SketchSnapshot& snapshot,
-                            uint64_t replica_seq,
+                            uint64_t replica_seq, bool repair_dirty,
                             const recon::ProtocolContext& context,
                             size_t max_entries_cap);
 

@@ -37,6 +37,12 @@ ServerObs::ServerObs(const ServerObsOptions& options) : options_(options) {
       "rsr_sync_accept_to_first_frame_seconds",
       "Accept-to-first-decoded-frame delay on the async host",
       obs::DefaultLatencyBounds());
+  span_emitted_ = registry_.GetCounter(
+      "rsr_trace_spans_total", "Trace spans by sampling decision",
+      {{"decision", "emitted"}});
+  span_dropped_ = registry_.GetCounter(
+      "rsr_trace_spans_total", "Trace spans by sampling decision",
+      {{"decision", "dropped"}});
 }
 
 ServerObs::ProtocolInstruments& ServerObs::ProtocolFor(

@@ -54,6 +54,12 @@ class ServerObs {
   obs::TraceSink* trace_sink() const { return options_.trace_sink; }
   bool latency_probes() const { return options_.latency_probes; }
 
+  /// Sampling decision counters (rsr_trace_spans_total{decision=...}),
+  /// wired into every SessionSpan via SetSampling so the registry
+  /// accounts for spans the policy shed.
+  obs::Counter* span_emitted() const { return span_emitted_; }
+  obs::Counter* span_dropped() const { return span_dropped_; }
+
   /// Connection accepted: bumps accepted/active/peak.
   void OnAccepted();
 
@@ -105,6 +111,8 @@ class ServerObs {
   obs::Counter* bytes_out_;
   obs::Histogram* queue_delay_;
   obs::Histogram* accept_to_first_frame_;
+  obs::Counter* span_emitted_;
+  obs::Counter* span_dropped_;
 
   mutable std::mutex mu_;
   std::map<std::string, ProtocolInstruments> per_protocol_;

@@ -24,13 +24,18 @@ void FailOutcome(SyncOutcome* outcome, SessionError error) {
   }
 }
 
+/// Instance salt for the client's trace id generator ("clisyncc").
+constexpr uint64_t kClientSpanSalt = 0x636c6973796e6363ULL;
+
 }  // namespace
 
 SyncClient::SyncClient(SyncClientOptions options)
     : options_(std::move(options)),
       registry_(options_.registry != nullptr
                     ? options_.registry
-                    : &recon::ProtocolRegistry::Global()) {}
+                    : &recon::ProtocolRegistry::Global()),
+      trace_gen_(std::make_unique<obs::TraceIdGenerator>(options_.trace_seed,
+                                                         kClientSpanSalt)) {}
 
 SyncOutcome SyncClient::Sync(net::ByteStream* stream,
                              const std::string& protocol,
@@ -39,6 +44,23 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   SyncOutcome outcome;
   net::FramedStream framed(stream, options_.limits);
 
+  // One root trace per sync: the server joins it (propagate_trace ships
+  // the context on "@hello") and the caller can stamp the resulting
+  // mutation with it, so client span, server span, and downstream
+  // replication rounds all share outcome.trace_hi/lo.
+  obs::TraceContext trace;
+  if (options_.propagate_trace || options_.trace_sink != nullptr) {
+    trace = trace_gen_->NewTrace();
+    outcome.trace_hi = trace.trace_hi;
+    outcome.trace_lo = trace.trace_lo;
+  }
+  obs::SessionSpan span(options_.trace_sink, "sync-client");
+  if (span.active()) {
+    span.SetTrace(trace, 0);
+    span.set_protocol(protocol);
+    span.BeginPhase("handshake");
+  }
+
   const auto finish = [&](SyncOutcome&& done) {
     stream->Close();
     done.bytes_sent = framed.bytes_sent();
@@ -46,6 +68,18 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
     done.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start_time)
                             .count();
+    if (span.active()) {
+      span.AddFrameOut(done.bytes_sent);
+      span.AddFrameIn(done.bytes_received);
+      if (done.result.success) {
+        span.set_outcome("ok");
+      } else if (done.result.error == SessionError::kProtocolRejected) {
+        span.set_outcome("rejected");
+      } else {
+        span.set_outcome("fail");
+      }
+      span.Finish();
+    }
     return std::move(done);
   };
 
@@ -64,6 +98,7 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   hello.protocol = protocol;
   hello.client_set_size = local_points.size();
   hello.want_result_set = options_.want_result_set;
+  if (options_.propagate_trace) hello.trace = trace;
   if (!framed.Send(EncodeHello(hello))) {
     outcome.error_detail = "handshake: transport failed sending " +
                            std::string(kHelloLabel);
@@ -111,6 +146,7 @@ SyncOutcome SyncClient::Sync(net::ByteStream* stream,
   outcome.handshake_ok = true;
   outcome.server_generation = accept.generation;
   outcome.server_replica_seq = accept.replica_seq;
+  span.BeginPhase("rounds");
 
   // -------------------------------------------------------- session pump
   const std::unique_ptr<recon::PartySession> alice =

@@ -22,6 +22,8 @@
 
 #include "net/byte_stream.h"
 #include "net/frame.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "recon/registry.h"
 
 namespace rsr {
@@ -37,6 +39,17 @@ struct SyncClientOptions {
   bool want_result_set = true;
   /// Registry used to build the Alice session; nullptr = the global one.
   const recon::ProtocolRegistry* registry = nullptr;
+  /// When set, every Sync emits one "sync-client" span here carrying the
+  /// trace id minted for that sync. Null disables client-side tracing.
+  /// Not owned; must outlive the client.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Ship the minted trace context on "@hello" so the serving host's
+  /// session span (and any replication it triggers) joins this sync's
+  /// trace. Old servers ignore the trailing field. Off by default so the
+  /// wire bytes only change when the caller opts into tracing.
+  bool propagate_trace = false;
+  /// Seed for minted trace ids (0 = real entropy); tests pin it.
+  uint64_t trace_seed = 0;
 };
 
 /// Backoff schedule for SyncWithRetry. A rejected handshake (an
@@ -86,6 +99,13 @@ struct SyncOutcome {
   size_t bytes_sent = 0;
   size_t bytes_received = 0;
   double wall_seconds = 0.0;
+  /// Root trace id minted for this sync (0/0 when tracing is off): the id
+  /// the server's session span — and, with propagate_trace, any
+  /// replication rounds the mutation later rides — shares. Callers
+  /// applying the reconciled delta pass it to the host's traced
+  /// ApplyUpdate overload so the changelog entry carries it too.
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
 };
 
 class SyncClient {
@@ -113,6 +133,10 @@ class SyncClient {
  private:
   SyncClientOptions options_;
   const recon::ProtocolRegistry* registry_;
+  /// Mints one root trace per Sync. Behind a pointer because Sync() is
+  /// const while the generator's state advances (it is internally
+  /// thread-safe, matching Sync's const-usable contract).
+  std::unique_ptr<obs::TraceIdGenerator> trace_gen_;
 };
 
 /// Admin client for the "@stats" verb (DESIGN.md §12): sends the request

@@ -22,6 +22,13 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Role salts separating the server-side span ids derived from one
+// inbound context (a "@hello" session and the "@pull" it may trigger on
+// another host must not collide).
+constexpr uint64_t kHelloSpanSalt = 0x73657276'68656c6fULL;    // "servhelo"
+constexpr uint64_t kLogFetchSpanSalt = 0x73657276'6c6f6766ULL;  // "servlogf"
+constexpr uint64_t kPullSpanSalt = 0x73657276'70756c6cULL;      // "servpull"
+
 }  // namespace
 
 // FramedStream plus the per-connection observability state: the session's
@@ -75,6 +82,8 @@ struct SyncServer::SessionIo {
 SyncServer::SyncServer(PointSet canonical, SyncServerOptions options)
     : options_(std::move(options)),
       obs_(ServerObsOptions{options_.latency_probes, options_.trace_sink}),
+      clock_(options_.clock != nullptr ? options_.clock : obs::Clock::Real()),
+      trace_gen_(options_.trace_seed, kHelloSpanSalt),
       store_(std::move(canonical),
              SketchStoreOptions{
                  options_.context, options_.params, options_.serve_from_cache,
@@ -91,10 +100,28 @@ SyncServer::SyncServer(PointSet canonical, SyncServerOptions options)
 
 SyncServer::~SyncServer() { Stop(); }
 
+void SyncServer::AdoptTrace(SessionIo& io, const obs::TraceContext& inbound,
+                            uint64_t salt) {
+  if (!io.span.active()) return;
+  obs::TraceContext ctx = inbound;
+  uint64_t parent = 0;
+  if (ctx.valid()) {
+    parent = ctx.span_id;
+    ctx.span_id = obs::DeriveSpanId(ctx, salt);
+  } else {
+    // No inbound context (an old peer, or tracing off at the caller):
+    // the span still gets identity, as the root of its own trace.
+    ctx = trace_gen_.NewTrace();
+  }
+  io.span.SetTrace(ctx, parent);
+}
+
 void SyncServer::ServeConnection(net::ByteStream* stream) {
   obs_.OnAccepted();
   SessionIo io(stream, options_.limits, options_.idle_timeout,
                obs_.trace_sink());
+  io.span.SetSampling(&options_.trace_sampling, obs_.span_emitted(),
+                      obs_.span_dropped());
   io.span.BeginPhase("handshake");
 
   // --------------------------------------------------------- handshake
@@ -152,6 +179,7 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
 
   const auto start_time = std::chrono::steady_clock::now();
   io.span.set_protocol(hello.protocol);
+  AdoptTrace(io, hello.trace, kHelloSpanSalt);
   // Pin the session to one immutable canonical generation: the snapshot
   // (kept alive by this shared_ptr for the whole connection) supplies both
   // the point set and, when caching is on, the precomputed sketches. The
@@ -292,12 +320,13 @@ void SyncServer::ServeLogFetch(SessionIo& io, const transport::Message& first,
     io.span.set_outcome("rejected");
     return;
   }
+  AdoptTrace(io, fetch.trace, kLogFetchSpanSalt);
   io.span.BeginPhase("result");
   LogBatchFrame batch;
   {
     std::lock_guard<std::mutex> lock(replica_mu_);
     batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),
-                          replica_seq_, options_.context,
+                          replica_seq_, repair_dirty_, options_.context,
                           options_.log_fetch_max_entries);
   }
   ok = io.Send(EncodeLogBatch(batch, options_.context.universe));
@@ -339,6 +368,7 @@ void SyncServer::ServePull(SessionIo& io, const transport::Message& first,
     return;
   }
   io.span.set_protocol(std::string(kPullLabel) + ":" + pull.protocol);
+  AdoptTrace(io, pull.trace, kPullSpanSalt);
 
   std::shared_ptr<const SketchSnapshot> snapshot;
   uint64_t served_seq = 0;
@@ -399,6 +429,12 @@ void SyncServer::ServePull(SessionIo& io, const transport::Message& first,
 
 std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases) {
+  return ApplyUpdate(inserts, erases, obs::TraceContext());
+}
+
+std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
+    const PointSet& inserts, const PointSet& erases,
+    const obs::TraceContext& trace) {
   std::lock_guard<std::mutex> lock(replica_mu_);
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(inserts, erases);
@@ -407,6 +443,9 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
     entry.seq = ++replica_seq_;
     entry.inserts = inserts;
     entry.erases = erases;
+    entry.append_micros = clock_->NowMicros();
+    entry.trace_hi = trace.trace_hi;
+    entry.trace_lo = trace.trace_lo;
     options_.changelog->Append(std::move(entry));
     replica_seq_gauge_->Set(static_cast<int64_t>(replica_seq_));
   }

@@ -44,8 +44,10 @@
 #include "net/byte_stream.h"
 #include "net/frame.h"
 #include "net/tcp.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "recon/registry.h"
 #include "replica/changelog.h"
 #include "server/server_obs.h"
@@ -92,6 +94,15 @@ struct SyncServerOptions {
   /// Per-session trace spans (obs/trace.h) are emitted here; null
   /// disables tracing. Not owned; must outlive the server.
   obs::TraceSink* trace_sink = nullptr;
+  /// Keep/drop policy applied when a span finishes (errors and slow
+  /// sessions are always kept). The default keeps everything.
+  obs::TraceSamplingPolicy trace_sampling;
+  /// Seed for trace ids minted for sessions that arrive without inbound
+  /// context (0 = real entropy); tests pin it for replayable ids.
+  uint64_t trace_seed = 0;
+  /// Monotonic clock stamping changelog appends (replication-lag
+  /// telemetry; DESIGN.md §12). Null = obs::Clock::Real(). Not owned.
+  obs::Clock* clock = nullptr;
 };
 
 // ProtocolStats and SyncServerMetrics moved to server/server_stats.h so
@@ -154,6 +165,14 @@ class SyncServer {
   std::shared_ptr<const SketchSnapshot> ApplyUpdate(const PointSet& inserts,
                                                     const PointSet& erases);
 
+  /// ApplyUpdate variant stamping the journaled entry with the trace
+  /// that caused the mutation, so downstream replication rounds can link
+  /// their spans to it (the append-time clock stamp is taken either
+  /// way). An invalid `trace` journals an untraced entry.
+  std::shared_ptr<const SketchSnapshot> ApplyUpdate(
+      const PointSet& inserts, const PointSet& erases,
+      const obs::TraceContext& trace);
+
   /// Applies one journaled entry fetched from a peer (the log catch-up
   /// path): exactly ApplyUpdate, except the position comes from the entry
   /// and the entry is mirrored into this host's own changelog verbatim, so
@@ -211,11 +230,19 @@ class SyncServer {
   void ServeStats(SessionIo& io, net::ByteStream* stream);
   void SettleSession(SessionIo& io, const std::string& name, bool success,
                      double wall_seconds);
+  /// Attaches trace identity + sampling to the session span: adopts the
+  /// inbound context (deriving this host's span id with `salt`) or mints
+  /// a fresh root trace when tracing is on and none arrived.
+  void AdoptTrace(SessionIo& io, const obs::TraceContext& inbound,
+                  uint64_t salt);
 
   const SyncServerOptions options_;
   /// Declared before store_: the store's instruments live in obs_'s
   /// registry.
   ServerObs obs_;
+  obs::Clock* const clock_;
+  /// Mints trace ids for sessions arriving without inbound context.
+  obs::TraceIdGenerator trace_gen_;
   SketchStore store_;
   const recon::ProtocolRegistry* const registry_;
   /// Replication-position instruments, set on the write path under

@@ -138,6 +138,35 @@ TEST(ChangelogTest, SegmentWriteThroughReplaysBitIdentical) {
   std::remove(path.c_str());
 }
 
+TEST(ChangelogTest, SegmentRoundTripsObservabilityStamps) {
+  const std::string path =
+      testing::TempDir() + "/changelog_stamps_test.bin";
+  std::remove(path.c_str());
+  ChangelogOptions options;
+  options.segment_path = path;
+  {
+    Changelog log(options);
+    ChangeEntry stamped = MakeEntry(1);
+    stamped.append_micros = 1'234'567;
+    stamped.trace_hi = 0xdeadbeefcafef00dULL;
+    stamped.trace_lo = 0x0123456789abcdefULL;
+    log.Append(stamped);
+    log.Append(MakeEntry(2));  // untraced: stamps stay zero
+  }
+  std::vector<ChangeEntry> replayed;
+  ASSERT_TRUE(ReplaySegment(path, [&replayed](const ChangeEntry& entry) {
+    replayed.push_back(entry);
+  }));
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].append_micros, 1'234'567u);
+  EXPECT_EQ(replayed[0].trace_hi, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(replayed[0].trace_lo, 0x0123456789abcdefULL);
+  EXPECT_EQ(replayed[0], MakeEntry(1));
+  EXPECT_EQ(replayed[1].append_micros, 0u);
+  EXPECT_EQ(replayed[1].trace_hi | replayed[1].trace_lo, 0u);
+  std::remove(path.c_str());
+}
+
 std::vector<uint8_t> ReadFileBytes(const std::string& path) {
   std::vector<uint8_t> bytes;
   std::FILE* file = std::fopen(path.c_str(), "rb");
@@ -158,6 +187,43 @@ void WriteFileBytes(const std::string& path,
   ASSERT_NE(file, nullptr) << path;
   ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), file), bytes.size());
   std::fclose(file);
+}
+
+TEST(ChangelogTest, ReplaySegmentDecodesLegacyUnstampedRecords) {
+  // A record written before the observability stamps existed ends at the
+  // coordinates. Simulate one by stripping the three trailing zero
+  // varints (an all-zero-stamp record ends in exactly three 0x00 bytes)
+  // from a freshly written single-record segment and shrinking its
+  // length prefix — byte-identical to the legacy writer's output.
+  const std::string path =
+      testing::TempDir() + "/changelog_legacy_test.bin";
+  std::remove(path.c_str());
+  ChangelogOptions options;
+  options.segment_path = path;
+  {
+    Changelog log(options);
+    log.Append(MakeEntry(1));  // stamps all zero
+  }
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 4u);
+  ASSERT_LT(bytes.size(), 128u);  // single-byte blob length prefix
+  ASSERT_EQ(bytes[0], bytes.size() - 1);  // [len][payload]
+  ASSERT_EQ(bytes[bytes.size() - 1], 0u);
+  ASSERT_EQ(bytes[bytes.size() - 2], 0u);
+  ASSERT_EQ(bytes[bytes.size() - 3], 0u);
+  bytes.resize(bytes.size() - 3);
+  bytes[0] = static_cast<uint8_t>(bytes.size() - 1);
+  WriteFileBytes(path, bytes);
+
+  std::vector<ChangeEntry> replayed;
+  ASSERT_TRUE(ReplaySegment(path, [&replayed](const ChangeEntry& entry) {
+    replayed.push_back(entry);
+  }));
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], MakeEntry(1));
+  EXPECT_EQ(replayed[0].append_micros, 0u);
+  EXPECT_EQ(replayed[0].trace_hi | replayed[0].trace_lo, 0u);
+  std::remove(path.c_str());
 }
 
 /// Writes a 3-entry segment, recording the file size after each append

@@ -1,0 +1,126 @@
+// Tests for the Prometheus scrape parser and the fleet aggregator:
+// round-trips real MetricsRegistry output through PromScrape, then
+// checks the mesh-level joins (writer seq, convergence watermark,
+// staleness, merged lag quantiles) that meshmon and CI assert on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/fleet.h"
+#include "obs/metrics.h"
+#include "obs/promparse.h"
+
+namespace rsr {
+namespace obs {
+namespace {
+
+TEST(PromParse, RoundTripsRegistryOutput) {
+  MetricsRegistry registry;
+  registry.GetCounter("rsr_demo_total", "demo", {{"path", "tail"}})->Inc(3);
+  registry.GetCounter("rsr_demo_total", "demo", {{"path", "repair-full"}})
+      ->Inc(2);
+  registry.GetGauge("rsr_replica_seq", "seq")->Set(41);
+  Histogram* hist = registry.GetHistogram(
+      "rsr_lat_seconds", "lat", {0.001, 0.01, 0.1}, {{"peer", "node1"}});
+  hist->Observe(0.0005);
+  hist->Observe(0.05);
+  hist->Observe(5.0);  // +Inf bucket
+
+  const PromScrape scrape = PromScrape::Parse(registry.RenderPrometheus());
+  EXPECT_EQ(scrape.parse_errors(), 0u);
+  EXPECT_EQ(scrape.Value("rsr_demo_total", {{"path", "tail"}}).value_or(-1),
+            3.0);
+  EXPECT_EQ(scrape.Sum("rsr_demo_total"), 5.0);
+  EXPECT_EQ(scrape.Value("rsr_replica_seq").value_or(-1), 41.0);
+
+  const auto hists = scrape.Histograms("rsr_lat_seconds");
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].labels, (LabelSet{{"peer", "node1"}}));
+  EXPECT_EQ(hists[0].snap.count, 3u);
+  ASSERT_EQ(hists[0].snap.bounds.size(), 3u);
+  ASSERT_EQ(hists[0].snap.buckets.size(), 4u);
+  EXPECT_EQ(hists[0].snap.buckets[0], 1u);
+  EXPECT_EQ(hists[0].snap.buckets[2], 1u);
+  EXPECT_EQ(hists[0].snap.buckets[3], 1u);
+  EXPECT_NEAR(hists[0].snap.sum, 5.0505, 1e-9);
+}
+
+TEST(PromParse, EscapedLabelsAndJunkLines) {
+  const std::string text =
+      "# HELP x help\n"
+      "x{name=\"a\\\"b\\\\c\\nd\"} 7\n"
+      "this line is junk\n"
+      "\n"
+      "y 2.5\n";
+  const PromScrape scrape = PromScrape::Parse(text);
+  EXPECT_EQ(scrape.parse_errors(), 1u);
+  ASSERT_EQ(scrape.samples().size(), 2u);
+  EXPECT_EQ(scrape.samples()[0].labels[0].second, "a\"b\\c\nd");
+  EXPECT_EQ(scrape.Value("y").value_or(-1), 2.5);
+}
+
+std::string NodeText(int64_t seq, int64_t watermark, int64_t stale_micros,
+                     double lag_seconds) {
+  MetricsRegistry registry;
+  registry.GetGauge("rsr_replica_seq", "seq")->Set(seq);
+  registry.GetGauge("rsr_replica_convergence_watermark", "wm")
+      ->Set(watermark);
+  registry
+      .GetGauge("rsr_replica_peer_staleness_micros", "stale",
+                {{"peer", "node0"}})
+      ->Set(stale_micros);
+  registry
+      .GetHistogram("rsr_replica_propagation_lag_seconds", "lag",
+                    DefaultLatencyBounds(), {{"peer", "node0"}})
+      ->Observe(lag_seconds);
+  registry
+      .GetCounter("rsr_replica_rounds_total", "rounds", {{"path", "tail"}})
+      ->Inc(4);
+  return registry.RenderPrometheus();
+}
+
+TEST(FleetAggregate, JoinsNodesAndFlagsConvergence) {
+  std::vector<NodeScrape> scrapes;
+  scrapes.push_back({"node0", NodeText(10, 10, 0, 0.002)});
+  scrapes.push_back({"node1", NodeText(10, 8, 1500000, 0.050)});
+  scrapes.push_back({"down", ""});
+
+  FleetSummary fleet = Aggregate(scrapes);
+  EXPECT_EQ(fleet.writer_seq, 10.0);
+  EXPECT_EQ(fleet.convergence_watermark, 8.0);
+  EXPECT_FALSE(fleet.converged);
+  EXPECT_NEAR(fleet.max_staleness_seconds, 1.5, 1e-9);
+  EXPECT_EQ(fleet.rounds_total, 8.0);
+  ASSERT_EQ(fleet.nodes.size(), 3u);
+  EXPECT_TRUE(fleet.nodes[0].scraped);
+  EXPECT_FALSE(fleet.nodes[2].scraped);
+  // Merged lag histogram covers both nodes' observations.
+  EXPECT_GT(fleet.lag_p99_ms, fleet.nodes[0].lag_p50_ms);
+
+  // Catch the watermark up: the fleet reads as converged.
+  scrapes[1].text = NodeText(10, 10, 0, 0.050);
+  fleet = Aggregate(scrapes);
+  EXPECT_TRUE(fleet.converged);
+  EXPECT_EQ(fleet.convergence_watermark, fleet.writer_seq);
+
+  const std::string json = fleet.RenderJson();
+  EXPECT_NE(json.find("\"converged\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"writer_seq\":10"), std::string::npos);
+  const std::string text = fleet.RenderText();
+  EXPECT_NE(text.find("converged"), std::string::npos);
+  EXPECT_NE(text.find("node1"), std::string::npos);
+}
+
+TEST(FleetAggregate, FallsBackToSeqWhenWatermarkAbsent) {
+  MetricsRegistry registry;
+  registry.GetGauge("rsr_replica_seq", "seq")->Set(5);
+  FleetSummary fleet = Aggregate({{"old-node", registry.RenderPrometheus()}});
+  EXPECT_EQ(fleet.convergence_watermark, 5.0);
+  EXPECT_TRUE(fleet.converged);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rsr

@@ -215,6 +215,45 @@ TEST(HttpExporterTest, ServesMetricsAnd404s) {
 
   const std::string missing = request("GET /other HTTP/1.0\r\n\r\n");
   EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+
+  // No health renderer wired: /healthz is just another unknown route.
+  const std::string no_health = request("GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(no_health.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+  http.Stop();
+}
+
+TEST(HttpExporterTest, ServesHealthzWhenRendererWired) {
+  obs::MetricsRegistry registry;
+  obs::MetricsHttpServer http(
+      [&registry] { return registry.RenderPrometheus(); },
+      [] { return std::string("ok uptime_seconds=1.5 replica_seq=3 "
+                              "dirty=0\n"); });
+  ASSERT_TRUE(http.Start(net::TcpListener::Listen("127.0.0.1", 0)));
+
+  const auto request = [&http](const std::string& head) {
+    auto conn = net::TcpStream::Connect("127.0.0.1", http.port());
+    EXPECT_NE(conn, nullptr);
+    if (conn == nullptr) return std::string();
+    EXPECT_TRUE(conn->Write(
+        reinterpret_cast<const uint8_t*>(head.data()), head.size()));
+    std::string response;
+    uint8_t buf[4096];
+    for (;;) {
+      const ptrdiff_t n = conn->Read(buf, sizeof buf);
+      if (n <= 0) break;
+      response.append(reinterpret_cast<const char*>(buf),
+                      static_cast<size_t>(n));
+    }
+    return response;
+  };
+
+  const std::string health = request("GET /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(health.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(health.find("ok uptime_seconds=1.5 replica_seq=3 dirty=0"),
+            std::string::npos);
+  // The longer-path guard still applies.
+  const std::string longer = request("GET /healthzzz HTTP/1.0\r\n\r\n");
+  EXPECT_EQ(longer.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
   http.Stop();
 }
 
