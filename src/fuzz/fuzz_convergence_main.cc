@@ -69,14 +69,15 @@ int main(int argc, char** argv) {
       const size_t n = std::strlen(prefix);
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
-    if (const char* v = value("--scripts=")) {
-      scripts_per_mix = static_cast<size_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--seed-base=")) {
-      seed_base = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--artifacts=")) {
-      artifacts = v;
-    } else if (const char* v = value("--mix=")) {
-      only_mix = v;
+    if (const char* scripts_arg = value("--scripts=")) {
+      scripts_per_mix =
+          static_cast<size_t>(std::strtoull(scripts_arg, nullptr, 10));
+    } else if (const char* seed_arg = value("--seed-base=")) {
+      seed_base = std::strtoull(seed_arg, nullptr, 10);
+    } else if (const char* artifacts_arg = value("--artifacts=")) {
+      artifacts = artifacts_arg;
+    } else if (const char* mix_arg = value("--mix=")) {
+      only_mix = mix_arg;
     } else if (arg == "--long") {
       long_mode = true;
     } else {

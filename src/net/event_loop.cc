@@ -121,7 +121,7 @@ void EventLoop::CancelTimer(TimerId id) { armed_.erase(id); }
 
 void EventLoop::RunInLoop(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     tasks_.push_back(std::move(fn));
   }
   Wakeup();
@@ -142,7 +142,7 @@ void EventLoop::DrainWakeupFd() {
 
 int EventLoop::EpollTimeoutMs() {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     if (!tasks_.empty()) return 0;
   }
   if (armed_.empty()) return -1;  // a Wakeup interrupts the wait
@@ -199,7 +199,7 @@ void EventLoop::AdvanceWheel() {
 void EventLoop::RunPendingTasks() {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     tasks.swap(tasks_);
   }
   if (!tasks.empty() && metrics_ != nullptr &&
@@ -265,7 +265,7 @@ void EventLoop::Run() {
   // and dropping that one would leak it.
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(tasks_mu_);
+      MutexLock lock(tasks_mu_);
       if (tasks_.empty()) break;
     }
     RunPendingTasks();

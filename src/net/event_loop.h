@@ -24,12 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace net {
@@ -162,8 +163,13 @@ class EventLoop {
   std::unordered_map<TimerId, uint64_t> armed_;
   TimerId next_timer_id_ = 1;
 
-  std::mutex tasks_mu_;
-  std::vector<std::function<void()>> tasks_;
+  /// The only cross-thread door besides the atomics below: RunInLoop
+  /// queues here under tasks_mu_; the loop thread drains in batches.
+  /// Every other field (handlers_, wheel_, armed_, ...) is loop-thread
+  /// confined by construction — single-threaded, so deliberately NOT
+  /// mutex-guarded (see the file comment).
+  Mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_ RSR_GUARDED_BY(tasks_mu_);
   std::atomic<bool> stop_{false};
   std::atomic<std::thread::id> loop_thread_{};
   const Metrics* metrics_ = nullptr;

@@ -19,36 +19,37 @@ PipeStream::~PipeStream() { Close(); }
 
 ptrdiff_t PipeStream::Read(uint8_t* buf, size_t n) {
   if (n == 0) return 0;
-  std::unique_lock<std::mutex> lock(incoming_->mu);
-  incoming_->cv.wait(lock, [this] {
-    return !incoming_->data.empty() || incoming_->closed;
-  });
-  if (incoming_->data.empty()) return 0;  // closed and drained: EOF
-  const size_t take = std::min(n, incoming_->data.size());
-  std::copy_n(incoming_->data.begin(), take, buf);
-  incoming_->data.erase(incoming_->data.begin(),
-                        incoming_->data.begin() + take);
+  HalfPipe& in = *incoming_;
+  MutexLock lock(in.mu);
+  while (in.data.empty() && !in.closed) in.cv.Wait(in.mu);
+  if (in.data.empty()) return 0;  // closed and drained: EOF
+  const size_t take = std::min(n, in.data.size());
+  std::copy_n(in.data.begin(), take, buf);
+  in.data.erase(in.data.begin(), in.data.begin() + take);
   return static_cast<ptrdiff_t>(take);
 }
 
 bool PipeStream::Write(const uint8_t* data, size_t n) {
-  std::lock_guard<std::mutex> lock(outgoing_->mu);
-  if (outgoing_->closed) return false;
-  outgoing_->data.insert(outgoing_->data.end(), data, data + n);
-  outgoing_->cv.notify_all();
+  HalfPipe& out = *outgoing_;
+  MutexLock lock(out.mu);
+  if (out.closed) return false;
+  out.data.insert(out.data.end(), data, data + n);
+  out.cv.NotifyAll();
   return true;
 }
 
 void PipeStream::Close() {
   {
-    std::lock_guard<std::mutex> lock(outgoing_->mu);
-    outgoing_->closed = true;
-    outgoing_->cv.notify_all();
+    HalfPipe& out = *outgoing_;
+    MutexLock lock(out.mu);
+    out.closed = true;
+    out.cv.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(incoming_->mu);
-    incoming_->closed = true;
-    incoming_->cv.notify_all();
+    HalfPipe& in = *incoming_;
+    MutexLock lock(in.mu);
+    in.closed = true;
+    in.cv.NotifyAll();
   }
 }
 

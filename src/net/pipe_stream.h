@@ -10,13 +10,13 @@
 #ifndef RSR_NET_PIPE_STREAM_H_
 #define RSR_NET_PIPE_STREAM_H_
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "net/byte_stream.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace net {
@@ -37,10 +37,11 @@ class PipeStream : public ByteStream {
  private:
   /// One direction of flow, shared by the writer and the reader endpoint.
   struct HalfPipe {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<uint8_t> data;
-    bool closed = false;  // no further writes; reads drain then EOF
+    Mutex mu;
+    CondVar cv;
+    std::deque<uint8_t> data RSR_GUARDED_BY(mu);
+    /// No further writes; reads drain then EOF.
+    bool closed RSR_GUARDED_BY(mu) = false;
   };
 
   PipeStream(std::shared_ptr<HalfPipe> incoming,

@@ -213,7 +213,7 @@ TcpListener::AcceptStatus TcpListener::TryAccept(
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      return AcceptStatus::kWouldBlock;
+      return AcceptStatus::kEmptyBacklog;
     }
     // Transient per-connection failure: the peer RSTed while queued.
     if (errno == ECONNABORTED || errno == EPROTO) continue;

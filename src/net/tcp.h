@@ -86,7 +86,7 @@ class TcpListener {
 
   enum class AcceptStatus {
     kAccepted,    ///< *out holds the new connection.
-    kWouldBlock,  ///< Non-blocking listener with an empty backlog.
+    kEmptyBacklog,  ///< Non-blocking listener with nothing to accept.
     kRetryLater,  ///< Resource exhaustion (fd limit, buffers). The backlog
                   ///< is NOT empty — a level-triggered reactor must back
                   ///< off (timer) instead of re-polling immediately.

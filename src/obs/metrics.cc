@@ -160,7 +160,7 @@ const MetricsRegistry::Instrument* MetricsRegistry::Find(
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument* instrument = FindOrCreate(name, help, Kind::kCounter, labels);
   if (instrument->counter == nullptr) {
     instrument->counter = std::make_unique<Counter>();
@@ -171,7 +171,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument* instrument = FindOrCreate(name, help, Kind::kGauge, labels);
   if (instrument->gauge == nullptr) {
     instrument->gauge = std::make_unique<Gauge>();
@@ -183,7 +183,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          std::vector<double> bounds,
                                          const LabelSet& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Instrument* instrument = FindOrCreate(name, help, Kind::kHistogram, labels);
   if (instrument->histogram == nullptr) {
     instrument->histogram = std::make_unique<Histogram>(std::move(bounds));
@@ -193,21 +193,21 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name,
                                        const LabelSet& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Instrument* instrument = Find(name, Kind::kCounter, labels);
   return instrument != nullptr ? instrument->counter->value() : 0;
 }
 
 int64_t MetricsRegistry::GaugeValue(const std::string& name,
                                     const LabelSet& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Instrument* instrument = Find(name, Kind::kGauge, labels);
   return instrument != nullptr ? instrument->gauge->value() : 0;
 }
 
 std::optional<HistogramSnapshot> MetricsRegistry::SnapshotHistogram(
     const std::string& name, const LabelSet& labels) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Instrument* instrument = Find(name, Kind::kHistogram, labels);
   if (instrument == nullptr) return std::nullopt;
   return instrument->histogram->Snapshot();
@@ -215,7 +215,7 @@ std::optional<HistogramSnapshot> MetricsRegistry::SnapshotHistogram(
 
 std::optional<HistogramSnapshot> MetricsRegistry::SnapshotHistogramSum(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end() || it->second.kind != Kind::kHistogram ||
       it->second.instruments.empty()) {
@@ -240,7 +240,7 @@ std::optional<HistogramSnapshot> MetricsRegistry::SnapshotHistogramSum(
 }
 
 uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = families_.find(name);
   if (it == families_.end() || it->second.kind != Kind::kCounter) return 0;
   uint64_t total = 0;
@@ -251,7 +251,7 @@ uint64_t MetricsRegistry::SumCounters(const std::string& name) const {
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, family] : families_) {
     out += "# HELP " + name + " " + family.help + "\n";

@@ -26,11 +26,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace obs {
@@ -167,12 +169,16 @@ class MetricsRegistry {
   };
 
   Instrument* FindOrCreate(const std::string& name, const std::string& help,
-                           Kind kind, const LabelSet& labels);
+                           Kind kind, const LabelSet& labels)
+      RSR_REQUIRES(mu_);
   const Instrument* Find(const std::string& name, Kind kind,
-                         const LabelSet& labels) const;
+                         const LabelSet& labels) const RSR_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  /// Guards registration and the read-side walks only — instrument
+  /// record paths (Counter::Inc etc.) are lock-free relaxed atomics on
+  /// pointers whose addresses outlive the registry.
+  mutable Mutex mu_;
+  std::map<std::string, Family> families_ RSR_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

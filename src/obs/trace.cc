@@ -48,7 +48,7 @@ FileTraceSink::~FileTraceSink() {
 }
 
 void FileTraceSink::Emit(const std::string& json_line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (file_ == nullptr) return;
   std::fputs(json_line.c_str(), file_);
   std::fputc('\n', file_);
@@ -56,12 +56,12 @@ void FileTraceSink::Emit(const std::string& json_line) {
 }
 
 void VectorTraceSink::Emit(const std::string& json_line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lines_.push_back(json_line);
 }
 
 std::vector<std::string> VectorTraceSink::lines() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lines_;
 }
 

@@ -15,12 +15,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/trace_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace obs {
@@ -44,8 +45,8 @@ class FileTraceSink : public TraceSink {
   void Emit(const std::string& json_line) override;
 
  private:
-  std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  Mutex mu_;
+  std::FILE* file_ RSR_GUARDED_BY(mu_) = nullptr;
 };
 
 /// Collects spans in memory (tests).
@@ -55,8 +56,8 @@ class VectorTraceSink : public TraceSink {
   std::vector<std::string> lines() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ RSR_GUARDED_BY(mu_);
 };
 
 /// One served session's trace. Movable-by-default-construction only in

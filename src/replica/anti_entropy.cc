@@ -20,7 +20,7 @@ AntiEntropyScheduler::~AntiEntropyScheduler() { Stop(); }
 bool AntiEntropyScheduler::Start() {
   if (thread_.joinable() || peers_.empty()) return false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = false;
   }
   thread_ = std::thread([this] { Loop(); });
@@ -29,18 +29,18 @@ bool AntiEntropyScheduler::Start() {
 
 void AntiEntropyScheduler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
 RoundRecord AntiEntropyScheduler::RunOnce() {
-  std::lock_guard<std::mutex> round_lock(round_mu_);
+  MutexLock round_lock(round_mu_);
   size_t peer_index = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     peer_index = static_cast<size_t>(rng_.Below(peers_.size()));
   }
   RoundRecord record = node_->SyncWithPeer(
@@ -48,31 +48,32 @@ RoundRecord AntiEntropyScheduler::RunOnce() {
                               ? peer_names_[peer_index]
                               : std::string("peer"));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     rounds_.push_back(record);
   }
   return record;
 }
 
 std::vector<RoundRecord> AntiEntropyScheduler::rounds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rounds_;
 }
 
 size_t AntiEntropyScheduler::rounds_run() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rounds_.size();
 }
 
 void AntiEntropyScheduler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
-    cv_.wait_for(lock, options_.period, [this] { return stopping_; });
-    if (stopping_) return;
-    lock.unlock();
+    if (!stopping_) cv_.WaitFor(mu_, options_.period);
+    if (stopping_) break;
+    mu_.Unlock();
     RunOnce();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 }  // namespace replica

@@ -23,15 +23,15 @@
 #define RSR_REPLICA_ANTI_ENTROPY_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "replica/replica_node.h"
+#include "util/mutex.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace replica {
@@ -75,14 +75,18 @@ class AntiEntropyScheduler {
   const std::vector<std::string> peer_names_;
   const AntiEntropyOptions options_;
 
-  /// Serializes rounds (loop vs manual RunOnce) on this node.
-  std::mutex round_mu_;
+  /// Serializes rounds (loop vs manual RunOnce) on this node. Held across
+  /// the whole SyncWithPeer round; no state lives under it.
+  Mutex round_mu_;
 
-  mutable std::mutex mu_;  ///< Guards rng_, rounds_, stopping_.
-  Rng rng_;
-  std::vector<RoundRecord> rounds_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  /// Guards the round bookkeeping. LOCK ORDER: acquired after round_mu_
+  /// (RunOnce holds round_mu_ for the round and takes mu_ briefly twice);
+  /// never taken around SyncWithPeer itself.
+  mutable Mutex mu_ RSR_ACQUIRED_AFTER(round_mu_);
+  Rng rng_ RSR_GUARDED_BY(mu_);
+  std::vector<RoundRecord> rounds_ RSR_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ RSR_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -84,7 +84,7 @@ Changelog::~Changelog() {
 }
 
 void Changelog::Append(ChangeEntry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RSR_CHECK(entry.seq == base_seq_ + entries_.size() + 1);
   WriteSegmentLocked(entry);
   entries_.push_back(std::move(entry));
@@ -95,13 +95,13 @@ void Changelog::Append(ChangeEntry entry) {
 }
 
 void Changelog::MarkSnapshot(uint64_t seq) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   base_seq_ = seq;
 }
 
 FetchedEntries Changelog::Fetch(uint64_t from_seq, size_t max_entries) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   FetchedEntries out;
   out.last_seq = base_seq_ + entries_.size();
   if (from_seq >= out.last_seq) {
@@ -125,17 +125,17 @@ FetchedEntries Changelog::Fetch(uint64_t from_seq, size_t max_entries) const {
 }
 
 uint64_t Changelog::base_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return base_seq_;
 }
 
 uint64_t Changelog::last_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return base_seq_ + entries_.size();
 }
 
 size_t Changelog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -39,11 +39,12 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "geometry/point.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace replica {
@@ -124,14 +125,17 @@ class Changelog {
   size_t size() const;
 
  private:
-  void WriteSegmentLocked(const ChangeEntry& entry);
+  void WriteSegmentLocked(const ChangeEntry& entry) RSR_REQUIRES(mu_);
 
   const ChangelogOptions options_;
-  mutable std::mutex mu_;
+  /// Guards the ring, coverage base, and segment handle as one unit so
+  /// Append publishes atomically w.r.t. Fetch. On a replicating host
+  /// this mutex nests INSIDE the host's replica_mu_ (DESIGN.md §13).
+  mutable Mutex mu_;
   /// Invariant: entries_[i].seq == base_seq_ + i + 1.
-  std::deque<ChangeEntry> entries_;
-  uint64_t base_seq_ = 0;
-  std::FILE* segment_ = nullptr;
+  std::deque<ChangeEntry> entries_ RSR_GUARDED_BY(mu_);
+  uint64_t base_seq_ RSR_GUARDED_BY(mu_) = 0;
+  std::FILE* segment_ RSR_GUARDED_BY(mu_) = nullptr;
 };
 
 /// Why a segment replay stopped. The distinction matters operationally:

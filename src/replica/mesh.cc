@@ -56,7 +56,7 @@ std::unique_ptr<net::ByteStream> ReplicaMesh::Dial(size_t peer) {
   auto [server_end, client_end] = net::PipeStream::CreatePair();
   server::SyncServer* host = &nodes_[peer]->host();
   {
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    MutexLock lock(serve_mu_);
     serve_threads_.emplace_back(
         [host, end = std::move(server_end)]() mutable {
           host->ServeConnection(end.get());
@@ -80,7 +80,7 @@ void ReplicaMesh::StopSchedulers() {
 void ReplicaMesh::JoinServeThreads() {
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(serve_mu_);
+    MutexLock lock(serve_mu_);
     threads.swap(serve_threads_);
   }
   for (std::thread& thread : threads) {

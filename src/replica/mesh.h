@@ -21,12 +21,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "replica/anti_entropy.h"
 #include "replica/replica_node.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace replica {
@@ -80,8 +81,10 @@ class ReplicaMesh {
 
   /// Pipe mode: one short-lived thread per dialed connection, running the
   /// peer host's ServeConnection; joined at StopSchedulers/destruction.
-  std::mutex serve_mu_;
-  std::vector<std::thread> serve_threads_;
+  /// Leaf lock: held only to push/swap the thread vector, never while
+  /// joining or dialing.
+  Mutex serve_mu_;
+  std::vector<std::thread> serve_threads_ RSR_GUARDED_BY(serve_mu_);
 };
 
 }  // namespace replica

@@ -120,7 +120,7 @@ std::shared_ptr<const server::SketchSnapshot> ReplicaNode::Apply(
     const obs::TraceContext& trace) {
   std::shared_ptr<const server::SketchSnapshot> snap =
       server_.ApplyUpdate(inserts, erases, trace);
-  std::lock_guard<std::mutex> lock(view_mu_);
+  MutexLock lock(view_mu_);
   RefreshWatermarkLocked();
   return snap;
 }
@@ -187,7 +187,7 @@ void ReplicaNode::RecordRound(const RoundRecord& record,
   if (record.peer_seq > 0 || record.ok) {
     staleness_gauge_->Set(static_cast<int64_t>(record.peer_seq) -
                           static_cast<int64_t>(record.seq_after));
-    std::lock_guard<std::mutex> lock(view_mu_);
+    MutexLock lock(view_mu_);
     peer_seqs_[peer_name] = record.peer_seq;
     RefreshWatermarkLocked();
     // A successful repair lands this node at the peer's position: its
@@ -291,7 +291,7 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
     span->BeginPhase("apply");
     PeerInstruments* inst = nullptr;
     {
-      std::lock_guard<std::mutex> lock(view_mu_);
+      MutexLock lock(view_mu_);
       inst = &PeerFor(peer_name);
     }
     uint64_t newest_lag_micros = 0;
@@ -328,7 +328,10 @@ RoundRecord ReplicaNode::RunRound(const StreamFactory& fetch_peer,
     record.ok = true;
     record.seq_after = applied_seq();
     record.dirty_after = false;
-    escalate_next_repair_ = false;
+    {
+      MutexLock lock(view_mu_);
+      escalate_next_repair_ = false;
+    }
     return record;
   }
 
@@ -362,8 +365,13 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
                                   ? options_.exact_budget
                                   : resolved.riblt.k;
   const bool was_dirty = dirty();
+  bool escalate = false;
+  {
+    MutexLock lock(view_mu_);
+    escalate = escalate_next_repair_;
+  }
   RoundRecord::Path path;
-  if (escalate_next_repair_) {
+  if (escalate) {
     // The previous repair session failed (e.g. an under-estimated sketch
     // did not decode). A deterministic workload would make the same sized
     // choice fail the same way forever, so skip the bands once.
@@ -395,7 +403,10 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
     record.bytes_received += framed.bytes_received();
     record.error_detail = std::move(detail);
     record.path = RoundRecord::Path::kError;
-    escalate_next_repair_ = true;
+    {
+      MutexLock lock(view_mu_);
+      escalate_next_repair_ = true;
+    }
     repair_escalations_->Inc();
     return record;
   };
@@ -468,7 +479,10 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
     record.error_detail = std::string("repair: session failed (") +
                           recon::SessionErrorName(result.error) + ")";
     record.path = RoundRecord::Path::kError;
-    escalate_next_repair_ = true;
+    {
+      MutexLock lock(view_mu_);
+      escalate_next_repair_ = true;
+    }
     repair_escalations_->Inc();
     return record;
   }
@@ -487,7 +501,10 @@ RoundRecord ReplicaNode::Repair(const StreamFactory& peer, uint64_t est_delta,
   record.peer_seq = accept.seq;
   record.seq_after = applied_seq();
   record.dirty_after = dirty();
-  escalate_next_repair_ = false;
+  {
+    MutexLock lock(view_mu_);
+    escalate_next_repair_ = false;
+  }
   return record;
 }
 

@@ -45,7 +45,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "net/byte_stream.h"
@@ -54,6 +53,8 @@
 #include "obs/trace_context.h"
 #include "replica/changelog.h"
 #include "server/sync_server.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace replica {
@@ -188,10 +189,11 @@ class ReplicaNode {
   /// gauge (peer position minus local position), and the peer-view /
   /// watermark refresh.
   void RecordRound(const RoundRecord& record, const std::string& peer_name);
-  PeerInstruments& PeerFor(const std::string& peer_name);
+  PeerInstruments& PeerFor(const std::string& peer_name)
+      RSR_REQUIRES(view_mu_);
   /// Recomputes rsr_replica_convergence_watermark = min(own position,
-  /// every known peer position). view_mu_ must be held.
-  void RefreshWatermarkLocked();
+  /// every known peer position).
+  void RefreshWatermarkLocked() RSR_REQUIRES(view_mu_);
 
   ReplicaNodeOptions options_;
   Changelog changelog_;
@@ -209,16 +211,19 @@ class ReplicaNode {
   obs::Counter* const span_dropped_;
 
   /// Guards the node's view of its peers' positions (fed by round
-  /// results) and the lazily-registered per-peer instruments.
-  std::mutex view_mu_;
-  std::map<std::string, uint64_t> peer_seqs_;
-  std::map<std::string, PeerInstruments> peer_instruments_;
+  /// results), the lazily-registered per-peer instruments, and the repair
+  /// escalation latch. Leaf lock: never held across a peer connection or
+  /// any other mutex (DESIGN.md §13).
+  Mutex view_mu_;
+  std::map<std::string, uint64_t> peer_seqs_ RSR_GUARDED_BY(view_mu_);
+  std::map<std::string, PeerInstruments> peer_instruments_
+      RSR_GUARDED_BY(view_mu_);
   /// Set when a repair session failed (e.g. an exact-key sketch sized from
   /// an under-estimate did not decode): the next repair skips the sized
   /// bands and goes straight to the unconditional full transfer, so a
   /// deterministic workload cannot loop on the same failing choice.
   /// Cleared by any successful round.
-  bool escalate_next_repair_ = false;
+  bool escalate_next_repair_ RSR_GUARDED_BY(view_mu_) = false;
 };
 
 /// Multiset symmetric-difference size |A Δ B| (order-insensitive): the

@@ -213,7 +213,7 @@ std::string AsyncSyncServer::DumpStats() const {
   uint64_t generation = 0;
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     generation = store_.Snapshot()->generation();
     seq = replica_seq_;
   }
@@ -228,7 +228,7 @@ std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
 std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases,
     const obs::TraceContext& trace) {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(inserts, erases);
   if (options_.changelog != nullptr) {
@@ -246,7 +246,7 @@ std::shared_ptr<const SketchSnapshot> AsyncSyncServer::ApplyUpdate(
 }
 
 uint64_t AsyncSyncServer::replica_seq() const {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   return replica_seq_;
 }
 
@@ -270,7 +270,7 @@ void AsyncSyncServer::AcceptReady() {
         }
         continue;
       }
-      case net::TcpListener::AcceptStatus::kWouldBlock:
+      case net::TcpListener::AcceptStatus::kEmptyBacklog:
         return;
       case net::TcpListener::AcceptStatus::kRetryLater: {
         // fd exhaustion with the backlog still populated: the listener
@@ -447,7 +447,7 @@ void AsyncSyncServer::HandleHello(Conn* conn, transport::Message message) {
   // consistent view.
   uint64_t served_seq = 0;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     conn->snapshot = store_.Snapshot();
     served_seq = replica_seq_;
   }
@@ -494,7 +494,7 @@ void AsyncSyncServer::HandleLogFetch(Conn* conn, transport::Message message) {
   conn->span.BeginPhase("result");
   LogBatchFrame batch;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     // The async host never installs repairs, so its tail is always sound:
     // repair_dirty is constitutively false here.
     batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),

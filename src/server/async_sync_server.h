@@ -32,7 +32,6 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -51,6 +50,8 @@
 #include "server/server_obs.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace server {
@@ -226,8 +227,13 @@ class AsyncSyncServer {
 
   /// Guards the (store mutation, changelog append, replica_seq_) compound
   /// so a served snapshot + position pair is always consistent.
-  mutable std::mutex replica_mu_;
-  uint64_t replica_seq_ = 0;
+  /// LOCK ORDER: outermost on the write path — the store's and
+  /// changelog's internal mutexes nest inside it (DESIGN.md §13).
+  /// Everything else on this host is shard-thread confined (one
+  /// connection lives on exactly one EventLoop thread) and deliberately
+  /// unannotated.
+  mutable Mutex replica_mu_;
+  uint64_t replica_seq_ RSR_GUARDED_BY(replica_mu_) = 0;
 
   std::unique_ptr<net::TcpListener> listener_;
   std::vector<std::unique_ptr<Shard>> shards_;

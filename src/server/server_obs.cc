@@ -80,7 +80,7 @@ void ServerObs::OnClosed(const Settle& settle) {
   if (settle.rejected) rejected_->Inc();
   if (settle.timed_out) idle_timeouts_->Inc();
   if (!settle.session_counted) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ProtocolInstruments& bundle = ProtocolFor(settle.protocol);
   (settle.success ? bundle.ok : bundle.failed)->Inc();
   bundle.bytes_in->Inc(settle.bytes_in);
@@ -107,7 +107,7 @@ SyncServerMetrics ServerObs::LegacyMetrics() const {
   metrics.idle_timeouts = idle_timeouts_->value();
   metrics.bytes_in = bytes_in_->value();
   metrics.bytes_out = bytes_out_->value();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, bundle] : per_protocol_) {
     ProtocolStats& stats = metrics.per_protocol[name];
     stats.syncs = bundle.ok->value();

@@ -24,12 +24,13 @@
 #define RSR_SERVER_SERVER_OBS_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/server_stats.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace server {
@@ -96,8 +97,9 @@ class ServerObs {
     obs::Counter* bytes_out = nullptr;
     obs::Histogram* seconds = nullptr;
   };
-  /// Finds or registers the per-protocol bundle (mu_ must be held).
-  ProtocolInstruments& ProtocolFor(const std::string& name);
+  /// Finds or registers the per-protocol bundle.
+  ProtocolInstruments& ProtocolFor(const std::string& name)
+      RSR_REQUIRES(mu_);
 
   const ServerObsOptions options_;
   obs::MetricsRegistry registry_;
@@ -114,8 +116,11 @@ class ServerObs {
   obs::Counter* span_emitted_;
   obs::Counter* span_dropped_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, ProtocolInstruments> per_protocol_;
+  /// Guards the per-protocol bundle map only (session-settle cadence);
+  /// the instruments themselves record lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, ProtocolInstruments> per_protocol_
+      RSR_GUARDED_BY(mu_);
 };
 
 }  // namespace server

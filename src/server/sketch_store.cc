@@ -172,6 +172,7 @@ SketchStore::SketchStore(PointSet canonical, SketchStoreOptions options)
       params_.mlsh.family, context_.universe,
       lshrecon::MlshEffectiveWidth(context_.universe, params_.mlsh),
       params_.mlsh.NumFunctions(), context_.seed);
+  MutexLock lock(mu_);
   snapshot_ = Rebuild(std::move(canonical), /*generation=*/0);
   PublishMetrics();
 }
@@ -186,7 +187,7 @@ void SketchStore::PublishMetrics() const {
 }
 
 std::shared_ptr<const SketchSnapshot> SketchStore::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_;
 }
 
@@ -339,7 +340,7 @@ void SketchStore::UpdatePoint(SketchSnapshot* snap, const Point& p,
 
 std::shared_ptr<const SketchSnapshot> SketchStore::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ScopedTimer timer(metrics_.apply_seconds);
 
   // The new point set: per erased value, the first (remaining) equal

@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +47,8 @@
 #include "recon/registry.h"
 #include "recon/sketch_provider.h"
 #include "riblt/riblt.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace server {
@@ -163,12 +164,14 @@ class SketchStore {
 
   /// From-scratch build of snapshot + maintenance state for `points`.
   std::shared_ptr<SketchSnapshot> Rebuild(PointSet points,
-                                          uint64_t generation);
-  /// Pushes generation/size onto the gauges (mu_ held, or the ctor).
-  void PublishMetrics() const;
+                                          uint64_t generation)
+      RSR_REQUIRES(mu_);
+  /// Pushes generation/size onto the gauges.
+  void PublishMetrics() const RSR_REQUIRES(mu_);
   /// Applies one point's insertion (direction +1) or removal (-1) to every
   /// sketch of `snap` and to the maintenance histograms.
-  void UpdatePoint(SketchSnapshot* snap, const Point& p, int direction);
+  void UpdatePoint(SketchSnapshot* snap, const Point& p, int direction)
+      RSR_REQUIRES(mu_);
 
   const recon::ProtocolContext context_;
   const recon::ProtocolParams params_;  // Resolved()
@@ -179,13 +182,18 @@ class SketchStore {
   std::vector<size_t> mlsh_prefixes_;
   std::unique_ptr<lshrecon::MlshFamily> mlsh_family_;
 
-  mutable std::mutex mu_;
-  std::shared_ptr<const SketchSnapshot> snapshot_;
+  /// Guards the published snapshot pointer and the incremental
+  /// maintenance state. On a replicating host this mutex nests INSIDE
+  /// the host's replica_mu_ (replica_mu_ → store mu_; see DESIGN.md
+  /// §13) — never take replica_mu_ while holding it.
+  mutable Mutex mu_;
+  std::shared_ptr<const SketchSnapshot> snapshot_ RSR_GUARDED_BY(mu_);
   /// Per cached level: cell key -> (cell, count); the store's own record
   /// of the current histograms, needed to translate a point mutation into
   /// the erase-old-entry / insert-new-entry pair on the level sketches.
-  std::vector<std::unordered_map<uint64_t, CellCount>> level_histograms_;
-  PointCounts point_counts_;
+  std::vector<std::unordered_map<uint64_t, CellCount>> level_histograms_
+      RSR_GUARDED_BY(mu_);
+  PointCounts point_counts_ RSR_GUARDED_BY(mu_);
 };
 
 }  // namespace server

@@ -188,7 +188,7 @@ void SyncServer::ServeConnection(net::ByteStream* stream) {
   std::shared_ptr<const SketchSnapshot> snapshot;
   uint64_t served_seq = 0;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     snapshot = store_.Snapshot();
     served_seq = replica_seq_;
   }
@@ -324,7 +324,7 @@ void SyncServer::ServeLogFetch(SessionIo& io, const transport::Message& first,
   io.span.BeginPhase("result");
   LogBatchFrame batch;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     batch = BuildLogBatch(fetch, options_.changelog, *store_.Snapshot(),
                           replica_seq_, repair_dirty_, options_.context,
                           options_.log_fetch_max_entries);
@@ -374,7 +374,7 @@ void SyncServer::ServePull(SessionIo& io, const transport::Message& first,
   uint64_t served_seq = 0;
   bool dirty = false;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     snapshot = store_.Snapshot();
     served_seq = replica_seq_;
     dirty = repair_dirty_;
@@ -435,7 +435,7 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
 std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
     const PointSet& inserts, const PointSet& erases,
     const obs::TraceContext& trace) {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(inserts, erases);
   if (options_.changelog != nullptr) {
@@ -454,7 +454,7 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyUpdate(
 
 std::shared_ptr<const SketchSnapshot> SyncServer::ApplyReplicated(
     const replica::ChangeEntry& entry) {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   if (entry.seq <= replica_seq_) return store_.Snapshot();
   RSR_CHECK_MSG(entry.seq == replica_seq_ + 1,
                 "replicated entry would leave a seq gap");
@@ -469,7 +469,7 @@ std::shared_ptr<const SketchSnapshot> SyncServer::ApplyReplicated(
 std::shared_ptr<const SketchSnapshot> SyncServer::InstallRepair(
     const PointSet& inserts, const PointSet& erases, uint64_t seq,
     bool exact) {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   std::shared_ptr<const SketchSnapshot> snap =
       store_.ApplyUpdate(inserts, erases);
   if (exact) {
@@ -487,12 +487,12 @@ std::shared_ptr<const SketchSnapshot> SyncServer::InstallRepair(
 }
 
 uint64_t SyncServer::replica_seq() const {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   return replica_seq_;
 }
 
 bool SyncServer::repair_dirty() const {
-  std::lock_guard<std::mutex> lock(replica_mu_);
+  MutexLock lock(replica_mu_);
   return repair_dirty_;
 }
 
@@ -500,7 +500,7 @@ std::string SyncServer::DumpStats() const {
   uint64_t generation = 0;
   uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(replica_mu_);
+    MutexLock lock(replica_mu_);
     generation = store_.Snapshot()->generation();
     seq = replica_seq_;
   }
@@ -510,7 +510,7 @@ std::string SyncServer::DumpStats() const {
 bool SyncServer::Start(std::unique_ptr<net::TcpListener> listener) {
   if (listener == nullptr || accept_thread_.joinable()) return false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = false;
   }
   listener_ = std::move(listener);
@@ -530,13 +530,13 @@ void SyncServer::Stop() {
   {
     // Close queued connections so draining them fails fast instead of
     // blocking a worker on a client that never speaks.
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
     for (const PendingConn& pending : pending_) pending.stream->Close();
-    queue_cv_.notify_all();
+    queue_cv_.NotifyAll();
   }
   {
-    std::lock_guard<std::mutex> lock(active_mu_);
+    MutexLock lock(active_mu_);
     for (net::ByteStream* stream : active_) stream->Close();
   }
   for (std::thread& worker : workers_) {
@@ -556,10 +556,10 @@ void SyncServer::AcceptLoop() {
   for (;;) {
     std::unique_ptr<net::TcpStream> conn = listener_->Accept();
     if (conn == nullptr) return;  // listener closed
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     pending_.push_back(
         PendingConn{std::move(conn), std::chrono::steady_clock::now()});
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
 }
 
@@ -567,8 +567,8 @@ void SyncServer::WorkerLoop() {
   for (;;) {
     PendingConn conn;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && pending_.empty()) queue_cv_.Wait(queue_mu_);
       // Drain queued connections even when stopping, so accepted clients
       // are served (their streams are already closed, so it fails fast).
       if (pending_.empty()) return;
@@ -577,14 +577,14 @@ void SyncServer::WorkerLoop() {
       // Register in active_ while still holding queue_mu_: Stop() flips
       // stopping_ under queue_mu_ before sweeping active_, so a stream is
       // either closed by the sweep or closed here — no unclosable window.
-      std::lock_guard<std::mutex> active_lock(active_mu_);
+      MutexLock active_lock(active_mu_);
       if (stopping_) conn.stream->Close();
       active_.insert(conn.stream.get());
     }
     obs_.ObserveQueueDelay(SecondsSince(conn.enqueued));
     ServeConnection(conn.stream.get());
     {
-      std::lock_guard<std::mutex> active_lock(active_mu_);
+      MutexLock active_lock(active_mu_);
       active_.erase(conn.stream.get());
     }
   }

@@ -30,12 +30,10 @@
 #define RSR_SERVER_SYNC_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -53,6 +51,8 @@
 #include "server/server_obs.h"
 #include "server/server_stats.h"
 #include "server/sketch_store.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace rsr {
 namespace server {
@@ -252,10 +252,13 @@ class SyncServer {
 
   /// Guards the (store mutation, changelog append, replica_seq_,
   /// repair_dirty_) compound so a served snapshot + position pair is
-  /// always consistent.
-  mutable std::mutex replica_mu_;
-  uint64_t replica_seq_ = 0;
-  bool repair_dirty_ = false;
+  /// always consistent. LOCK ORDER: this is the OUTERMOST lock of the
+  /// write path — the store's and changelog's internal mutexes nest
+  /// inside it (replica_mu_ → store mu_ / changelog mu_; DESIGN.md §13).
+  /// Never call back into SyncServer's locking methods while holding it.
+  mutable Mutex replica_mu_;
+  uint64_t replica_seq_ RSR_GUARDED_BY(replica_mu_) = 0;
+  bool repair_dirty_ RSR_GUARDED_BY(replica_mu_) = false;
 
   std::unique_ptr<net::TcpListener> listener_;
   std::thread accept_thread_;
@@ -268,15 +271,17 @@ class SyncServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<PendingConn> pending_;
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<PendingConn> pending_ RSR_GUARDED_BY(queue_mu_);
+  bool stopping_ RSR_GUARDED_BY(queue_mu_) = false;
 
   /// Streams currently inside a worker's ServeConnection; Stop() closes
   /// them to unblock sessions stuck on a silent or slow client.
-  std::mutex active_mu_;
-  std::set<net::ByteStream*> active_;
+  /// LOCK ORDER: acquired with queue_mu_ already held in the dequeue
+  /// path, so active_mu_ nests inside queue_mu_ — never the reverse.
+  Mutex active_mu_ RSR_ACQUIRED_AFTER(queue_mu_);
+  std::set<net::ByteStream*> active_ RSR_GUARDED_BY(active_mu_);
 };
 
 }  // namespace server

@@ -1,0 +1,104 @@
+// Annotated mutex primitives: the capability types the thread-safety
+// analysis reasons about.
+//
+// rsr::Mutex wraps std::mutex and carries the RSR_CAPABILITY attribute;
+// rsr::MutexLock is the RAII guard (RSR_SCOPED_CAPABILITY); rsr::CondVar
+// pairs with Mutex for blocking waits. Every mutex-guarded structure in
+// the repo declares its fields RSR_GUARDED_BY one of these, so an
+// unguarded access is a compile error under clang's
+// -Werror=thread-safety gate (see util/thread_annotations.h and
+// DESIGN.md §13). Under gcc the attributes vanish and the wrappers are
+// zero-overhead forwarding shims around the std types.
+//
+// Waiting: CondVar::Wait takes the annotated Mutex directly. Internally
+// it adopts the held std::mutex into a std::unique_lock for the duration
+// of the wait and releases it back — the capability never actually
+// changes hands, which is exactly what REQUIRES(mu) expresses, and the
+// adopted lock keeps std::condition_variable on its fast native path.
+
+#ifndef RSR_UTIL_MUTEX_H_
+#define RSR_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_annotations.h"
+
+namespace rsr {
+
+/// A std::mutex carrying the `capability` attribute. Lock/Unlock are for
+/// the rare manual site; prefer MutexLock.
+class RSR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RSR_ACQUIRE() { mu_.lock(); }
+  void Unlock() RSR_RELEASE() { mu_.unlock(); }
+  bool TryLock() RSR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard: acquires in the constructor, releases in the destructor.
+/// The analysis tracks the guarded region as the guard's scope — the
+/// drop-in replacement for std::lock_guard<std::mutex>.
+class RSR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RSR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RSR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable for rsr::Mutex. All waits REQUIRE the mutex held;
+/// it is released for the blocking portion and re-held on return, so the
+/// caller's capability set is unchanged — the analysis (correctly) sees
+/// a plain call that preserves the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups possible, as with the std
+  /// type; prefer the predicate overload.
+  void Wait(Mutex& mu) RSR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Blocks until notified or `timeout` elapses (or spuriously). There is
+  /// deliberately no predicate overload: the analysis would inspect the
+  /// lambda body without the capability, so callers loop on the condition
+  /// instead — `while (!cond) cv.Wait(mu);` — which the analysis checks.
+  template <typename Rep, typename Period>
+  void WaitFor(Mutex& mu,
+               std::chrono::duration<Rep, Period> timeout) RSR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait_for(lock, timeout);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rsr
+
+#endif  // RSR_UTIL_MUTEX_H_

@@ -1,0 +1,94 @@
+// Clang Thread Safety Analysis attribute shim.
+//
+// These macros expand to Clang's thread-safety attributes when the
+// compiler supports them (clang with -Wthread-safety; the CI gate builds
+// with -Werror=thread-safety) and to nothing elsewhere (gcc, msvc), so
+// annotated code compiles identically everywhere while clang checks the
+// locking discipline at compile time. The annotations turn this repo's
+// concurrency contracts — which mutex guards which field, which methods
+// require a lock held, which locks must never nest — from comments into
+// machine-checked types. See DESIGN.md §13 for the per-subsystem
+// contract table and tests/annotations_compile/ for the negative
+// compilation suite proving the gate bites.
+//
+// Naming follows the clang documentation's canonical mutex.h example,
+// prefixed RSR_ to stay out of other libraries' way. Apply the macros to
+// the annotated wrappers in util/mutex.h (rsr::Mutex, rsr::MutexLock),
+// not to raw std::mutex — std types carry no capability attributes, so
+// the analysis cannot see through them.
+
+#ifndef RSR_UTIL_THREAD_ANNOTATIONS_H_
+#define RSR_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define RSR_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef RSR_THREAD_ANNOTATION_
+#define RSR_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define RSR_CAPABILITY(x) RSR_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define RSR_SCOPED_CAPABILITY RSR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define RSR_GUARDED_BY(x) RSR_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x` (the pointer itself
+/// may be read freely).
+#define RSR_PT_GUARDED_BY(x) RSR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the named ones. A contradiction or a violating acquisition
+/// order is a compile-time error under the gate.
+#define RSR_ACQUIRED_BEFORE(...) \
+  RSR_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define RSR_ACQUIRED_AFTER(...) \
+  RSR_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the named capabilities exclusively (or shared).
+#define RSR_REQUIRES(...) \
+  RSR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define RSR_REQUIRES_SHARED(...) \
+  RSR_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the named capabilities (no argument =
+/// `this` for a capability class's own methods).
+#define RSR_ACQUIRE(...) \
+  RSR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RSR_ACQUIRE_SHARED(...) \
+  RSR_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RSR_RELEASE(...) \
+  RSR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RSR_RELEASE_SHARED(...) \
+  RSR_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire and returns `b` on success.
+#define RSR_TRY_ACQUIRE(...) \
+  RSR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities (deadlock guard for
+/// methods that acquire them internally).
+#define RSR_EXCLUDES(...) RSR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis to
+/// trust it from here on).
+#define RSR_ASSERT_CAPABILITY(x) \
+  RSR_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RSR_RETURN_CAPABILITY(x) RSR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis inside one function. Use only where
+/// the discipline is real but inexpressible (e.g. lock handoff across a
+/// condition-variable wait implemented with adopted std locks), and say
+/// why at the use site.
+#define RSR_NO_THREAD_SAFETY_ANALYSIS \
+  RSR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // RSR_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,22 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: acquires a mutex
+// that is already held — the self-deadlock std::mutex turns into
+// undefined behaviour at runtime, caught here at compile time.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+int DoubleAcquire(rsr::Mutex& mu) {
+  rsr::MutexLock first(mu);
+  // VIOLATION: mu is already held.
+  rsr::MutexLock second(mu);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  rsr::Mutex mu;
+  return DoubleAcquire(mu);
+}

@@ -1,0 +1,20 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: releases a mutex
+// that is not held (the double-unlock / unlock-on-wrong-path bug class).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+void ReleaseUnheld(rsr::Mutex& mu) {
+  // VIOLATION: mu was never acquired on this path.
+  mu.Unlock();
+}
+
+}  // namespace
+
+int main() {
+  rsr::Mutex mu;
+  ReleaseUnheld(mu);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: reads a
+// GUARDED_BY field without holding its mutex. Under gcc the attributes
+// are no-ops and this compiles — tools/check_annotations.py asserts both.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  // VIOLATION: reading value_ requires holding mu_.
+  int Get() const { return value_; }
+
+ private:
+  mutable rsr::Mutex mu_;
+  int value_ RSR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Get();
+}

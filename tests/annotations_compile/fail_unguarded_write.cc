@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under clang -Werror=thread-safety: writes a
+// GUARDED_BY field without holding its mutex (the lock is taken for a
+// different field, so simply *owning* a lock is not enough).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) {
+    rsr::MutexLock lock(other_mu_);
+    // VIOLATION: value_ is guarded by mu_, not other_mu_.
+    value_ = v;
+  }
+
+ private:
+  rsr::Mutex mu_;
+  rsr::Mutex other_mu_;
+  int value_ RSR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(7);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Positive control for the negative-compilation harness
+// (tools/check_annotations.py): exercises every annotation the repo uses
+// the way correct code uses it. Must compile warning-free under BOTH
+// clang -Werror=thread-safety (attributes active) and gcc (attributes
+// expand to nothing — proving the shim is a no-op there).
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Set(int v) RSR_EXCLUDES(mu_) {
+    rsr::MutexLock lock(mu_);
+    value_ = v;
+    BumpLocked();
+    cv_.NotifyAll();
+  }
+
+  int Get() const RSR_EXCLUDES(mu_) {
+    rsr::MutexLock lock(mu_);
+    return value_;
+  }
+
+  // Condition waits loop on the predicate with the lock held — the shape
+  // every wait site in src/ uses (util/mutex.h).
+  int AwaitNonZero() RSR_EXCLUDES(mu_) {
+    rsr::MutexLock lock(mu_);
+    while (value_ == 0) cv_.Wait(mu_);
+    return value_;
+  }
+
+  bool TrySet(int v) RSR_EXCLUDES(mu_) {
+    if (!mu_.TryLock()) return false;
+    value_ = v;
+    mu_.Unlock();
+    return true;
+  }
+
+ private:
+  void BumpLocked() RSR_REQUIRES(mu_) { ++bumps_; }
+
+  mutable rsr::Mutex mu_;
+  rsr::CondVar cv_;
+  int value_ RSR_GUARDED_BY(mu_) = 0;
+  int bumps_ RSR_GUARDED_BY(mu_) = 0;
+};
+
+// Manual Lock/Unlock across a loop, as in AntiEntropyScheduler::Loop.
+int ManualLoop(Guarded& g) {
+  int total = 0;
+  for (int i = 0; i < 3; ++i) {
+    g.Set(i);
+    total += g.Get();
+  }
+  return total;
+}
+
+// Lock-ordering annotation parses and is inert when unused.
+struct Ordered {
+  rsr::Mutex outer;
+  rsr::Mutex inner RSR_ACQUIRED_AFTER(outer);
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Set(1);
+  (void)g.TrySet(2);
+  Ordered ordered;
+  rsr::MutexLock a(ordered.outer);
+  rsr::MutexLock b(ordered.inner);
+  return g.Get() == 0 ? ManualLoop(g) : 0;
+}

@@ -87,8 +87,8 @@ TEST_P(EmdMetricPropertySweep, SingleOutlierCostIsItsDistance) {
 INSTANTIATE_TEST_SUITE_P(Metrics, EmdMetricPropertySweep,
                          ::testing::Values(Metric::kL1, Metric::kL2,
                                            Metric::kLinf, Metric::kHamming),
-                         [](const auto& info) {
-                           return MetricName(info.param);
+                         [](const auto& suite_info) {
+                           return MetricName(suite_info.param);
                          });
 
 TEST(EmdKPropertyTest, SandwichBounds) {

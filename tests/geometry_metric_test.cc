@@ -62,8 +62,8 @@ TEST_P(MetricAxiomsTest, PositiveForDistinctPoints) {
 INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
                          ::testing::Values(Metric::kL1, Metric::kL2,
                                            Metric::kLinf, Metric::kHamming),
-                         [](const auto& info) {
-                           return MetricName(info.param);
+                         [](const auto& suite_info) {
+                           return MetricName(suite_info.param);
                          });
 
 TEST(MetricTest, UniverseDiameter) {

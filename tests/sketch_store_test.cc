@@ -171,7 +171,7 @@ void ExpectSnapshotMatchesScratch(const SketchSnapshot& snapshot,
 
 TEST(SketchStoreTest, IncrementalTraceMatchesFromScratchBitForBit) {
   PointSet mirror = Cloud(96, 31337);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   ExpectSnapshotMatchesScratch(*store.Snapshot(), mirror);
 
   workload::ChurnSpec spec;
@@ -194,7 +194,7 @@ TEST(SketchStoreTest, DuplicatePointsKeepOccurrenceKeysConsistent) {
   // must match a from-scratch canonicalisation throughout.
   PointSet mirror = Cloud(16, 42);
   const Point dup = mirror.front();
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   const PointSet three_copies = {dup, dup, dup};
   store.ApplyUpdate(three_copies, {});
   mirror.insert(mirror.end(), three_copies.begin(), three_copies.end());
@@ -212,7 +212,7 @@ TEST(SketchStoreTest, WidthBoundaryCrossingRebuilds) {
   // (bits of n + 1), forcing the from-scratch path; then an unbalanced
   // erase-only batch shrinks back across it.
   PointSet mirror = Cloud(120, 77);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   const PointSet grow = Cloud(20, 78);
   store.ApplyUpdate(grow, {});
   mirror.insert(mirror.end(), grow.begin(), grow.end());
@@ -232,7 +232,7 @@ TEST(SketchStoreTest, EraseAndReinsertSameKeyInOneBatchBitIdentical) {
   // sketch bit-identical to a fresh rebuild — the -1/+1 pair must cancel
   // exactly in the strata, the histograms and both RIBLT families.
   PointSet mirror = Cloud(64, 4242);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   Rng rng(7);
   workload::ChurnBatch batch;
   batch.erases = {mirror[3], mirror[10]};
@@ -261,7 +261,7 @@ TEST(SketchStoreTest, RibltWidthBoundaryWithoutHistogramBoundaryRebuilds) {
   // serialized sum fields. The cached one-shot and MLSH tables must be
   // rebuilt, or their serialization would keep the stale widths.
   PointSet mirror = Cloud(62, 2026);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   const PointSet grow = Cloud(1, 2027);
   store.ApplyUpdate(grow, {});
   mirror.insert(mirror.end(), grow.begin(), grow.end());
@@ -277,7 +277,7 @@ TEST(SketchStoreTest, RibltWidthBoundaryWithoutHistogramBoundaryRebuilds) {
 
 TEST(SketchStoreTest, ErasingAbsentPointsIsIgnoredConsistently) {
   PointSet mirror = Cloud(32, 9);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), true, {}});
   // A corner point, verified absent from the generated cloud.
   Point absent(static_cast<size_t>(Ctx().universe.d),
                Ctx().universe.delta - 1);
@@ -292,7 +292,7 @@ TEST(SketchStoreTest, ErasingAbsentPointsIsIgnoredConsistently) {
 
 TEST(SketchStoreTest, UnmaterializedStoreDeclinesButTracksPoints) {
   PointSet mirror = Cloud(48, 12);
-  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), false});
+  SketchStore store(mirror, SketchStoreOptions{Ctx(), Params(), false, {}});
   const auto snapshot = store.Snapshot();
   EXPECT_EQ(snapshot->points(), mirror);
   const ShiftedGrid grid(Ctx().universe, Ctx().seed);
@@ -304,7 +304,7 @@ TEST(SketchStoreTest, UnmaterializedStoreDeclinesButTracksPoints) {
 
 TEST(SketchStoreTest, ConfigMismatchDeclines) {
   const PointSet points = Cloud(32, 5);
-  SketchStore store(points, SketchStoreOptions{Ctx(), Params(), true});
+  SketchStore store(points, SketchStoreOptions{Ctx(), Params(), true, {}});
   const auto snapshot = store.Snapshot();
   const ShiftedGrid grid(Ctx().universe, Ctx().seed);
   IbltConfig config = recon::LevelIbltConfig(

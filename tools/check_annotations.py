@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the thread-safety annotation gate.
+
+Drives the compiler over tests/annotations_compile/:
+
+  ok_*.cc    must compile under EVERY compiler (under clang, with
+             -Werror=thread-safety active; under gcc, proving the
+             RSR_* macros are no-ops).
+  fail_*.cc  each contains exactly one locking-discipline violation.
+             Under clang they MUST fail to compile with a thread-safety
+             diagnostic — this is what proves the CI gate actually
+             bites. Under gcc the attributes vanish, so they MUST
+             compile (same no-op proof as ok_*.cc).
+
+Exit status 0 iff every expectation holds. Run by ctest as
+`annotations_compile_test` and by the thread-safety CI job.
+"""
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+THREAD_SAFETY_FLAGS = ["-Wthread-safety", "-Werror=thread-safety"]
+
+
+def compiler_is_clang(cxx):
+    """True if `cxx` is a clang driver (the annotations are active)."""
+    try:
+        out = subprocess.run(
+            [cxx, "--version"], capture_output=True, text=True, timeout=60
+        )
+    except OSError as err:
+        sys.exit(f"error: cannot run {cxx!r}: {err}")
+    return "clang" in out.stdout.lower()
+
+
+def compile_one(cxx, flags, source):
+    """Syntax-checks one file; returns (ok, stderr)."""
+    cmd = [cxx, "-fsyntax-only", *flags, source]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    return proc.returncode == 0, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cxx", required=True, help="C++ compiler to drive")
+    parser.add_argument(
+        "--include", action="append", default=[], help="include directory"
+    )
+    parser.add_argument("--std", default="c++20", help="language standard")
+    parser.add_argument("case_dir", help="directory of ok_*.cc / fail_*.cc")
+    args = parser.parse_args()
+
+    ok_cases = sorted(glob.glob(os.path.join(args.case_dir, "ok_*.cc")))
+    fail_cases = sorted(glob.glob(os.path.join(args.case_dir, "fail_*.cc")))
+    if not ok_cases or not fail_cases:
+        sys.exit(f"error: no ok_*.cc / fail_*.cc cases in {args.case_dir}")
+
+    clang = compiler_is_clang(args.cxx)
+    flags = [f"-std={args.std}", "-Wall", "-Wextra", "-Werror"]
+    flags += [f"-I{inc}" for inc in args.include]
+    if clang:
+        flags += THREAD_SAFETY_FLAGS
+    mode = "clang (annotations ACTIVE)" if clang else "non-clang (no-op shim)"
+    print(f"compiler: {args.cxx} -> {mode}")
+
+    failures = []
+
+    for case in ok_cases:
+        ok, stderr = compile_one(args.cxx, flags, case)
+        name = os.path.basename(case)
+        if ok:
+            print(f"  PASS  {name}: compiles clean")
+        else:
+            failures.append(f"{name}: expected clean compile, got:\n{stderr}")
+            print(f"  FAIL  {name}: did not compile")
+
+    for case in fail_cases:
+        ok, stderr = compile_one(args.cxx, flags, case)
+        name = os.path.basename(case)
+        if clang:
+            # The violation must be rejected, and rejected for the right
+            # reason — a thread-safety diagnostic, not some stray error.
+            if not ok and "-Wthread-safety" in stderr:
+                print(f"  PASS  {name}: rejected with thread-safety error")
+            elif not ok:
+                failures.append(
+                    f"{name}: failed, but NOT with a thread-safety "
+                    f"diagnostic:\n{stderr}"
+                )
+                print(f"  FAIL  {name}: wrong diagnostic")
+            else:
+                failures.append(
+                    f"{name}: compiled clean — the gate does not bite"
+                )
+                print(f"  FAIL  {name}: compiled (violation missed!)")
+        else:
+            # Attributes are no-ops here: the violation must compile.
+            if ok:
+                print(f"  PASS  {name}: compiles as no-op")
+            else:
+                failures.append(
+                    f"{name}: must compile under a no-op shim, got:\n{stderr}"
+                )
+                print(f"  FAIL  {name}: did not compile under no-op shim")
+
+    if failures:
+        print(f"\n{len(failures)} expectation(s) violated:", file=sys.stderr)
+        for failure in failures:
+            print(f"--- {failure}", file=sys.stderr)
+        return 1
+    total = len(ok_cases) + len(fail_cases)
+    print(f"all {total} cases behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
